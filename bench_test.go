@@ -1,0 +1,131 @@
+// Package repro's top-level benchmarks map one-to-one onto the paper's
+// evaluation artifacts (Figures 6–9; the paper has no numbered tables).
+// Each benchmark executes the corresponding experiment at a reduced scale
+// and reports, in addition to wall-clock time, the experiment's virtual
+// runtimes as custom metrics (vsec/*), which are the quantities the figures
+// plot. Run with:
+//
+//	go test -bench=. -benchmem
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/paperbench"
+	"repro/internal/particle"
+)
+
+// benchConfig is a reduced-scale configuration for benchmarks.
+func benchConfig() paperbench.Config {
+	cfg := paperbench.DefaultConfig()
+	cfg.Particles = 1728
+	cfg.Ranks = 4
+	cfg.Accuracy = 1e-2
+	return cfg
+}
+
+// BenchmarkFig6 measures one solver run per (solver, initial distribution)
+// configuration of Figure 6 under method A and reports the virtual total,
+// sort, and restore times.
+func BenchmarkFig6(b *testing.B) {
+	for _, solver := range paperbench.Solvers() {
+		for _, dist := range []particle.Dist{particle.DistSingle, particle.DistRandom, particle.DistGrid} {
+			b.Run(solver+"/"+dist.String(), func(b *testing.B) {
+				cfg := benchConfig()
+				var st paperbench.StepStat
+				for i := 0; i < b.N; i++ {
+					st = paperbench.RunSingle(cfg, solver, dist)
+				}
+				b.ReportMetric(st.Total, "vsec/total")
+				b.ReportMetric(st.Sort, "vsec/sort")
+				b.ReportMetric(st.Restore, "vsec/restore")
+			})
+		}
+	}
+}
+
+// BenchmarkFig7 runs the short MD loop of Figure 7 (random initial
+// distribution) for both methods and reports the steady-state per-step
+// virtual times.
+func BenchmarkFig7(b *testing.B) {
+	for _, solver := range paperbench.Solvers() {
+		for _, method := range []string{"A", "B"} {
+			b.Run(solver+"/method"+method, func(b *testing.B) {
+				cfg := benchConfig()
+				cfg.Steps = 4
+				var stats []paperbench.StepStat
+				for i := 0; i < b.N; i++ {
+					stats = paperbench.RunSimulation(cfg, solver, particle.DistRandom, method == "B", false)
+				}
+				last := stats[len(stats)-1]
+				b.ReportMetric(last.Total, "vsec/step-total")
+				b.ReportMetric(last.Sort, "vsec/step-sort")
+				b.ReportMetric(last.Restore+last.Resort, "vsec/step-redist2")
+			})
+		}
+	}
+}
+
+// BenchmarkFig8 runs the drift experiment of Figure 8 (process-grid initial
+// distribution, long simulation) at a reduced step count and reports the
+// late-step redistribution cost.
+func BenchmarkFig8(b *testing.B) {
+	for _, solver := range paperbench.Solvers() {
+		for _, method := range []string{"A", "B"} {
+			b.Run(solver+"/method"+method, func(b *testing.B) {
+				cfg := benchConfig()
+				cfg.Steps = 12
+				cfg.Thermal = 2.5
+				var stats []paperbench.StepStat
+				for i := 0; i < b.N; i++ {
+					stats = paperbench.RunSimulation(cfg, solver, particle.DistGrid, method == "B", false)
+				}
+				last := stats[len(stats)-1]
+				redist := last.Sort + last.Restore + last.Resort
+				b.ReportMetric(redist, "vsec/late-redist")
+				b.ReportMetric(last.Total, "vsec/late-total")
+				b.ReportMetric(100*redist/last.Total, "pct/redist-share")
+			})
+		}
+	}
+}
+
+// BenchmarkFig9FMM sweeps the Figure 9 (left) configurations: FMM on the
+// switched (JuRoPA-like) machine with methods A, B, and B plus the
+// maximum-movement optimization.
+func BenchmarkFig9FMM(b *testing.B) {
+	benchFig9(b, "fmm", paperbench.JuRoPA())
+}
+
+// BenchmarkFig9P2NFFT sweeps the Figure 9 (right) configurations: P2NFFT on
+// the torus (Juqueen-like) machine.
+func BenchmarkFig9P2NFFT(b *testing.B) {
+	benchFig9(b, "p2nfft", paperbench.Juqueen())
+}
+
+func benchFig9(b *testing.B, solver string, machine paperbench.Machine) {
+	for _, variant := range []struct {
+		name          string
+		resort, track bool
+	}{
+		{"methodA", false, false},
+		{"methodB", true, false},
+		{"methodB+move", true, true},
+	} {
+		b.Run(variant.name, func(b *testing.B) {
+			cfg := benchConfig()
+			cfg.Steps = 4
+			cfg.Thermal = 2.5
+			cfg.Machine = machine
+			var total float64
+			for i := 0; i < b.N; i++ {
+				stats := paperbench.RunSimulation(cfg, solver, particle.DistGrid, variant.resort, variant.track)
+				total = 0
+				for _, st := range stats {
+					total += st.Total
+				}
+			}
+			b.ReportMetric(total, "vsec/md-total")
+		})
+	}
+}

@@ -1,0 +1,124 @@
+// Command paperbench regenerates the evaluation figures of Hofmann &
+// Rünger, "Efficient Data Redistribution Methods for Coupled Parallel
+// Particle Codes" (ICPP 2013): Figures 6–9, printed as text tables of
+// deterministic virtual seconds.
+//
+// Examples:
+//
+//	paperbench -fig 6
+//	paperbench -fig 8 -steps 120 -thermal 2.5
+//	paperbench -fig 9l -ranks-list 2,4,8,16
+//	paperbench -fig all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/paperbench"
+)
+
+func main() {
+	var (
+		fig       = flag.String("fig", "all", "figure to regenerate: 6, 7, 8, 9l, 9r, or all")
+		particles = flag.Int("particles", 6000, "global particle count (rounded to an even lattice cube)")
+		ranks     = flag.Int("ranks", 8, "virtual MPI ranks")
+		steps     = flag.Int("steps", 0, "MD time steps (0 = figure-specific default)")
+		dt        = flag.Float64("dt", 0, "time step size (0 = figure-specific default)")
+		thermal   = flag.Float64("thermal", -1, "initial thermal velocity scale (-1 = figure-specific default)")
+		accuracy  = flag.Float64("accuracy", 1e-3, "requested solver accuracy")
+		seed      = flag.Int64("seed", 42, "particle system seed")
+		rankListF = flag.String("ranks-list", "2,4,8", "rank counts for figure 9 sweeps")
+	)
+	flag.Parse()
+
+	base := paperbench.DefaultConfig()
+	base.Particles = *particles
+	base.Ranks = *ranks
+	base.Accuracy = *accuracy
+	base.Seed = *seed
+
+	withDefaults := func(defSteps int, defDt, defThermal float64) paperbench.Config {
+		cfg := base
+		cfg.Steps = defSteps
+		cfg.Dt = defDt
+		cfg.Thermal = defThermal
+		if *steps > 0 {
+			cfg.Steps = *steps
+		}
+		if *dt > 0 {
+			cfg.Dt = *dt
+		}
+		if *thermal >= 0 {
+			cfg.Thermal = *thermal
+		}
+		return cfg
+	}
+
+	rankList, err := parseInts(*rankListF)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "paperbench: bad -ranks-list: %v\n", err)
+		os.Exit(2)
+	}
+
+	run := func(which string) {
+		switch which {
+		case "6":
+			cfg := withDefaults(0, 0.01, 0)
+			fmt.Print(paperbench.RenderFig6(paperbench.Fig6(cfg)))
+		case "7":
+			cfg := withDefaults(8, 0.01, 0)
+			fmt.Print(paperbench.RenderFig7(paperbench.Fig7(cfg)))
+		case "8":
+			cfg := withDefaults(60, 0.01, 2.5)
+			fmt.Print(paperbench.RenderFig8(paperbench.Fig8(cfg)))
+		case "9l":
+			cfg := withDefaults(25, 0.025, 2.5)
+			cfg.Machine = paperbench.JuRoPA()
+			pts := paperbench.Fig9(cfg, "fmm", rankList)
+			fmt.Print(paperbench.RenderFig9("fmm", cfg.Machine.Name, pts))
+		case "9r":
+			cfg := withDefaults(25, 0.025, 2.5)
+			cfg.Machine = paperbench.Juqueen()
+			pts := paperbench.Fig9(cfg, "p2nfft", rankList)
+			fmt.Print(paperbench.RenderFig9("p2nfft", cfg.Machine.Name, pts))
+		default:
+			fmt.Fprintf(os.Stderr, "paperbench: unknown figure %q\n", which)
+			os.Exit(2)
+		}
+		fmt.Println()
+	}
+
+	if *fig == "all" {
+		for _, f := range []string{"6", "7", "8", "9l", "9r"} {
+			run(f)
+		}
+		return
+	}
+	run(*fig)
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, err
+		}
+		if v < 1 {
+			return nil, fmt.Errorf("rank count %d < 1", v)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty list")
+	}
+	return out, nil
+}

@@ -1,0 +1,113 @@
+// coupling-methods: compares the paper's two particle data redistribution
+// methods head to head on the same workload. Method A restores the original
+// particle order and distribution after every solver run; method B keeps
+// the solver's changed order and resorts the application data instead
+// (paper §III). The per-step redistribution cost of method A stays high,
+// while method B collapses after the first step.
+//
+// Run with: go run ./examples/coupling-methods
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/api"
+	"repro/internal/core"
+	"repro/internal/mdsim"
+	"repro/internal/particle"
+	"repro/internal/vmpi"
+)
+
+// phases is the per-step redistribution breakdown of one run.
+type phases struct {
+	Sort, Second, Total []float64
+}
+
+func run(system *particle.System, solver string, resort bool) phases {
+	const ranks = 8
+	st := vmpi.Run(vmpi.Config{Ranks: ranks}, func(c *vmpi.Comm) {
+		local := particle.Distribute(c, system, particle.DistRandom, 7)
+		handle, err := core.Init(solver, c)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer handle.Destroy()
+		if err := handle.SetCommon(system.Box); err != nil {
+			log.Fatal(err)
+		}
+		handle.SetAccuracy(1e-3)
+		handle.SetResortEnabled(resort)
+		sim := mdsim.New(c, handle, local, 0.01)
+
+		var ph phases
+		snap := func() (s, r, t float64) {
+			second := c.PhaseTime(api.PhaseRestore)
+			if resort {
+				second = c.PhaseTime(api.PhaseResort) + c.PhaseTime(api.PhaseResortCreate)
+			}
+			return c.PhaseTime(api.PhaseSort), second,
+				c.PhaseTime(api.PhaseTotal) + c.PhaseTime(api.PhaseResort)
+		}
+		s0, r0, t0 := snap()
+		if err := sim.Init(); err != nil {
+			log.Fatal(err)
+		}
+		for i := 0; i < 6; i++ {
+			if err := sim.Step(); err != nil {
+				log.Fatal(err)
+			}
+			s1, r1, t1 := snap()
+			ph.Sort = append(ph.Sort, s1-s0)
+			ph.Second = append(ph.Second, r1-r0)
+			ph.Total = append(ph.Total, t1-t0)
+			s0, r0, t0 = s1, r1, t1
+		}
+		c.SetResult(ph)
+	})
+	// Reduce max over ranks.
+	var out phases
+	for _, v := range st.Values {
+		ph := v.(phases)
+		if out.Sort == nil {
+			out = phases{
+				Sort:   make([]float64, len(ph.Sort)),
+				Second: make([]float64, len(ph.Second)),
+				Total:  make([]float64, len(ph.Total)),
+			}
+		}
+		for i := range ph.Sort {
+			out.Sort[i] = max(out.Sort[i], ph.Sort[i])
+			out.Second[i] = max(out.Second[i], ph.Second[i])
+			out.Total[i] = max(out.Total[i], ph.Total[i])
+		}
+	}
+	return out
+}
+
+func main() {
+	system := particle.SilicaMelt(4096, 42.5, true, 42)
+	fmt.Printf("coupling-methods: %d ions, random initial distribution, 8 ranks\n\n", system.N)
+	for _, solver := range []string{"fmm", "p2nfft"} {
+		a := run(system, solver, false)
+		b := run(system, solver, true)
+		fmt.Printf("%s (virtual seconds per step):\n", solver)
+		fmt.Printf("%4s  %32s  %32s\n", "", "method A (restore)", "method B (resort)")
+		fmt.Printf("%4s  %10s %10s %10s  %10s %10s %10s\n",
+			"step", "sort", "restore", "total", "sort", "resort", "total")
+		for i := range a.Sort {
+			fmt.Printf("%4d  %10.3e %10.3e %10.3e  %10.3e %10.3e %10.3e\n",
+				i+1, a.Sort[i], a.Second[i], a.Total[i], b.Sort[i], b.Second[i], b.Total[i])
+		}
+		last := len(a.Total) - 1
+		fmt.Printf("steady state: method B total = %.0f%% of method A\n\n",
+			100*b.Total[last]/a.Total[last])
+	}
+}
+
+func max(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,73 @@
+// md-silica: a particle dynamics simulation of a melting silica-like ionic
+// system (the paper's §II-D example application), using redistribution
+// method B — the solver's changed particle order and distribution is kept
+// between time steps, and the velocities/accelerations are adapted with the
+// library resort functions.
+//
+// Run with: go run ./examples/md-silica
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/mdsim"
+	"repro/internal/particle"
+	"repro/internal/vmpi"
+)
+
+// sample is one energy measurement along the trajectory.
+type sample struct {
+	Step     int
+	Kin, Pot float64
+}
+
+func main() {
+	const (
+		ranks = 8
+		steps = 20
+		dt    = 0.01
+	)
+	system := particle.SilicaMelt(4096, 42.5, true, 42)
+	fmt.Printf("md-silica: %d ions, %d ranks, %d steps of dt=%g, method B\n",
+		system.N, ranks, steps, dt)
+
+	st := vmpi.Run(vmpi.Config{Ranks: ranks}, func(c *vmpi.Comm) {
+		local := particle.Distribute(c, system, particle.DistGrid, 7)
+		handle, err := core.Init("p2nfft", c)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer handle.Destroy()
+		if err := handle.SetCommon(system.Box); err != nil {
+			log.Fatal(err)
+		}
+		handle.SetAccuracy(1e-3)
+		handle.SetResortEnabled(true) // method B
+
+		sim := mdsim.New(c, handle, local, dt)
+		if err := sim.Init(); err != nil {
+			log.Fatal(err)
+		}
+		var series []sample
+		k, u := sim.Energies()
+		series = append(series, sample{0, k, u})
+		for i := 1; i <= steps; i++ {
+			if err := sim.Step(); err != nil {
+				log.Fatal(err)
+			}
+			if i%5 == 0 {
+				k, u := sim.Energies()
+				series = append(series, sample{i, k, u})
+			}
+		}
+		c.SetResult(series)
+	})
+
+	fmt.Printf("%6s %14s %14s %14s\n", "step", "kinetic", "potential", "total")
+	for _, s := range st.Values[0].([]sample) {
+		fmt.Printf("%6d %14.6f %14.6f %14.6f\n", s.Step, s.Kin, s.Pot, s.Kin+s.Pot)
+	}
+	fmt.Printf("virtual wall time: %.4g s\n", st.MaxClock())
+}

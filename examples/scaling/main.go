@@ -1,0 +1,79 @@
+// scaling: a strong-scaling sweep of the particle dynamics simulation over
+// rank counts, on both machine models — a miniature of the paper's Fig. 9 (random initial distribution, so method A
+// pays the full restore every step).
+// Method B with the maximum-movement optimization is compared against
+// method A at each scale.
+//
+// Run with: go run ./examples/scaling
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/mdsim"
+	"repro/internal/netmodel"
+	"repro/internal/particle"
+	"repro/internal/vmpi"
+)
+
+func main() {
+	const steps = 8
+	system := particle.SilicaMelt(4096, 42.5, true, 42)
+	particle.Thermalize(system, 2.0, 44)
+	fmt.Printf("scaling: %d ions, %d MD steps, solver p2nfft\n\n", system.N, steps)
+
+	machines := []struct {
+		name  string
+		model func(ranks int) netmodel.Model
+		scale float64
+	}{
+		{"switched (JuRoPA-like)", func(int) netmodel.Model { return netmodel.NewSwitched() }, 1.0},
+		{"torus (Juqueen-like)", func(r int) netmodel.Model { return netmodel.NewTorus(r) }, 2.5},
+	}
+	for _, m := range machines {
+		fmt.Printf("%s:\n%-8s %14s %14s %14s %10s\n", m.name,
+			"ranks", "method A", "method B+move", "B/A", "speedup(B)")
+		var base float64
+		for _, ranks := range []int{1, 2, 4, 8, 16} {
+			a := run(system, ranks, steps, false, false, m.model(ranks), m.scale)
+			b := run(system, ranks, steps, true, true, m.model(ranks), m.scale)
+			if ranks == 1 {
+				base = b
+			}
+			fmt.Printf("%-8d %14.4g %14.4g %13.0f%% %9.2fx\n",
+				ranks, a, b, 100*b/a, base/b)
+		}
+		fmt.Println()
+	}
+}
+
+// run executes the MD loop and returns the total virtual runtime.
+func run(system *particle.System, ranks, steps int, resort, track bool,
+	model netmodel.Model, scale float64) float64 {
+	st := vmpi.Run(vmpi.Config{Ranks: ranks, Model: model, ComputeScale: scale}, func(c *vmpi.Comm) {
+		local := particle.Distribute(c, system, particle.DistRandom, 7)
+		handle, err := core.Init("p2nfft", c)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer handle.Destroy()
+		if err := handle.SetCommon(system.Box); err != nil {
+			log.Fatal(err)
+		}
+		handle.SetAccuracy(1e-3)
+		handle.SetResortEnabled(resort)
+		sim := mdsim.New(c, handle, local, 0.01)
+		sim.TrackMovement = track
+		if err := sim.Init(); err != nil {
+			log.Fatal(err)
+		}
+		for i := 0; i < steps; i++ {
+			if err := sim.Step(); err != nil {
+				log.Fatal(err)
+			}
+		}
+	})
+	return st.MaxClock()
+}

@@ -1,0 +1,94 @@
+// Package api defines the types shared between the coupling library
+// (internal/core) and the solver implementations (internal/fmm,
+// internal/pnfft): the per-run particle input/output contract, including
+// the method B resort machinery of the paper (§III-B).
+package api
+
+import (
+	"repro/internal/particle"
+	"repro/internal/redist"
+	"repro/internal/vmpi"
+)
+
+// Input is one process's particle data for a solver run, mirroring the
+// fcs_run argument list: local positions and charges, the local particle
+// count, and the maximum number of particles the local arrays can store.
+type Input struct {
+	// N is the number of local particles; Cap the local array capacity.
+	N, Cap int
+	// Pos (length 3N) and Q (length N) are the particle positions and
+	// charges. Solvers must not retain the slices beyond the call.
+	Pos, Q []float64
+	// MaxMove is the maximum displacement of any particle since the
+	// previous Run, if the application knows it (paper §III-B); a negative
+	// value means unknown. Collective: every rank passes its local maximum,
+	// solvers reduce it globally.
+	MaxMove float64
+	// Resort selects method B: the solver returns its changed particle
+	// order and distribution together with resort indices, instead of
+	// restoring the original order (method A).
+	Resort bool
+}
+
+// Output is the result of a solver run.
+type Output struct {
+	// N is the local particle count of the returned data: equal to the
+	// input count unless Resorted.
+	N int
+	// Pos and Q echo the particle data. For method A they are the original
+	// input; for method B they are in the solver's changed order and
+	// distribution.
+	Pos, Q []float64
+	// Pot (length N) and Field (length 3N) are the calculated potentials
+	// and field values, ordered consistently with Pos/Q.
+	Pot, Field []float64
+	// Resorted reports whether the changed order was returned. It is false
+	// when method A was used, and also when method B was requested but some
+	// process's arrays were too small, in which case the original order
+	// was restored (the library-interface contract of §III-B).
+	Resorted bool
+	// Indices are the resort indices for the original local particles:
+	// Indices[i] gives the rank and position where original particle i now
+	// lives. Only set when Resorted.
+	Indices []redist.Index
+}
+
+// Solver is a long-range interaction solver bound to a communicator and a
+// particle system box.
+type Solver interface {
+	// Name identifies the solver method ("fmm", "p2nfft").
+	Name() string
+	// Tune performs the optional tuning step with a representative particle
+	// configuration (fcs_tune).
+	Tune(in Input) error
+	// Run computes potentials and fields (fcs_run).
+	Run(in Input) (Output, error)
+}
+
+// Factory builds a solver instance for a communicator, box, and requested
+// relative accuracy.
+type Factory func(c *vmpi.Comm, box particle.Box, accuracy float64) Solver
+
+// Phase timer names used by the solvers (vmpi.Comm.Phase), so that the
+// benchmark harness can report the same breakdown as the paper's figures.
+const (
+	// PhaseSort is the particle sorting/redistribution into the solver's
+	// domain decomposition.
+	PhaseSort = "sort"
+	// PhaseRestore is method A's restoring of the original particle order
+	// and distribution.
+	PhaseRestore = "restore"
+	// PhaseResortCreate is method B's creation of resort indices inside
+	// the solver.
+	PhaseResortCreate = "resort-create"
+	// PhaseResort is the application-side resorting of additional particle
+	// data (velocities, accelerations) via the core resort functions.
+	PhaseResort = "resort"
+	// PhaseNear and PhaseFar are the solver compute phases.
+	PhaseNear = "near"
+	// PhaseFar is the far-field (multipole / Fourier) compute phase,
+	// including its communication.
+	PhaseFar = "far"
+	// PhaseTotal is the whole solver run including data handling.
+	PhaseTotal = "total"
+)

@@ -1,0 +1,243 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/particle"
+	"repro/internal/refsolve"
+	"repro/internal/vmpi"
+)
+
+func TestMethods(t *testing.T) {
+	m := Methods()
+	if len(m) != 2 || m[0] != "fmm" || m[1] != "p2nfft" {
+		t.Errorf("Methods = %v", m)
+	}
+}
+
+func TestInitUnknownMethod(t *testing.T) {
+	vmpi.Run(vmpi.Config{Ranks: 1}, func(c *vmpi.Comm) {
+		if _, err := Init("p3m", c); err == nil {
+			t.Error("unknown method should fail")
+		}
+	})
+}
+
+func TestRunRequiresSetCommon(t *testing.T) {
+	vmpi.Run(vmpi.Config{Ranks: 1}, func(c *vmpi.Comm) {
+		h, err := Init("fmm", c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 0
+		if err := h.Run(&n, 0, nil, nil, nil, nil); err == nil {
+			t.Error("Run before SetCommon should fail")
+		}
+	})
+}
+
+func TestSetCommonRejectsSkewedBox(t *testing.T) {
+	vmpi.Run(vmpi.Config{Ranks: 1}, func(c *vmpi.Comm) {
+		h, _ := Init("fmm", c)
+		box := particle.NewCubicBox(10, true)
+		box.Base[0][1] = 1 // shear
+		if err := h.SetCommon(box); err == nil {
+			t.Error("non-orthorhombic box should be rejected")
+		}
+	})
+}
+
+// runFCS runs a full Init/SetCommon/Tune/Run cycle for a solver method.
+func runFCS(t *testing.T, method string, ranks int, s *particle.System,
+	resort bool) []map[string]any {
+	t.Helper()
+	st := vmpi.Run(vmpi.Config{Ranks: ranks}, func(c *vmpi.Comm) {
+		l := particle.Distribute(c, s, particle.DistRandom, 7)
+		h, err := Init(method, c)
+		if err != nil {
+			t.Errorf("init: %v", err)
+			return
+		}
+		defer h.Destroy()
+		if err := h.SetCommon(s.Box); err != nil {
+			t.Errorf("set common: %v", err)
+			return
+		}
+		h.SetAccuracy(1e-3)
+		h.SetResortEnabled(resort)
+		if err := h.Tune(l.N, l.ActivePos(), l.ActiveQ()); err != nil {
+			t.Errorf("tune: %v", err)
+			return
+		}
+		n := l.N
+		if err := h.Run(&n, l.Cap, l.Pos, l.Q, l.Pot, l.Field); err != nil {
+			t.Errorf("run: %v", err)
+			return
+		}
+		c.SetResult(map[string]any{
+			"n":        n,
+			"resorted": h.ResortAvailable(),
+			"pos":      append([]float64(nil), l.Pos[:3*n]...),
+			"q":        append([]float64(nil), l.Q[:n]...),
+			"pot":      append([]float64(nil), l.Pot[:n]...),
+		})
+	})
+	out := make([]map[string]any, ranks)
+	for r, v := range st.Values {
+		out[r] = v.(map[string]any)
+	}
+	return out
+}
+
+func TestFullCycleBothSolvers(t *testing.T) {
+	s := particle.SilicaMelt(400, 10, true, 3)
+	// Reference energy via Ewald.
+	e := refsolve.NewEwald(s.Box, 1e-6)
+	wantPot := make([]float64, s.N)
+	wantField := make([]float64, 3*s.N)
+	e.Compute(s.Pos, s.Q, wantPot, wantField)
+	wantU := refsolve.Energy(s.Q, wantPot)
+
+	for _, method := range Methods() {
+		for _, resort := range []bool{false, true} {
+			outs := runFCS(t, method, 4, s, resort)
+			u := 0.0
+			total := 0
+			for _, o := range outs {
+				n := o["n"].(int)
+				total += n
+				q := o["q"].([]float64)
+				pot := o["pot"].([]float64)
+				for i := 0; i < n; i++ {
+					u += 0.5 * q[i] * pot[i]
+				}
+				if resort != o["resorted"].(bool) {
+					t.Errorf("%s resort=%v: ResortAvailable = %v", method, resort, o["resorted"])
+				}
+			}
+			if total != s.N {
+				t.Errorf("%s resort=%v: total particles %d, want %d", method, resort, total, s.N)
+			}
+			tol := 1e-3
+			if method == "fmm" {
+				tol = 5e-2 // minimum-image periodic approximation
+			}
+			if math.Abs(u-wantU) > tol*math.Abs(wantU) {
+				t.Errorf("%s resort=%v: energy %g, want %g", method, resort, u, wantU)
+			}
+		}
+	}
+}
+
+func TestResortWithoutAvailabilityFails(t *testing.T) {
+	s := particle.SilicaMelt(100, 8, true, 5)
+	vmpi.Run(vmpi.Config{Ranks: 2}, func(c *vmpi.Comm) {
+		l := particle.Distribute(c, s, particle.DistRandom, 7)
+		h, _ := Init("p2nfft", c)
+		defer h.Destroy()
+		if err := h.SetCommon(s.Box); err != nil {
+			t.Errorf("set common: %v", err)
+		}
+		h.SetResortEnabled(false) // method A
+		if err := h.Tune(l.N, l.ActivePos(), l.ActiveQ()); err != nil {
+			t.Errorf("tune: %v", err)
+		}
+		n := l.N
+		if err := h.Run(&n, l.Cap, l.Pos, l.Q, l.Pot, l.Field); err != nil {
+			t.Errorf("run: %v", err)
+		}
+		if _, err := h.ResortFloats(make([]float64, 3*n), 3); err == nil {
+			t.Error("ResortFloats must fail under method A")
+		}
+	})
+}
+
+func TestAccuracyKnobChangesTuning(t *testing.T) {
+	s := particle.SilicaMelt(200, 8, true, 9)
+	vmpi.Run(vmpi.Config{Ranks: 1}, func(c *vmpi.Comm) {
+		l := particle.Distribute(c, s, particle.DistSingle, 0)
+		run := func(eps float64) float64 {
+			h, _ := Init("p2nfft", c)
+			defer h.Destroy()
+			if err := h.SetCommon(s.Box); err != nil {
+				t.Fatalf("set common: %v", err)
+			}
+			h.SetAccuracy(eps)
+			if err := h.Tune(l.N, l.ActivePos(), l.ActiveQ()); err != nil {
+				t.Fatalf("tune: %v", err)
+			}
+			n := l.N
+			if err := h.Run(&n, l.Cap, l.Pos, l.Q, l.Pot, l.Field); err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			u := 0.0
+			for i := 0; i < n; i++ {
+				u += 0.5 * l.Q[i] * l.Pot[i]
+			}
+			return u
+		}
+		loose := run(1e-2)
+		tight := run(1e-5)
+		e := refsolve.NewEwald(s.Box, 1e-8)
+		pot := make([]float64, s.N)
+		field := make([]float64, 3*s.N)
+		e.Compute(s.Pos, s.Q, pot, field)
+		want := refsolve.Energy(s.Q, pot)
+		if math.Abs(tight-want) > math.Abs(loose-want)+1e-9 {
+			t.Errorf("tighter accuracy should not be worse: loose err %g, tight err %g",
+				math.Abs(loose-want), math.Abs(tight-want))
+		}
+	})
+}
+
+func TestSolverOnSubCommunicator(t *testing.T) {
+	// fcs_init takes an MPI communicator "to specify the group of parallel
+	// processes that execute the solver" (§II-A): run the solver on half
+	// the ranks of a larger machine while the rest do unrelated work.
+	s := particle.SilicaMelt(216, 16, true, 21)
+	e := refsolve.NewEwald(s.Box, 1e-6)
+	wantPot := make([]float64, s.N)
+	wantField := make([]float64, 3*s.N)
+	e.Compute(s.Pos, s.Q, wantPot, wantField)
+	wantU := refsolve.Energy(s.Q, wantPot)
+
+	st := vmpi.Run(vmpi.Config{Ranks: 8}, func(c *vmpi.Comm) {
+		sub := c.Split(c.Rank()%2, c.Rank())
+		if c.Rank()%2 == 1 {
+			// The other half does unrelated communication on the parent.
+			vmpi.AllreduceVal(sub, c.Rank(), vmpi.Sum[int])
+			c.SetResult(0.0)
+			return
+		}
+		l := particle.Distribute(sub, s, particle.DistRandom, 3)
+		h, err := Init("p2nfft", sub)
+		if err != nil {
+			t.Errorf("init: %v", err)
+			return
+		}
+		defer h.Destroy()
+		if err := h.SetCommon(s.Box); err != nil {
+			t.Errorf("set common: %v", err)
+			return
+		}
+		if err := h.Tune(l.N, l.ActivePos(), l.ActiveQ()); err != nil {
+			t.Errorf("tune: %v", err)
+			return
+		}
+		n := l.N
+		if err := h.Run(&n, l.Cap, l.Pos, l.Q, l.Pot, l.Field); err != nil {
+			t.Errorf("run: %v", err)
+			return
+		}
+		u := 0.0
+		for i := 0; i < n; i++ {
+			u += 0.5 * l.Q[i] * l.Pot[i]
+		}
+		c.SetResult(vmpi.AllreduceVal(sub, u, vmpi.Sum[float64]))
+	})
+	u := st.Values[0].(float64)
+	if math.Abs(u-wantU) > 2e-3*math.Abs(wantU) {
+		t.Errorf("sub-communicator energy %g, want %g", u, wantU)
+	}
+}

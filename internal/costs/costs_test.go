@@ -1,0 +1,79 @@
+package costs
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSortTimeMonotone(t *testing.T) {
+	prev := 0.0
+	for _, n := range []int{0, 1, 2, 10, 100, 10000, 1000000} {
+		v := SortTime(n)
+		if v < prev {
+			t.Errorf("SortTime(%d) = %g < previous %g", n, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestAdaptiveSortTimeRegimes(t *testing.T) {
+	const n = 10000
+	sorted := AdaptiveSortTime(n, 0)
+	nearly := AdaptiveSortTime(n, 5)
+	random := AdaptiveSortTime(n, n/2)
+	if !(sorted < nearly && nearly < random) {
+		t.Errorf("adaptive regimes out of order: %g, %g, %g", sorted, nearly, random)
+	}
+	// Sorted input costs only the sortedness scan.
+	if sorted > float64(n)*Compare*1.01 {
+		t.Errorf("sorted input cost %g exceeds a scan", sorted)
+	}
+	// Fully random input costs at least the classic n log n.
+	if random < SortTime(n)*0.5 {
+		t.Errorf("random input cost %g far below SortTime %g", random, SortTime(n))
+	}
+}
+
+func TestAdaptiveSortTimeNonNegative(t *testing.T) {
+	f := func(nRaw, bRaw uint16) bool {
+		n := int(nRaw)
+		b := int(bRaw) % (n + 1)
+		return AdaptiveSortTime(n, b) >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMergeTime(t *testing.T) {
+	if MergeTime(0, 4) != 0 {
+		t.Error("empty merge should be free")
+	}
+	if MergeTime(1000, 8) <= MergeTime(1000, 2) {
+		t.Error("more runs should cost more")
+	}
+	if MergeTime(1000, 1) <= 0 {
+		t.Error("single-run merge still moves data")
+	}
+}
+
+func TestFFTTime(t *testing.T) {
+	if FFTTime(1) != 0 || FFTTime(0) != 0 {
+		t.Error("trivial FFTs are free")
+	}
+	// Superlinear growth.
+	if FFTTime(2048) <= 2*FFTTime(1024) {
+		t.Errorf("FFTTime not n log n: %g vs %g", FFTTime(2048), FFTTime(1024))
+	}
+}
+
+func TestRelativeMagnitudes(t *testing.T) {
+	// Sanity ordering of the calibration: a redistribution element costs
+	// far more than a memory move; a pair interaction more than a compare.
+	if RedistElem <= 10*Move {
+		t.Error("RedistElem should dominate Move (the cross-rank software path)")
+	}
+	if Pair <= Compare {
+		t.Error("a pair interaction costs more than a comparison")
+	}
+}

@@ -1,0 +1,102 @@
+// Package fft implements the complex fast Fourier transforms used by the
+// P2NFFT solver's Fourier-space far field: an iterative radix-2 transform,
+// serial 3D transforms, and a distributed slab-decomposed 3D transform with
+// an all-to-all transpose (slab.go).
+package fft
+
+import (
+	"math"
+	"math/bits"
+)
+
+// Transform performs an in-place complex FFT of a, whose length must be a
+// power of two. The forward transform (inverse == false) computes
+// X_k = Σ_j x_j e^{−2πi jk/n}; the inverse includes the 1/n normalization,
+// so Transform(Transform(x, false), true) == x up to rounding.
+func Transform(a []complex128, inverse bool) {
+	n := len(a)
+	if n == 0 {
+		return
+	}
+	if n&(n-1) != 0 {
+		panic("fft: length must be a power of two")
+	}
+	// Bit-reversal permutation.
+	shift := 64 - uint(bits.Len(uint(n-1)))
+	for i := 0; i < n; i++ {
+		j := int(bits.Reverse64(uint64(i)) >> shift)
+		if i < j {
+			a[i], a[j] = a[j], a[i]
+		}
+	}
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	for size := 2; size <= n; size <<= 1 {
+		ang := sign * 2 * math.Pi / float64(size)
+		wstep := complex(math.Cos(ang), math.Sin(ang))
+		for start := 0; start < n; start += size {
+			w := complex(1, 0)
+			half := size / 2
+			for k := 0; k < half; k++ {
+				u := a[start+k]
+				v := a[start+k+half] * w
+				a[start+k] = u + v
+				a[start+k+half] = u - v
+				w *= wstep
+			}
+		}
+	}
+	if inverse {
+		inv := complex(1/float64(n), 0)
+		for i := range a {
+			a[i] *= inv
+		}
+	}
+}
+
+// Transform3D performs an in-place 3D FFT on a flat row-major array with
+// index (x*ny + y)*nz + z. All dimensions must be powers of two.
+func Transform3D(a []complex128, nx, ny, nz int, inverse bool) {
+	if len(a) != nx*ny*nz {
+		panic("fft: array length does not match dimensions")
+	}
+	// Along z: contiguous rows.
+	for xy := 0; xy < nx*ny; xy++ {
+		Transform(a[xy*nz:(xy+1)*nz], inverse)
+	}
+	// Along y and x: strided columns via scratch.
+	scratch := make([]complex128, max(nx, ny))
+	for x := 0; x < nx; x++ {
+		for z := 0; z < nz; z++ {
+			col := scratch[:ny]
+			for y := 0; y < ny; y++ {
+				col[y] = a[(x*ny+y)*nz+z]
+			}
+			Transform(col, inverse)
+			for y := 0; y < ny; y++ {
+				a[(x*ny+y)*nz+z] = col[y]
+			}
+		}
+	}
+	for y := 0; y < ny; y++ {
+		for z := 0; z < nz; z++ {
+			col := scratch[:nx]
+			for x := 0; x < nx; x++ {
+				col[x] = a[(x*ny+y)*nz+z]
+			}
+			Transform(col, inverse)
+			for x := 0; x < nx; x++ {
+				a[(x*ny+y)*nz+z] = col[x]
+			}
+		}
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

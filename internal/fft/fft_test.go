@@ -1,0 +1,248 @@
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/vmpi"
+)
+
+func TestTransformKnownValues(t *testing.T) {
+	// DFT of [1, 0, 0, 0] is all ones.
+	a := []complex128{1, 0, 0, 0}
+	Transform(a, false)
+	for i, v := range a {
+		if cmplx.Abs(v-1) > 1e-12 {
+			t.Errorf("a[%d] = %v, want 1", i, v)
+		}
+	}
+	// DFT of constant is a delta at k=0.
+	b := []complex128{2, 2, 2, 2}
+	Transform(b, false)
+	if cmplx.Abs(b[0]-8) > 1e-12 {
+		t.Errorf("b[0] = %v, want 8", b[0])
+	}
+	for i := 1; i < 4; i++ {
+		if cmplx.Abs(b[i]) > 1e-12 {
+			t.Errorf("b[%d] = %v, want 0", i, b[i])
+		}
+	}
+}
+
+func TestTransformSingleFrequency(t *testing.T) {
+	const n = 16
+	a := make([]complex128, n)
+	for j := range a {
+		ph := 2 * math.Pi * 3 * float64(j) / n
+		a[j] = complex(math.Cos(ph), math.Sin(ph)) // e^{+2πi·3j/n}
+	}
+	Transform(a, false)
+	for k := range a {
+		want := complex(0, 0)
+		if k == 3 {
+			want = complex(n, 0)
+		}
+		if cmplx.Abs(a[k]-want) > 1e-10 {
+			t.Errorf("a[%d] = %v, want %v", k, a[k], want)
+		}
+	}
+}
+
+func TestTransformRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 << (1 + rng.Intn(8))
+		a := make([]complex128, n)
+		orig := make([]complex128, n)
+		for i := range a {
+			a[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+			orig[i] = a[i]
+		}
+		Transform(a, false)
+		Transform(a, true)
+		for i := range a {
+			if cmplx.Abs(a[i]-orig[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTransformParseval(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const n = 64
+	a := make([]complex128, n)
+	var sumTime float64
+	for i := range a {
+		a[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		sumTime += real(a[i])*real(a[i]) + imag(a[i])*imag(a[i])
+	}
+	Transform(a, false)
+	var sumFreq float64
+	for _, v := range a {
+		sumFreq += real(v)*real(v) + imag(v)*imag(v)
+	}
+	if math.Abs(sumFreq/float64(n)-sumTime) > 1e-9*sumTime {
+		t.Errorf("Parseval: %g vs %g", sumFreq/float64(n), sumTime)
+	}
+}
+
+func TestTransformPanicsNonPow2(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	Transform(make([]complex128, 6), false)
+}
+
+func TestTransform3DRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	const nx, ny, nz = 4, 8, 2
+	a := make([]complex128, nx*ny*nz)
+	orig := make([]complex128, len(a))
+	for i := range a {
+		a[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		orig[i] = a[i]
+	}
+	Transform3D(a, nx, ny, nz, false)
+	Transform3D(a, nx, ny, nz, true)
+	for i := range a {
+		if cmplx.Abs(a[i]-orig[i]) > 1e-9 {
+			t.Fatalf("round trip failed at %d", i)
+		}
+	}
+}
+
+func TestTransform3DSeparability(t *testing.T) {
+	// A plane wave transforms to a single spectral peak.
+	const nx, ny, nz = 8, 8, 8
+	a := make([]complex128, nx*ny*nz)
+	kx, ky, kz := 2, 5, 1
+	for x := 0; x < nx; x++ {
+		for y := 0; y < ny; y++ {
+			for z := 0; z < nz; z++ {
+				ph := 2 * math.Pi * (float64(kx*x)/nx + float64(ky*y)/ny + float64(kz*z)/nz)
+				a[(x*ny+y)*nz+z] = complex(math.Cos(ph), math.Sin(ph))
+			}
+		}
+	}
+	Transform3D(a, nx, ny, nz, false)
+	for x := 0; x < nx; x++ {
+		for y := 0; y < ny; y++ {
+			for z := 0; z < nz; z++ {
+				v := a[(x*ny+y)*nz+z]
+				want := complex(0, 0)
+				if x == kx && y == ky && z == kz {
+					want = complex(nx*ny*nz, 0)
+				}
+				if cmplx.Abs(v-want) > 1e-8 {
+					t.Fatalf("spectrum[%d,%d,%d] = %v, want %v", x, y, z, v, want)
+				}
+			}
+		}
+	}
+}
+
+func TestSlabMatchesSerial(t *testing.T) {
+	const nx, ny, nz = 8, 8, 4
+	rng := rand.New(rand.NewSource(11))
+	full := make([]complex128, nx*ny*nz)
+	for i := range full {
+		full[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	want := make([]complex128, len(full))
+	copy(want, full)
+	Transform3D(want, nx, ny, nz, false)
+
+	for _, p := range []int{1, 2, 4, 8} {
+		st := vmpi.Run(vmpi.Config{Ranks: p}, func(c *vmpi.Comm) {
+			s := NewSlab(c, nx, ny, nz)
+			xLo, xHi := s.XRange(c.Rank())
+			local := make([]complex128, (xHi-xLo)*ny*nz)
+			copy(local, full[xLo*ny*nz:xHi*ny*nz])
+			spec := s.Forward(local)
+			c.SetResult(spec)
+		})
+		// Reassemble the y-slab spectrum.
+		got := make([]complex128, nx*ny*nz)
+		for r := 0; r < p; r++ {
+			spec := st.Values[r].([]complex128)
+			yLo, yHi := (&Slab{Nx: nx, Ny: ny, Nz: nz, c: nil}).yRangeFor(r, p)
+			i := 0
+			for y := yLo; y < yHi; y++ {
+				for x := 0; x < nx; x++ {
+					copy(got[(x*ny+y)*nz:(x*ny+y+1)*nz], spec[i:i+nz])
+					i += nz
+				}
+			}
+		}
+		for i := range got {
+			if cmplx.Abs(got[i]-want[i]) > 1e-9 {
+				t.Fatalf("p=%d: spectrum[%d] = %v, want %v", p, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// yRangeFor computes YRange without a communicator (test helper).
+func (s *Slab) yRangeFor(r, p int) (int, int) {
+	return r * s.Ny / p, (r + 1) * s.Ny / p
+}
+
+func TestSlabRoundTripParallel(t *testing.T) {
+	const nx, ny, nz = 8, 4, 4
+	rng := rand.New(rand.NewSource(13))
+	full := make([]complex128, nx*ny*nz)
+	for i := range full {
+		full[i] = complex(rng.NormFloat64(), 0)
+	}
+	const p = 4
+	st := vmpi.Run(vmpi.Config{Ranks: p}, func(c *vmpi.Comm) {
+		s := NewSlab(c, nx, ny, nz)
+		xLo, xHi := s.XRange(c.Rank())
+		local := make([]complex128, (xHi-xLo)*ny*nz)
+		copy(local, full[xLo*ny*nz:xHi*ny*nz])
+		spec := s.Forward(local)
+		back := s.Inverse(spec)
+		c.SetResult(back)
+	})
+	for r := 0; r < p; r++ {
+		back := st.Values[r].([]complex128)
+		xLo := r * nx / p
+		for i, v := range back {
+			if cmplx.Abs(v-full[xLo*ny*nz+i]) > 1e-9 {
+				t.Fatalf("rank %d: round trip mismatch at %d", r, i)
+			}
+		}
+	}
+}
+
+func BenchmarkTransform1024(b *testing.B) {
+	a := make([]complex128, 1024)
+	for i := range a {
+		a[i] = complex(float64(i%17), float64(i%5))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Transform(a, false)
+	}
+}
+
+func BenchmarkTransform3D32(b *testing.B) {
+	a := make([]complex128, 32*32*32)
+	for i := range a {
+		a[i] = complex(float64(i%17), 0)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Transform3D(a, 32, 32, 32, false)
+	}
+}

@@ -1,0 +1,204 @@
+package fft
+
+import (
+	"fmt"
+
+	"repro/internal/costs"
+	"repro/internal/vmpi"
+)
+
+// Slab is a distributed-memory 3D FFT with 1D (slab) decomposition: in real
+// space every rank owns a contiguous block of x-planes; after the forward
+// transform every rank owns a block of y-planes of the spectrum. The
+// transpose between the two layouts is a collective all-to-all — the
+// communication pattern that dominates parallel FFTs.
+type Slab struct {
+	c          *vmpi.Comm
+	Nx, Ny, Nz int
+}
+
+// NewSlab creates a slab FFT plan over the communicator. Dimensions must be
+// powers of two.
+func NewSlab(c *vmpi.Comm, nx, ny, nz int) *Slab {
+	for _, n := range []int{nx, ny, nz} {
+		if n < 1 || n&(n-1) != 0 {
+			panic(fmt.Sprintf("fft: slab dimension %d not a power of two", n))
+		}
+	}
+	return &Slab{c: c, Nx: nx, Ny: ny, Nz: nz}
+}
+
+// XRange returns the x-plane block [lo, hi) owned by rank r in real space.
+func (s *Slab) XRange(r int) (lo, hi int) {
+	p := s.c.Size()
+	return r * s.Nx / p, (r + 1) * s.Nx / p
+}
+
+// YRange returns the y-plane block [lo, hi) owned by rank r in the
+// transposed (spectral) layout.
+func (s *Slab) YRange(r int) (lo, hi int) {
+	p := s.c.Size()
+	return r * s.Ny / p, (r + 1) * s.Ny / p
+}
+
+// LocalXSize returns the number of x-planes owned by the calling rank.
+func (s *Slab) LocalXSize() int {
+	lo, hi := s.XRange(s.c.Rank())
+	return hi - lo
+}
+
+// LocalYSize returns the number of y-planes owned by the calling rank in
+// the transposed layout.
+func (s *Slab) LocalYSize() int {
+	lo, hi := s.YRange(s.c.Rank())
+	return hi - lo
+}
+
+// Forward transforms a real-space x-slab a (flat [lx][Ny][Nz], row-major)
+// into the fully transformed spectrum in y-slab layout (flat [ly][Nx][Nz]).
+// Every rank must call it collectively.
+func (s *Slab) Forward(a []complex128) []complex128 {
+	lx := s.LocalXSize()
+	if len(a) != lx*s.Ny*s.Nz {
+		panic("fft: slab input size mismatch")
+	}
+	// FFT over (y, z) within each owned x-plane.
+	for x := 0; x < lx; x++ {
+		Transform3D(a[x*s.Ny*s.Nz:(x+1)*s.Ny*s.Nz], 1, s.Ny, s.Nz, false)
+	}
+	s.c.Compute(float64(lx) * (float64(s.Ny)*costs.FFTTime(s.Nz) + float64(s.Nz)*costs.FFTTime(s.Ny)))
+
+	b := s.transposeXtoY(a)
+
+	// FFT along x for every (y, z) of the owned y-slab.
+	ly := s.LocalYSize()
+	col := make([]complex128, s.Nx)
+	for y := 0; y < ly; y++ {
+		for z := 0; z < s.Nz; z++ {
+			for x := 0; x < s.Nx; x++ {
+				col[x] = b[(y*s.Nx+x)*s.Nz+z]
+			}
+			Transform(col, false)
+			for x := 0; x < s.Nx; x++ {
+				b[(y*s.Nx+x)*s.Nz+z] = col[x]
+			}
+		}
+	}
+	s.c.Compute(float64(ly) * float64(s.Nz) * costs.FFTTime(s.Nx))
+	return b
+}
+
+// Inverse transforms a spectrum in y-slab layout back to real space in
+// x-slab layout, including normalization.
+func (s *Slab) Inverse(b []complex128) []complex128 {
+	ly := s.LocalYSize()
+	if len(b) != ly*s.Nx*s.Nz {
+		panic("fft: slab spectrum size mismatch")
+	}
+	work := make([]complex128, len(b))
+	copy(work, b)
+	col := make([]complex128, s.Nx)
+	for y := 0; y < ly; y++ {
+		for z := 0; z < s.Nz; z++ {
+			for x := 0; x < s.Nx; x++ {
+				col[x] = work[(y*s.Nx+x)*s.Nz+z]
+			}
+			Transform(col, true)
+			for x := 0; x < s.Nx; x++ {
+				work[(y*s.Nx+x)*s.Nz+z] = col[x]
+			}
+		}
+	}
+	s.c.Compute(float64(ly) * float64(s.Nz) * costs.FFTTime(s.Nx))
+
+	a := s.transposeYtoX(work)
+
+	lx := s.LocalXSize()
+	for x := 0; x < lx; x++ {
+		Transform3D(a[x*s.Ny*s.Nz:(x+1)*s.Ny*s.Nz], 1, s.Ny, s.Nz, true)
+	}
+	s.c.Compute(float64(lx) * (float64(s.Ny)*costs.FFTTime(s.Nz) + float64(s.Nz)*costs.FFTTime(s.Ny)))
+	return a
+}
+
+// transposeXtoY redistributes from x-slabs [lx][Ny][Nz] to y-slabs
+// [ly][Nx][Nz] with one all-to-all.
+func (s *Slab) transposeXtoY(a []complex128) []complex128 {
+	c := s.c
+	p := c.Size()
+	myXLo, myXHi := s.XRange(c.Rank())
+	parts := make([][]complex128, p)
+	for r := 0; r < p; r++ {
+		yLo, yHi := s.YRange(r)
+		part := make([]complex128, 0, (myXHi-myXLo)*(yHi-yLo)*s.Nz)
+		for x := 0; x < myXHi-myXLo; x++ {
+			for y := yLo; y < yHi; y++ {
+				row := a[(x*s.Ny+y)*s.Nz : (x*s.Ny+y+1)*s.Nz]
+				part = append(part, row...)
+			}
+		}
+		parts[r] = part
+	}
+	recv := vmpi.Alltoall(c, parts)
+	myYLo, myYHi := s.YRange(c.Rank())
+	ly := myYHi - myYLo
+	b := make([]complex128, ly*s.Nx*s.Nz)
+	for r := 0; r < p; r++ {
+		xLo, xHi := s.XRange(r)
+		blk := recv[r]
+		want := (xHi - xLo) * ly * s.Nz
+		if len(blk) != want {
+			panic("fft: transpose block size mismatch")
+		}
+		i := 0
+		for x := xLo; x < xHi; x++ {
+			for y := 0; y < ly; y++ {
+				copy(b[(y*s.Nx+x)*s.Nz:(y*s.Nx+x+1)*s.Nz], blk[i:i+s.Nz])
+				i += s.Nz
+			}
+		}
+	}
+	c.Compute(costs.Move * float64(len(b)) * 2)
+	return b
+}
+
+// transposeYtoX is the inverse redistribution.
+func (s *Slab) transposeYtoX(b []complex128) []complex128 {
+	c := s.c
+	p := c.Size()
+	myYLo, myYHi := s.YRange(c.Rank())
+	ly := myYHi - myYLo
+	parts := make([][]complex128, p)
+	for r := 0; r < p; r++ {
+		xLo, xHi := s.XRange(r)
+		part := make([]complex128, 0, (xHi-xLo)*ly*s.Nz)
+		for x := xLo; x < xHi; x++ {
+			for y := 0; y < ly; y++ {
+				row := b[(y*s.Nx+x)*s.Nz : (y*s.Nx+x+1)*s.Nz]
+				part = append(part, row...)
+			}
+		}
+		parts[r] = part
+	}
+	recv := vmpi.Alltoall(c, parts)
+	myXLo, myXHi := s.XRange(c.Rank())
+	lx := myXHi - myXLo
+	a := make([]complex128, lx*s.Ny*s.Nz)
+	for r := 0; r < p; r++ {
+		yLo, yHi := s.YRange(r)
+		blk := recv[r]
+		want := lx * (yHi - yLo) * s.Nz
+		if len(blk) != want {
+			panic("fft: transpose block size mismatch")
+		}
+		i := 0
+		for x := 0; x < lx; x++ {
+			for y := yLo; y < yHi; y++ {
+				copy(a[(x*s.Ny+y)*s.Nz:(x*s.Ny+y+1)*s.Nz], blk[i:i+s.Nz])
+				i += s.Nz
+			}
+		}
+	}
+	c.Compute(costs.Move * float64(len(a)) * 2)
+	return a
+}

@@ -1,0 +1,436 @@
+package fmm
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/api"
+	"repro/internal/costs"
+	"repro/internal/particle"
+	"repro/internal/psort"
+	"repro/internal/redist"
+	"repro/internal/vmpi"
+	"repro/internal/zorder"
+)
+
+// Solver is the parallel FMM solver. Its domain decomposition assigns each
+// process a contiguous segment of the Z-order curve over the leaf boxes,
+// established by parallel sorting of the particles by Morton key (paper
+// §II-B). It supports both redistribution methods of §III:
+//
+//   - method A (Input.Resort == false): the original particle order and
+//     distribution is restored before returning, by sending every particle
+//     back to its initial process and position.
+//   - method B (Input.Resort == true): the changed (solver-specific) order
+//     is returned together with resort indices created by inverting the
+//     initial numbering (Fig. 5).
+//
+// When the application supplies the maximum particle movement and it is
+// below the side length of a per-process cube of the system volume, the
+// partition-based parallel sort is replaced by the merge-based parallel
+// sort that uses only point-to-point communication (§III-B).
+type Solver struct {
+	comm *vmpi.Comm
+	box  particle.Box
+	tab  *Tables
+	// Level is the octree leaf level; 0 means "choose during Tune".
+	Level int
+	// accuracy is the requested relative accuracy.
+	accuracy float64
+	// lastSorted reports whether the previous Run returned the changed
+	// order, so the next input is almost sorted and the movement heuristic
+	// applies.
+	lastSorted bool
+}
+
+// New creates an FMM solver on the communicator for the given box,
+// targeting the given relative accuracy (e.g. 1e-3).
+func New(c *vmpi.Comm, box particle.Box, accuracy float64) *Solver {
+	if !box.Orthorhombic() {
+		panic("fmm: box must be orthorhombic")
+	}
+	return &Solver{comm: c, box: box, tab: NewTables(orderFor(accuracy)), accuracy: accuracy}
+}
+
+// NewSolver adapts New to the api.Factory signature.
+func NewSolver(c *vmpi.Comm, box particle.Box, accuracy float64) api.Solver {
+	return New(c, box, accuracy)
+}
+
+// Name implements api.Solver.
+func (s *Solver) Name() string { return "fmm" }
+
+// orderFor maps a relative accuracy to a Cartesian expansion order.
+func orderFor(accuracy float64) int {
+	switch {
+	case accuracy >= 1e-2:
+		return 4
+	case accuracy >= 1e-3:
+		return 6
+	case accuracy >= 1e-4:
+		return 7
+	default:
+		return 8
+	}
+}
+
+// Order returns the expansion order in use.
+func (s *Solver) Order() int { return s.tab.P }
+
+// Tune chooses the subdivision level from the global particle count,
+// targeting a moderate average number of particles per leaf box (the
+// paper's FMM "optimizes the subdivision into boxes ... in the tuning
+// step", §II-B).
+func (s *Solver) Tune(in Input) error {
+	totalN := int(vmpi.AllreduceVal(s.comm, int64(in.N), vmpi.Sum[int64]))
+	if totalN == 0 {
+		s.Level = 2
+		return nil
+	}
+	const perLeaf = 10.0
+	level := int(math.Round(math.Log(float64(totalN)/perLeaf) / math.Log(8)))
+	if level < 2 {
+		level = 2
+	}
+	if level > 7 {
+		level = 7
+	}
+	s.Level = level
+	s.lastSorted = false
+	return nil
+}
+
+// Input aliases api.Input for brevity inside the package.
+type Input = api.Input
+
+// pRec is the particle record moved around by the solver: the Morton key,
+// the origin index (initial process and position, the "consecutive
+// numbering" of §III-A), and the physical data.
+type pRec struct {
+	Key     uint64
+	Origin  redist.Index
+	X, Y, Z float64
+	Q       float64
+}
+
+// Run implements api.Solver.
+func (s *Solver) Run(in Input) (api.Output, error) {
+	if s.Level == 0 {
+		if err := s.Tune(in); err != nil {
+			return api.Output{}, err
+		}
+	}
+	c := s.comm
+	t0 := c.Time()
+	defer func() { c.AddPhase(api.PhaseTotal, c.Time()-t0) }()
+
+	// Build records with origin numbering.
+	recs := make([]pRec, in.N)
+	probe := &Engine{Tab: s.tab, Box: s.box, Level: s.Level,
+		Periodic: s.box.Periodic[0] && s.box.Periodic[1] && s.box.Periodic[2]}
+	for i := 0; i < in.N; i++ {
+		recs[i] = pRec{
+			Key:    probe.KeyOf(in.Pos[3*i], in.Pos[3*i+1], in.Pos[3*i+2]),
+			Origin: redist.MakeIndex(c.Rank(), i),
+			X:      in.Pos[3*i], Y: in.Pos[3*i+1], Z: in.Pos[3*i+2],
+			Q: in.Q[i],
+		}
+	}
+	c.Compute(costs.CellAssign * float64(in.N))
+
+	// Sort particles into boxes: the movement heuristic of §III-B selects
+	// the merge-based sort when the global maximum movement is below the
+	// per-process cube side — only meaningful when the input is already in
+	// solver order (method B steady state).
+	useMerge := false
+	if in.MaxMove >= 0 && s.lastSorted {
+		maxMove := vmpi.AllreduceVal(c, in.MaxMove, vmpi.Max[float64])
+		cubeSide := math.Cbrt(s.box.Volume() / float64(c.Size()))
+		useMerge = maxMove < cubeSide
+	}
+	key := func(r pRec) uint64 { return r.Key }
+	vmpi.Barrier(c) // synchronize so the sort phase measures redistribution, not prior imbalance
+	c.Phase(api.PhaseSort, func() {
+		if useMerge {
+			recs = psort.SortMerge(c, recs, key)
+		} else {
+			recs = psort.SortPartition(c, recs, key)
+		}
+	})
+
+	// Compute potentials and fields for the owned records.
+	pot, field := s.compute(recs)
+
+	if !in.Resort {
+		out := s.restore(in, recs, pot, field)
+		s.lastSorted = false
+		return out, nil
+	}
+
+	// Method B: check the capacity contract collectively.
+	fits := 1
+	if len(recs) > in.Cap {
+		fits = 0
+	}
+	if vmpi.AllreduceVal(c, fits, vmpi.Min[int]) == 0 {
+		// At least one process cannot store the changed distribution:
+		// restore the original order instead (§III-B).
+		out := s.restore(in, recs, pot, field)
+		s.lastSorted = false
+		return out, nil
+	}
+
+	var indices []redist.Index
+	vmpi.Barrier(c) // isolate the resort-index creation time from compute imbalance
+	c.Phase(api.PhaseResortCreate, func() {
+		origins := make([]redist.Index, len(recs))
+		for i, r := range recs {
+			origins[i] = r.Origin
+		}
+		indices = redist.InvertIndices(c, origins, in.N)
+	})
+	nNew := len(recs)
+	out := api.Output{
+		N:        nNew,
+		Pos:      make([]float64, 3*nNew),
+		Q:        make([]float64, nNew),
+		Pot:      pot,
+		Field:    field,
+		Resorted: true,
+		Indices:  indices,
+	}
+	for i, r := range recs {
+		out.Pos[3*i], out.Pos[3*i+1], out.Pos[3*i+2] = r.X, r.Y, r.Z
+		out.Q[i] = r.Q
+	}
+	s.lastSorted = true
+	return out, nil
+}
+
+// compute runs the FMM proper on the sorted records and returns potentials
+// and fields in record order.
+func (s *Solver) compute(recs []pRec) (pot, field []float64) {
+	c := s.comm
+	n := len(recs)
+	pos := make([]float64, 3*n)
+	q := make([]float64, n)
+	keys := make([]uint64, n)
+	for i, r := range recs {
+		pos[3*i], pos[3*i+1], pos[3*i+2] = r.X, r.Y, r.Z
+		q[i] = r.Q
+		keys[i] = r.Key
+	}
+	e := NewEngine(s.tab, s.box, s.Level, pos, q, keys)
+
+	pot = make([]float64, n)
+	field = make([]float64, 3*n)
+
+	var ranges []keyRange
+	base := 0.0
+	charge := func() {
+		c.Compute(e.CostSeconds - base)
+		base = e.CostSeconds
+	}
+	c.Phase(api.PhaseFar, func() {
+		e.Upward()
+		charge()
+		ranges = gatherRanges(c, keys)
+		s.exchangeMultipoles(e, ranges)
+	})
+	c.Phase(api.PhaseNear, func() {
+		s.exchangeGhosts(e, ranges, keys, pos, q)
+		charge()
+	})
+	c.Phase(api.PhaseFar, func() {
+		e.Downward()
+		e.EvalFarField(pot, field)
+		charge()
+	})
+	c.Phase(api.PhaseNear, func() {
+		e.EvalNearField(pot, field)
+		charge()
+	})
+	return pot, field
+}
+
+// keyRange describes one rank's owned leaf-key span.
+type keyRange struct {
+	First, Last uint64
+	Count       int64
+}
+
+func gatherRanges(c *vmpi.Comm, keys []uint64) []keyRange {
+	kr := keyRange{Count: int64(len(keys))}
+	if len(keys) > 0 {
+		kr.First = keys[0]
+		kr.Last = keys[len(keys)-1]
+	}
+	return vmpi.Allgather(c, []keyRange{kr})
+}
+
+// owners returns the ranks whose leaf-key span intersects [lo, hi].
+func owners(ranges []keyRange, lo, hi uint64, dst []int) []int {
+	for r, kr := range ranges {
+		if kr.Count == 0 {
+			continue
+		}
+		if kr.First <= hi && kr.Last >= lo {
+			dst = append(dst, r)
+		}
+	}
+	return dst
+}
+
+// boxSpan returns the leaf-key range covered by a level-l box.
+func (s *Solver) boxSpan(l int, key uint64) (lo, hi uint64) {
+	shift := uint(3 * (s.Level - l))
+	return key << shift, (key+1)<<shift - 1
+}
+
+// exchangeMultipoles pushes each owned box's partial multipole to the
+// owners of every box in its interaction list (the symmetric LET exchange)
+// and folds received partials into the engine tables.
+func (s *Solver) exchangeMultipoles(e *Engine, ranges []keyRange) {
+	c := s.comm
+	p := c.Size()
+	nc := s.tab.NCoef()
+	keyParts := make([][]uint64, p)
+	valParts := make([][]float64, p)
+	sent := map[[2]uint64]map[int]bool{} // (level,key) -> dest set
+	var dsts []int
+	for l := 1; l <= s.Level; l++ {
+		for key, M := range e.M[l] {
+			id := [2]uint64{uint64(l), key}
+			for _, il := range e.InteractionList(l, key) {
+				lo, hi := s.boxSpan(l, il)
+				dsts = owners(ranges, lo, hi, dsts[:0])
+				for _, d := range dsts {
+					if d == c.Rank() {
+						continue
+					}
+					set := sent[id]
+					if set == nil {
+						set = map[int]bool{}
+						sent[id] = set
+					}
+					if set[d] {
+						continue
+					}
+					set[d] = true
+					keyParts[d] = append(keyParts[d], uint64(l)<<58|key)
+					valParts[d] = append(valParts[d], M...)
+				}
+			}
+		}
+	}
+	recvKeys := vmpi.Alltoall(c, keyParts)
+	recvVals := vmpi.Alltoall(c, valParts)
+	for r := 0; r < p; r++ {
+		ks := recvKeys[r]
+		vs := recvVals[r]
+		if len(vs) != len(ks)*nc {
+			panic("fmm: multipole exchange length mismatch")
+		}
+		for i, lk := range ks {
+			l := int(lk >> 58)
+			key := lk & (1<<58 - 1)
+			e.AddRemoteMultipole(l, key, vs[i*nc:(i+1)*nc])
+		}
+	}
+}
+
+// ghostRec is a particle pushed to a neighboring process for its near
+// field.
+type ghostRec struct {
+	X, Y, Z, Q float64
+}
+
+// exchangeGhosts pushes the particles of every owned leaf box to the owners
+// of its neighbor boxes and registers received particles as ghosts.
+func (s *Solver) exchangeGhosts(e *Engine, ranges []keyRange, keys []uint64, pos, q []float64) {
+	c := s.comm
+	p := c.Size()
+	parts := make([][]ghostRec, p)
+	var dsts []int
+	lo := 0
+	for lo < len(keys) {
+		hi := lo
+		for hi < len(keys) && keys[hi] == keys[lo] {
+			hi++
+		}
+		dest := map[int]bool{}
+		for _, nb := range zorder.Neighbors3(keys[lo], s.Level, e.Periodic) {
+			blo, bhi := nb, nb
+			dsts = owners(ranges, blo, bhi, dsts[:0])
+			for _, d := range dsts {
+				if d != c.Rank() {
+					dest[d] = true
+				}
+			}
+		}
+		for d := range dest {
+			for i := lo; i < hi; i++ {
+				parts[d] = append(parts[d], ghostRec{pos[3*i], pos[3*i+1], pos[3*i+2], q[i]})
+			}
+		}
+		lo = hi
+	}
+	// Each destination part is deterministic: boxes are visited in
+	// ascending key order and a box's particles are appended to a given
+	// part at most once, so map iteration over the dest set cannot change
+	// any single part's content or order.
+	recv := vmpi.Alltoall(c, parts)
+	var gpos []float64
+	var gq []float64
+	for _, b := range recv {
+		for _, g := range b {
+			gpos = append(gpos, g.X, g.Y, g.Z)
+			gq = append(gq, g.Q)
+		}
+	}
+	e.AddGhosts(gpos, gq)
+}
+
+// restore implements method A: results are sent back to each particle's
+// initial process and stored at its initial position (§III-A, Fig. 4).
+func (s *Solver) restore(in Input, recs []pRec, pot, field []float64) api.Output {
+	c := s.comm
+	type res struct {
+		Origin     redist.Index
+		Pot        float64
+		Fx, Fy, Fz float64
+	}
+	out := api.Output{
+		N:     in.N,
+		Pos:   in.Pos,
+		Q:     in.Q,
+		Pot:   make([]float64, in.N),
+		Field: make([]float64, 3*in.N),
+	}
+	vmpi.Barrier(c) // isolate the restore time from compute imbalance
+	c.Phase(api.PhaseRestore, func() {
+		results := make([]res, len(recs))
+		for i, r := range recs {
+			results[i] = res{Origin: r.Origin, Pot: pot[i],
+				Fx: field[3*i], Fy: field[3*i+1], Fz: field[3*i+2]}
+		}
+		back := redist.Exchange(c, results, redist.ToRank(func(i int) int {
+			return results[i].Origin.Rank()
+		}))
+		if len(back) != in.N {
+			panic(fmt.Sprintf("fmm: restore received %d results for %d particles", len(back), in.N))
+		}
+		for _, r := range back {
+			i := r.Origin.Pos()
+			out.Pot[i] = r.Pot
+			out.Field[3*i] = r.Fx
+			out.Field[3*i+1] = r.Fy
+			out.Field[3*i+2] = r.Fz
+		}
+		c.Compute(costs.Move * float64(in.N))
+	})
+	return out
+}
+
+// Compile-time check: Solver satisfies the coupling library's interface.
+var _ api.Solver = (*Solver)(nil)

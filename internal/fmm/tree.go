@@ -1,0 +1,479 @@
+package fmm
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/costs"
+	"repro/internal/particle"
+	"repro/internal/zorder"
+)
+
+// Engine is the per-process FMM compute engine: it owns a set of particles
+// pre-sorted by leaf-level Morton key, builds multipole expansions upward,
+// consumes remote partial multipoles and ghost particles supplied by the
+// parallel driver, and evaluates far and near field for the owned
+// particles.
+//
+// Levels are numbered 0 (root) to Level (leaves); expansions exist for
+// levels 1..Level. With periodic boundaries, neighbor and interaction lists
+// wrap around, which yields the minimum-image periodic approximation
+// documented in DESIGN.md.
+type Engine struct {
+	Tab      *Tables
+	Box      particle.Box
+	Level    int
+	Periodic bool
+
+	// Owned particles, sorted ascending by leaf key.
+	pos, q []float64
+	keys   []uint64
+	leaves []leafRange
+
+	// Ghost particles (near-field halo from other processes).
+	gpos, gq []float64
+	gkeys    []uint64
+	gleaves  map[uint64][2]int // key -> [lo, hi) in ghost arrays
+
+	// Expansions per level: M multipoles, L locals.
+	M []map[uint64][]float64
+	L []map[uint64][]float64
+
+	// derivCache memoizes derivative tensors per (level, wrapped integer
+	// cell offset).
+	derivCache map[derivKey][]float64
+
+	// CostSeconds accumulates the modelled computation time of all engine
+	// work since construction.
+	CostSeconds float64
+}
+
+type leafRange struct {
+	key    uint64
+	lo, hi int
+}
+
+type derivKey struct {
+	level      int
+	ox, oy, oz int
+}
+
+// NewEngine builds an engine over owned particles that must already be
+// sorted ascending by their leaf keys (as produced by the parallel sort).
+// pos and q are not copied; the engine reads them during Compute phases.
+func NewEngine(tab *Tables, box particle.Box, level int, pos, q []float64, keys []uint64) *Engine {
+	if level < 1 || level > zorder.MaxLevel {
+		panic(fmt.Sprintf("fmm: invalid level %d", level))
+	}
+	n := len(q)
+	if len(pos) != 3*n || len(keys) != n {
+		panic("fmm: inconsistent particle arrays")
+	}
+	for i := 1; i < n; i++ {
+		if keys[i-1] > keys[i] {
+			panic("fmm: particles not sorted by leaf key")
+		}
+	}
+	e := &Engine{
+		Tab:        tab,
+		Box:        box,
+		Level:      level,
+		Periodic:   box.Periodic[0] && box.Periodic[1] && box.Periodic[2],
+		pos:        pos,
+		q:          q,
+		keys:       keys,
+		gleaves:    map[uint64][2]int{},
+		derivCache: map[derivKey][]float64{},
+	}
+	e.leaves = buildRanges(keys)
+	e.M = make([]map[uint64][]float64, level+1)
+	e.L = make([]map[uint64][]float64, level+1)
+	for l := 0; l <= level; l++ {
+		e.M[l] = map[uint64][]float64{}
+		e.L[l] = map[uint64][]float64{}
+	}
+	return e
+}
+
+func buildRanges(keys []uint64) []leafRange {
+	var out []leafRange
+	for i := 0; i < len(keys); {
+		j := i
+		for j < len(keys) && keys[j] == keys[i] {
+			j++
+		}
+		out = append(out, leafRange{key: keys[i], lo: i, hi: j})
+		i = j
+	}
+	return out
+}
+
+// KeyOf returns the leaf-level Morton key for a position.
+func (e *Engine) KeyOf(x, y, z float64) uint64 {
+	ux, uy, uz := e.Box.ToUnit(x, y, z)
+	return zorder.BoxKey(ux, uy, uz, e.Level)
+}
+
+// LeafKeys returns the distinct owned leaf keys in ascending order.
+func (e *Engine) LeafKeys() []uint64 {
+	out := make([]uint64, len(e.leaves))
+	for i, lr := range e.leaves {
+		out[i] = lr.key
+	}
+	return out
+}
+
+// AddGhosts registers halo particles received from other processes. Ghosts
+// contribute to the near field of owned particles but are not owned.
+func (e *Engine) AddGhosts(pos, q []float64) {
+	n := len(q)
+	keys := make([]uint64, n)
+	ord := make([]int, n)
+	for i := 0; i < n; i++ {
+		keys[i] = e.KeyOf(pos[3*i], pos[3*i+1], pos[3*i+2])
+		ord[i] = i
+	}
+	sort.SliceStable(ord, func(a, b int) bool { return keys[ord[a]] < keys[ord[b]] })
+	e.gpos = make([]float64, 3*n)
+	e.gq = make([]float64, n)
+	e.gkeys = make([]uint64, n)
+	for out, in := range ord {
+		e.gpos[3*out] = pos[3*in]
+		e.gpos[3*out+1] = pos[3*in+1]
+		e.gpos[3*out+2] = pos[3*in+2]
+		e.gq[out] = q[in]
+		e.gkeys[out] = keys[in]
+	}
+	e.gleaves = map[uint64][2]int{}
+	for _, r := range buildRanges(e.gkeys) {
+		e.gleaves[r.key] = [2]int{r.lo, r.hi}
+	}
+	e.CostSeconds += costs.SortTime(n)
+}
+
+// cellSize returns the box edge lengths of a level-l box.
+func (e *Engine) cellSize(l int) [3]float64 {
+	lengths := e.Box.Lengths()
+	f := float64(uint64(1) << uint(l))
+	return [3]float64{lengths[0] / f, lengths[1] / f, lengths[2] / f}
+}
+
+// center returns the center of the box with the given key at level l.
+func (e *Engine) center(l int, key uint64) [3]float64 {
+	cx, cy, cz := zorder.Decode(key)
+	cs := e.cellSize(l)
+	return [3]float64{
+		e.Box.Offset[0] + (float64(cx)+0.5)*cs[0],
+		e.Box.Offset[1] + (float64(cy)+0.5)*cs[1],
+		e.Box.Offset[2] + (float64(cz)+0.5)*cs[2],
+	}
+}
+
+// Upward builds leaf multipoles from owned particles and translates them up
+// to level 1.
+func (e *Engine) Upward() {
+	nc := e.Tab.NCoef()
+	for _, lr := range e.leaves {
+		M := make([]float64, nc)
+		c := e.center(e.Level, lr.key)
+		for i := lr.lo; i < lr.hi; i++ {
+			e.Tab.P2M(e.q[i], e.pos[3*i]-c[0], e.pos[3*i+1]-c[1], e.pos[3*i+2]-c[2], M)
+		}
+		e.M[e.Level][lr.key] = M
+		e.CostSeconds += float64(lr.hi-lr.lo) * float64(nc) * costs.MultipoleTerm
+	}
+	for l := e.Level - 1; l >= 1; l-- {
+		for key, Mc := range e.M[l+1] {
+			pk := zorder.Parent(key)
+			Mp := e.M[l][pk]
+			if Mp == nil {
+				Mp = make([]float64, nc)
+				e.M[l][pk] = Mp
+			}
+			cc := e.center(l+1, key)
+			pc := e.center(l, pk)
+			e.Tab.M2M(Mc, cc[0]-pc[0], cc[1]-pc[1], cc[2]-pc[2], Mp)
+			e.CostSeconds += float64(nc*nc) * costs.MultipoleTerm
+		}
+	}
+}
+
+// Multipole returns the (possibly partial) multipole of the box with the
+// given key at level l, or nil if the engine holds nothing there.
+func (e *Engine) Multipole(l int, key uint64) []float64 {
+	return e.M[l][key]
+}
+
+// AddRemoteMultipole accumulates another process's partial multipole of a
+// box into the engine's tables. Must be called after Upward and before
+// Downward.
+func (e *Engine) AddRemoteMultipole(l int, key uint64, coef []float64) {
+	nc := e.Tab.NCoef()
+	if len(coef) != nc {
+		panic("fmm: remote multipole length mismatch")
+	}
+	M := e.M[l][key]
+	if M == nil {
+		M = make([]float64, nc)
+		e.M[l][key] = M
+	}
+	for i, v := range coef {
+		M[i] += v
+	}
+}
+
+// InteractionList returns the keys of the boxes in the interaction list of
+// box key at level l: children of the neighbors of its parent that are not
+// its own neighbors.
+func (e *Engine) InteractionList(l int, key uint64) []uint64 {
+	if l < 1 {
+		return nil
+	}
+	own := map[uint64]bool{}
+	for _, nb := range zorder.Neighbors3(key, l, e.Periodic) {
+		own[nb] = true
+	}
+	var out []uint64
+	seen := map[uint64]bool{}
+	for _, pn := range zorder.Neighbors3(zorder.Parent(key), l-1, e.Periodic) {
+		for c := 0; c < 8; c++ {
+			ck := zorder.Child(pn, c)
+			if !own[ck] && !seen[ck] {
+				seen[ck] = true
+				out = append(out, ck)
+			}
+		}
+	}
+	return out
+}
+
+// wrapOffset returns the integer cell offset from source to target at level
+// l, wrapped to the nearest image for periodic boxes.
+func (e *Engine) wrapOffset(l int, target, source uint64) [3]int {
+	tx, ty, tz := zorder.Decode(target)
+	sx, sy, sz := zorder.Decode(source)
+	n := int(uint64(1) << uint(l))
+	off := [3]int{int(tx) - int(sx), int(ty) - int(sy), int(tz) - int(sz)}
+	if e.Periodic {
+		for d := 0; d < 3; d++ {
+			off[d] = ((off[d]+n/2)%n+n)%n - n/2
+		}
+	}
+	return off
+}
+
+// deriv returns the (cached) derivative tensor for a cell offset at a
+// level.
+func (e *Engine) deriv(l int, off [3]int) []float64 {
+	k := derivKey{l, off[0], off[1], off[2]}
+	if b, ok := e.derivCache[k]; ok {
+		return b
+	}
+	cs := e.cellSize(l)
+	b := make([]float64, e.Tab.NCoef())
+	e.Tab.Deriv(float64(off[0])*cs[0], float64(off[1])*cs[1], float64(off[2])*cs[2], b)
+	e.derivCache[k] = b
+	return b
+}
+
+// Downward computes local expansions for all ancestors of owned leaves from
+// the (complete) multipole tables and translates them down to the leaf
+// level.
+func (e *Engine) Downward() {
+	nc := e.Tab.NCoef()
+	// Target keys per level: ancestors of owned leaves.
+	targets := make([][]uint64, e.Level+1)
+	cur := make([]uint64, 0, len(e.leaves))
+	for _, lr := range e.leaves {
+		cur = append(cur, lr.key)
+	}
+	targets[e.Level] = cur
+	for l := e.Level - 1; l >= 1; l-- {
+		up := targets[l+1]
+		var t []uint64
+		var last uint64
+		for i, k := range up {
+			pk := zorder.Parent(k)
+			if i == 0 || pk != last {
+				t = append(t, pk)
+				last = pk
+			}
+		}
+		targets[l] = t
+	}
+	for l := 1; l <= e.Level; l++ {
+		for _, key := range targets[l] {
+			L := make([]float64, nc)
+			if l > 1 {
+				pk := zorder.Parent(key)
+				if Lp := e.L[l-1][pk]; Lp != nil {
+					pc := e.center(l-1, pk)
+					cc := e.center(l, key)
+					e.Tab.L2L(Lp, cc[0]-pc[0], cc[1]-pc[1], cc[2]-pc[2], L)
+					e.CostSeconds += float64(nc*nc) * costs.MultipoleTerm
+				}
+			}
+			for _, src := range e.InteractionList(l, key) {
+				M := e.M[l][src]
+				if M == nil {
+					continue
+				}
+				b := e.deriv(l, e.wrapOffset(l, key, src))
+				e.Tab.M2L(M, b, L)
+				e.CostSeconds += float64(e.Tab.M2LOps()) * costs.MultipoleTerm
+			}
+			e.L[l][key] = L
+		}
+	}
+}
+
+// EvalFarField adds the far-field potential and field of each owned
+// particle into pot (length n) and field (length 3n).
+func (e *Engine) EvalFarField(pot, field []float64) {
+	nc := e.Tab.NCoef()
+	for _, lr := range e.leaves {
+		L := e.L[e.Level][lr.key]
+		if L == nil {
+			continue
+		}
+		c := e.center(e.Level, lr.key)
+		for i := lr.lo; i < lr.hi; i++ {
+			p, fx, fy, fz := e.Tab.L2P(L, e.pos[3*i]-c[0], e.pos[3*i+1]-c[1], e.pos[3*i+2]-c[2])
+			pot[i] += p
+			field[3*i] += fx
+			field[3*i+1] += fy
+			field[3*i+2] += fz
+		}
+		e.CostSeconds += float64(lr.hi-lr.lo) * float64(nc) * costs.MultipoleTerm
+	}
+}
+
+// EvalNearField adds the near-field (neighbor-box direct) contributions of
+// owned and ghost particles into pot and field of the owned particles.
+// Displacements use the minimum-image convention, which is exact for
+// neighbor boxes at level ≥ 2.
+func (e *Engine) EvalNearField(pot, field []float64) {
+	pairs := 0
+	for li, lr := range e.leaves {
+		// Same-box owned pairs (symmetric update).
+		for i := lr.lo; i < lr.hi; i++ {
+			for j := i + 1; j < lr.hi; j++ {
+				pairs += e.pairSym(i, j, pot, field)
+			}
+		}
+		for _, nb := range zorder.Neighbors3(lr.key, e.Level, e.Periodic) {
+			if nb > lr.key {
+				// Owned neighbor box: symmetric update, processed once.
+				if rr, ok := e.findLeaf(li, nb); ok {
+					for i := lr.lo; i < lr.hi; i++ {
+						for j := rr.lo; j < rr.hi; j++ {
+							pairs += e.pairSym(i, j, pot, field)
+						}
+					}
+				}
+			}
+			// Ghost particles in the neighbor box (including the same key:
+			// a leaf split across processes): one-sided update.
+			if gr, ok := e.gleaves[nb]; ok {
+				for i := lr.lo; i < lr.hi; i++ {
+					for j := gr[0]; j < gr[1]; j++ {
+						pairs += e.pairGhost(i, j, pot, field)
+					}
+				}
+			}
+		}
+	}
+	e.CostSeconds += float64(pairs) * costs.Pair
+}
+
+// findLeaf locates an owned leaf range by key; hint is the index of the
+// current leaf for locality.
+func (e *Engine) findLeaf(hint int, key uint64) (leafRange, bool) {
+	i := sort.Search(len(e.leaves), func(i int) bool { return e.leaves[i].key >= key })
+	if i < len(e.leaves) && e.leaves[i].key == key {
+		return e.leaves[i], true
+	}
+	return leafRange{}, false
+}
+
+// pairSym accumulates the interaction of owned pair (i, j) into both.
+func (e *Engine) pairSym(i, j int, pot, field []float64) int {
+	dx := e.pos[3*i] - e.pos[3*j]
+	dy := e.pos[3*i+1] - e.pos[3*j+1]
+	dz := e.pos[3*i+2] - e.pos[3*j+2]
+	dx, dy, dz = e.Box.MinImage(dx, dy, dz)
+	r2 := dx*dx + dy*dy + dz*dz
+	if r2 == 0 {
+		return 0
+	}
+	r := math.Sqrt(r2)
+	inv := 1 / r
+	inv3 := inv / r2
+	pot[i] += e.q[j] * inv
+	pot[j] += e.q[i] * inv
+	field[3*i] += e.q[j] * dx * inv3
+	field[3*i+1] += e.q[j] * dy * inv3
+	field[3*i+2] += e.q[j] * dz * inv3
+	field[3*j] -= e.q[i] * dx * inv3
+	field[3*j+1] -= e.q[i] * dy * inv3
+	field[3*j+2] -= e.q[i] * dz * inv3
+	return 1
+}
+
+// pairGhost accumulates the contribution of ghost j onto owned particle i.
+func (e *Engine) pairGhost(i, j int, pot, field []float64) int {
+	dx := e.pos[3*i] - e.gpos[3*j]
+	dy := e.pos[3*i+1] - e.gpos[3*j+1]
+	dz := e.pos[3*i+2] - e.gpos[3*j+2]
+	dx, dy, dz = e.Box.MinImage(dx, dy, dz)
+	r2 := dx*dx + dy*dy + dz*dz
+	if r2 == 0 {
+		return 0
+	}
+	r := math.Sqrt(r2)
+	inv := 1 / r
+	inv3 := inv / r2
+	pot[i] += e.gq[j] * inv
+	field[3*i] += e.gq[j] * dx * inv3
+	field[3*i+1] += e.gq[j] * dy * inv3
+	field[3*i+2] += e.gq[j] * dz * inv3
+	return 1
+}
+
+// SolveSerial runs the whole FMM on a single process: particles need not be
+// sorted; results are returned in input order. It is the reference path for
+// accuracy tests and the degenerate single-rank case.
+func SolveSerial(tab *Tables, box particle.Box, level int, pos, q, pot, field []float64) {
+	n := len(q)
+	keys := make([]uint64, n)
+	ord := make([]int, n)
+	tmp := &Engine{Tab: tab, Box: box, Level: level,
+		Periodic: box.Periodic[0] && box.Periodic[1] && box.Periodic[2]}
+	for i := 0; i < n; i++ {
+		keys[i] = tmp.KeyOf(pos[3*i], pos[3*i+1], pos[3*i+2])
+		ord[i] = i
+	}
+	sort.SliceStable(ord, func(a, b int) bool { return keys[ord[a]] < keys[ord[b]] })
+	spos := make([]float64, 3*n)
+	sq := make([]float64, n)
+	skeys := make([]uint64, n)
+	for out, in := range ord {
+		spos[3*out], spos[3*out+1], spos[3*out+2] = pos[3*in], pos[3*in+1], pos[3*in+2]
+		sq[out] = q[in]
+		skeys[out] = keys[in]
+	}
+	e := NewEngine(tab, box, level, spos, sq, skeys)
+	e.Upward()
+	e.Downward()
+	sp := make([]float64, n)
+	sf := make([]float64, 3*n)
+	e.EvalFarField(sp, sf)
+	e.EvalNearField(sp, sf)
+	for out, in := range ord {
+		pot[in] = sp[out]
+		field[3*in] = sf[3*out]
+		field[3*in+1] = sf[3*out+1]
+		field[3*in+2] = sf[3*out+2]
+	}
+}

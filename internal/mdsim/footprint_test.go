@@ -1,0 +1,128 @@
+package mdsim
+
+import (
+	"testing"
+
+	"repro/internal/api"
+	"repro/internal/netmodel"
+	"repro/internal/particle"
+	"repro/internal/vmpi"
+)
+
+// Footprint tests use vmpi's communication tracing to verify the paper's
+// structural claims about who talks to whom and how much data moves,
+// independent of any timing model.
+
+// traceSim runs a short simulation and returns the trace of the LAST step
+// only (steady state). Traces are deterministic, so the last step's events
+// are obtained by subtracting a prefix run (all but the last step) from a
+// full run.
+func traceSim(t *testing.T, s *particle.System, solver string, dist particle.Dist,
+	resort, track bool, ranks, steps int, model netmodel.Model) *vmpi.Trace {
+	t.Helper()
+	run := func(n int) *vmpi.Stats {
+		return vmpi.Run(vmpi.Config{Ranks: ranks, Trace: true, Model: model}, func(c *vmpi.Comm) {
+			sim := setup(t, c, s, solver, dist, resort, track, 0.001)
+			if err := sim.Init(); err != nil {
+				t.Errorf("init: %v", err)
+				return
+			}
+			for i := 0; i < n; i++ {
+				if err := sim.Step(); err != nil {
+					t.Errorf("step: %v", err)
+					return
+				}
+			}
+		})
+	}
+	full := run(steps)
+	prefix := run(steps - 1)
+	last := &vmpi.Trace{BySender: make([][]vmpi.TraceEvent, ranks)}
+	for r := 0; r < ranks; r++ {
+		pre := len(prefix.Trace.BySender[r])
+		last.BySender[r] = full.Trace.BySender[r][pre:]
+	}
+	return last
+}
+
+// redistBytes sums the traced bytes of all redistribution phases.
+func redistBytes(tr *vmpi.Trace) int64 {
+	return tr.PhaseBytes(api.PhaseSort) + tr.PhaseBytes(api.PhaseRestore) +
+		tr.PhaseBytes(api.PhaseResort) + tr.PhaseBytes(api.PhaseResortCreate)
+}
+
+func TestFMMMethodBShrinksRedistributionTraffic(t *testing.T) {
+	// From a random initial distribution, method A re-restores the random
+	// layout every step, so its redistribution traffic stays at full
+	// volume; method B's steady state moves almost nothing. The traced
+	// bytes of the redistribution phases make this claim timing-free.
+	s := particle.SilicaMelt(1728, 32, true, 3)
+	const ranks = 8
+	a := traceSim(t, s, "fmm", particle.DistRandom, false, false, ranks, 3, netmodel.NewSwitched())
+	b := traceSim(t, s, "fmm", particle.DistRandom, true, false, ranks, 3, netmodel.NewSwitched())
+	ba, bb := redistBytes(a), redistBytes(b)
+	if bb*4 >= ba {
+		t.Errorf("method B redistribution traffic %d should be far below method A's %d", bb, ba)
+	}
+	t.Logf("last-step redistribution traffic: method A %d bytes, method B %d bytes", ba, bb)
+}
+
+func TestFMMMovementHeuristicExploitsSortedness(t *testing.T) {
+	// With the movement hint, the FMM switches to the merge-based sort.
+	// The paper's claims: it uses point-to-point operations (fewer
+	// messages than the partition sort's collectives), and with almost
+	// sorted data the pairwise merge-split exchanges collapse to
+	// header-only messages, so the particle-data volume stays a small
+	// fraction of a full redistribution.
+	s := particle.SilicaMelt(1728, 32, true, 3)
+	const ranks = 8
+	plain := traceSim(t, s, "fmm", particle.DistGrid, true, false, ranks, 3, netmodel.NewSwitched())
+	moved := traceSim(t, s, "fmm", particle.DistGrid, true, true, ranks, 3, netmodel.NewSwitched())
+	if mm, mp := moved.PhaseMessages(api.PhaseSort), plain.PhaseMessages(api.PhaseSort); mm >= mp {
+		t.Errorf("merge-based sort should send fewer messages: %d vs %d", mm, mp)
+	}
+	// Particle records are 48 bytes; count only data-bearing messages.
+	dataBytes := int64(0)
+	for _, e := range moved.Filter(func(e vmpi.TraceEvent) bool {
+		return e.Phase == api.PhaseSort && e.Bytes >= 48
+	}).Events() {
+		dataBytes += int64(e.Bytes)
+	}
+	fullVolume := int64(s.N * 48)
+	if dataBytes > fullVolume/4 {
+		t.Errorf("merge sort moved %d data bytes; almost sorted input should need far less than a full exchange (%d)",
+			dataBytes, fullVolume)
+	}
+	t.Logf("sort-phase: %d msgs (merge) vs %d (partition); merge data volume %d of %d full",
+		moved.PhaseMessages(api.PhaseSort), plain.PhaseMessages(api.PhaseSort), dataBytes, fullVolume)
+}
+
+func TestP2NFFTNeighborhoodFootprint(t *testing.T) {
+	// With 64 ranks on a 4×4×4 grid and the movement hint, the P2NFFT
+	// redistribution talks only to the 26 grid neighbors, while the
+	// collective backend's pairwise exchange sends one message to each of
+	// the 63 other ranks — the message-count saving of the paper's §III-B
+	// optimization.
+	s := particle.SilicaMelt(4096, 42.5, true, 5)
+	const ranks = 64
+	a2a := traceSim(t, s, "p2nfft", particle.DistGrid, true, false, ranks, 2, netmodel.NewTorus(ranks))
+	nbr := traceSim(t, s, "p2nfft", particle.DistGrid, true, true, ranks, 2, netmodel.NewTorus(ranks))
+	msgsA2A := a2a.PhaseMessages(api.PhaseSort)
+	msgsNbr := nbr.PhaseMessages(api.PhaseSort)
+	if msgsNbr >= msgsA2A {
+		t.Errorf("neighborhood should send fewer sort-phase messages: %d vs %d", msgsNbr, msgsA2A)
+	}
+	t.Logf("sort-phase messages: all-to-all %d, neighborhood %d", msgsA2A, msgsNbr)
+
+	// Data-bearing footprint: with the neighborhood backend, every rank's
+	// sort-phase particle payloads go to grid neighbors only (the small
+	// control messages of the collective fallback decision are excluded).
+	sortNbr := nbr.Filter(func(e vmpi.TraceEvent) bool {
+		return e.Phase == api.PhaseSort && e.Bytes >= 48
+	})
+	pairsNbr := sortNbr.ActivePairs()
+	if pairsNbr > ranks*26 {
+		t.Errorf("neighborhood footprint %d pairs exceeds the neighbor bound %d", pairsNbr, ranks*26)
+	}
+	t.Logf("neighborhood data footprint: %d pairs (bound %d)", pairsNbr, ranks*26)
+}

@@ -1,0 +1,219 @@
+// Package mdsim implements the example particle dynamics simulation of the
+// paper (§II-D): a second-order leapfrog integrator coupled to a long-range
+// solver from the core library, following the pseudocode of Fig. 3.
+//
+// With method B (core.SetResortEnabled), the integrator retrieves particles
+// in the solver's changed order and adapts its additional particle data —
+// velocities and accelerations — with the resort functions after every run
+// (§III-B). It also tracks the maximum particle movement during the
+// position update and passes it to the library so the solvers can exploit
+// the limited movement (§IV-D).
+package mdsim
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/api"
+	"repro/internal/core"
+	"repro/internal/costs"
+	"repro/internal/particle"
+	"repro/internal/shortrange"
+	"repro/internal/vmpi"
+)
+
+// Sim drives a particle dynamics simulation on one rank (SPMD: every rank
+// holds its own Sim over its local particles).
+type Sim struct {
+	comm *vmpi.Comm
+	fcs  *core.FCS
+	// L holds the local particle state (positions, charges, velocities,
+	// accelerations, solver outputs).
+	L *particle.Local
+	// Dt is the time step size.
+	Dt float64
+	// Mass is the particle mass (uniform); accelerations are q·E/m.
+	Mass float64
+	// TrackMovement enables passing the per-step maximum displacement to
+	// the library (the "method B with maximum movement" configuration of
+	// §IV-D).
+	TrackMovement bool
+	// ShortRange, when non-nil, adds application-side short-range
+	// repulsion forces on top of the library's long-range interactions —
+	// one of the "further individual program components" the paper's
+	// introduction motivates the coupling model with.
+	ShortRange *shortrange.Solver
+
+	// srPot and srForce hold the short-range contributions in the current
+	// local layout.
+	srPot   []float64
+	srForce []float64
+
+	step int
+}
+
+// New creates a simulation over the local particles. The caller configures
+// the FCS handle (SetCommon, SetResortEnabled, accuracy) beforehand.
+func New(comm *vmpi.Comm, fcs *core.FCS, l *particle.Local, dt float64) *Sim {
+	return &Sim{comm: comm, fcs: fcs, L: l, Dt: dt, Mass: 1}
+}
+
+// Init tunes the solver and computes the initial interactions to determine
+// the initial accelerations (Fig. 3 lines 2–6).
+func (s *Sim) Init() error {
+	if err := s.fcs.Tune(s.L.N, s.L.ActivePos(), s.L.ActiveQ()); err != nil {
+		return fmt.Errorf("mdsim: tune: %w", err)
+	}
+	if _, err := s.runSolver(nil); err != nil {
+		return err
+	}
+	s.updateAccelerations()
+	return nil
+}
+
+// Step advances the simulation by one time step (Fig. 3 lines 9–12):
+// positions via Eq. (1), solver run, new accelerations from the calculated
+// field values, velocities via Eq. (2).
+func (s *Sim) Step() error {
+	l := s.L
+	dt := s.Dt
+	maxMove2 := 0.0
+	for i := 0; i < l.N; i++ {
+		var d2 float64
+		for d := 0; d < 3; d++ {
+			dx := l.Vel[3*i+d]*dt + 0.5*l.Acc[3*i+d]*dt*dt
+			l.Pos[3*i+d] += dx
+			d2 += dx * dx
+		}
+		if d2 > maxMove2 {
+			maxMove2 = d2
+		}
+	}
+	s.comm.Compute(costs.Integrate * float64(l.N))
+	if s.TrackMovement {
+		s.fcs.SetMaxParticleMove(math.Sqrt(maxMove2))
+	}
+
+	oldAcc, err := s.runSolver(append([]float64(nil), l.Acc[:3*l.N]...))
+	if err != nil {
+		return err
+	}
+	s.updateAccelerations()
+	for i := 0; i < 3*l.N; i++ {
+		l.Vel[i] += 0.5 * (oldAcc[i] + l.Acc[i]) * dt
+	}
+	s.comm.Compute(costs.Integrate * float64(l.N))
+	s.step++
+	return nil
+}
+
+// runSolver executes fcs_run and, when the particle order and distribution
+// changed, resorts the additional particle data — the velocities and the
+// supplied old accelerations — to the changed order with a single combined
+// call to the library resort function, as the paper's integration method
+// does (§III-B). It returns the old accelerations in the (possibly
+// changed) current layout; if oldAcc is nil, zeros are returned.
+func (s *Sim) runSolver(oldAcc []float64) ([]float64, error) {
+	l := s.L
+	nOrig := l.N
+	n := l.N
+	if err := s.fcs.Run(&n, l.Cap, l.Pos, l.Q, l.Pot, l.Field); err != nil {
+		return nil, fmt.Errorf("mdsim: run: %w", err)
+	}
+	if oldAcc == nil {
+		oldAcc = make([]float64, 3*nOrig)
+	}
+	if s.fcs.ResortAvailable() {
+		// Pack velocities and old accelerations per particle (stride 6) so
+		// one resort moves all additional particle data.
+		packed := make([]float64, 6*nOrig)
+		for i := 0; i < nOrig; i++ {
+			copy(packed[6*i:6*i+3], l.Vel[3*i:3*i+3])
+			copy(packed[6*i+3:6*i+6], oldAcc[3*i:3*i+3])
+		}
+		moved, err := s.fcs.ResortFloats(packed, 6)
+		if err != nil {
+			return nil, fmt.Errorf("mdsim: resort: %w", err)
+		}
+		if len(oldAcc) < 3*n {
+			oldAcc = make([]float64, 3*n)
+		}
+		oldAcc = oldAcc[:3*n]
+		for i := 0; i < n; i++ {
+			copy(l.Vel[3*i:3*i+3], moved[6*i:6*i+3])
+			copy(oldAcc[3*i:3*i+3], moved[6*i+3:6*i+6])
+		}
+	}
+	l.N = n
+	if s.ShortRange != nil {
+		s.srPot = grow(s.srPot, n)
+		s.srForce = grow(s.srForce, 3*n)
+		s.ShortRange.Compute(n, l.Pos[:3*n], l.Q[:n], s.srPot, s.srForce)
+	}
+	return oldAcc, nil
+}
+
+// grow returns a zeroed slice of length n, reusing capacity.
+func grow(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	buf = buf[:n]
+	for i := range buf {
+		buf[i] = 0
+	}
+	return buf
+}
+
+// updateAccelerations derives accelerations from the calculated field
+// values, a = q·E/m, plus any short-range force contribution F/m.
+func (s *Sim) updateAccelerations() {
+	l := s.L
+	for i := 0; i < l.N; i++ {
+		f := l.Q[i] / s.Mass
+		l.Acc[3*i] = f * l.Field[3*i]
+		l.Acc[3*i+1] = f * l.Field[3*i+1]
+		l.Acc[3*i+2] = f * l.Field[3*i+2]
+	}
+	if s.ShortRange != nil {
+		for i := 0; i < 3*l.N; i++ {
+			l.Acc[i] += s.srForce[i] / s.Mass
+		}
+	}
+	s.comm.Compute(costs.Integrate * float64(l.N))
+}
+
+// StepCount returns the number of completed time steps.
+func (s *Sim) StepCount() int { return s.step }
+
+// Energies returns the global kinetic and potential energy (collective),
+// including the short-range contribution when configured.
+func (s *Sim) Energies() (kinetic, potential float64) {
+	l := s.L
+	k, u := 0.0, 0.0
+	for i := 0; i < l.N; i++ {
+		v2 := l.Vel[3*i]*l.Vel[3*i] + l.Vel[3*i+1]*l.Vel[3*i+1] + l.Vel[3*i+2]*l.Vel[3*i+2]
+		k += 0.5 * s.Mass * v2
+		u += 0.5 * l.Q[i] * l.Pot[i]
+		if s.ShortRange != nil {
+			u += 0.5 * s.srPot[i]
+		}
+	}
+	res := vmpi.Allreduce(s.comm, []float64{k, u}, vmpi.Sum[float64])
+	return res[0], res[1]
+}
+
+// TotalParticles returns the global particle count (collective).
+func (s *Sim) TotalParticles() int {
+	return int(vmpi.AllreduceVal(s.comm, int64(s.L.N), vmpi.Sum[int64]))
+}
+
+// PhaseBreakdown returns this rank's accumulated solver phase timers.
+func (s *Sim) PhaseBreakdown() map[string]float64 {
+	out := map[string]float64{}
+	for _, name := range []string{api.PhaseSort, api.PhaseRestore, api.PhaseResort,
+		api.PhaseResortCreate, api.PhaseNear, api.PhaseFar, api.PhaseTotal} {
+		out[name] = s.comm.PhaseTime(name)
+	}
+	return out
+}

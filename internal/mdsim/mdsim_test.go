@@ -1,0 +1,276 @@
+package mdsim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/particle"
+	"repro/internal/shortrange"
+	"repro/internal/vmpi"
+)
+
+// setup builds a simulation on each rank for the given method/options.
+func setup(t *testing.T, c *vmpi.Comm, s *particle.System, method string,
+	dist particle.Dist, resort, track bool, dt float64) *Sim {
+	t.Helper()
+	l := particle.Distribute(c, s, dist, 7)
+	h, err := core.Init(method, c)
+	if err != nil {
+		t.Fatalf("init: %v", err)
+	}
+	if err := h.SetCommon(s.Box); err != nil {
+		t.Fatalf("set common: %v", err)
+	}
+	h.SetAccuracy(1e-3)
+	h.SetResortEnabled(resort)
+	sim := New(c, h, l, dt)
+	sim.TrackMovement = track
+	return sim
+}
+
+func TestSimulationConservesParticles(t *testing.T) {
+	s := particle.SilicaMelt(300, 10, true, 13)
+	for _, resort := range []bool{false, true} {
+		st := vmpi.Run(vmpi.Config{Ranks: 4}, func(c *vmpi.Comm) {
+			sim := setup(t, c, s, "p2nfft", particle.DistRandom, resort, false, 0.01)
+			if err := sim.Init(); err != nil {
+				t.Errorf("init: %v", err)
+				return
+			}
+			for i := 0; i < 3; i++ {
+				if err := sim.Step(); err != nil {
+					t.Errorf("step %d: %v", i, err)
+					return
+				}
+			}
+			c.SetResult(sim.L.N)
+		})
+		total := 0
+		for _, v := range st.Values {
+			total += v.(int)
+		}
+		if total != s.N {
+			t.Errorf("resort=%v: total particles %d, want %d", resort, total, s.N)
+		}
+	}
+}
+
+func TestEnergyConservation(t *testing.T) {
+	// Leapfrog with an Ewald-consistent solver should conserve total
+	// energy to a small drift over a few steps.
+	s := particle.SilicaMelt(300, 12, true, 17)
+	st := vmpi.Run(vmpi.Config{Ranks: 4}, func(c *vmpi.Comm) {
+		sim := setup(t, c, s, "p2nfft", particle.DistGrid, true, false, 0.005)
+		if err := sim.Init(); err != nil {
+			t.Errorf("init: %v", err)
+			return
+		}
+		k0, u0 := sim.Energies()
+		for i := 0; i < 10; i++ {
+			if err := sim.Step(); err != nil {
+				t.Errorf("step: %v", err)
+				return
+			}
+		}
+		k1, u1 := sim.Energies()
+		c.SetResult([4]float64{k0, u0, k1, u1})
+	})
+	e := st.Values[0].([4]float64)
+	e0 := e[0] + e[1]
+	e1 := e[2] + e[3]
+	if math.Abs(e1-e0) > 2e-2*math.Abs(e0) {
+		t.Errorf("energy drift: %g -> %g", e0, e1)
+	}
+	// The system must actually be moving (kinetic energy grows from 0).
+	if e[2] <= 0 {
+		t.Error("kinetic energy should be positive after 10 steps")
+	}
+}
+
+func TestMethodAandBEquivalentPhysics(t *testing.T) {
+	// Methods A and B must produce (numerically) the same trajectory over
+	// a few steps: same energies to tight tolerance.
+	s := particle.SilicaMelt(200, 10, true, 19)
+	energies := func(resort bool) [2]float64 {
+		st := vmpi.Run(vmpi.Config{Ranks: 4}, func(c *vmpi.Comm) {
+			sim := setup(t, c, s, "p2nfft", particle.DistGrid, resort, false, 0.01)
+			if err := sim.Init(); err != nil {
+				t.Errorf("init: %v", err)
+				return
+			}
+			for i := 0; i < 5; i++ {
+				if err := sim.Step(); err != nil {
+					t.Errorf("step: %v", err)
+					return
+				}
+			}
+			k, u := sim.Energies()
+			c.SetResult([2]float64{k, u})
+		})
+		return st.Values[0].([2]float64)
+	}
+	a := energies(false)
+	b := energies(true)
+	if math.Abs(a[0]-b[0]) > 1e-6*(math.Abs(a[0])+1) || math.Abs(a[1]-b[1]) > 1e-6*math.Abs(a[1]) {
+		t.Errorf("method A energies %v vs method B %v", a, b)
+	}
+}
+
+func TestTrackMovementPath(t *testing.T) {
+	// With movement tracking, steps must still be correct (the solvers
+	// switch to merge sort / neighborhood communication).
+	s := particle.SilicaMelt(300, 12, true, 23)
+	for _, method := range []string{"fmm", "p2nfft"} {
+		stTrack := vmpi.Run(vmpi.Config{Ranks: 8}, func(c *vmpi.Comm) {
+			sim := setup(t, c, s, method, particle.DistGrid, true, true, 0.005)
+			if err := sim.Init(); err != nil {
+				t.Errorf("init: %v", err)
+				return
+			}
+			for i := 0; i < 4; i++ {
+				if err := sim.Step(); err != nil {
+					t.Errorf("step: %v", err)
+					return
+				}
+			}
+			k, u := sim.Energies()
+			c.SetResult([2]float64{k, u})
+		})
+		stPlain := vmpi.Run(vmpi.Config{Ranks: 8}, func(c *vmpi.Comm) {
+			sim := setup(t, c, s, method, particle.DistGrid, true, false, 0.005)
+			if err := sim.Init(); err != nil {
+				return
+			}
+			for i := 0; i < 4; i++ {
+				if err := sim.Step(); err != nil {
+					return
+				}
+			}
+			k, u := sim.Energies()
+			c.SetResult([2]float64{k, u})
+		})
+		a := stTrack.Values[0].([2]float64)
+		b := stPlain.Values[0].([2]float64)
+		if math.Abs(a[1]-b[1]) > 1e-6*math.Abs(b[1]) {
+			t.Errorf("%s: tracked potential energy %g vs plain %g", method, a[1], b[1])
+		}
+	}
+}
+
+func TestPhaseBreakdownPopulated(t *testing.T) {
+	s := particle.SilicaMelt(200, 10, true, 29)
+	st := vmpi.Run(vmpi.Config{Ranks: 4}, func(c *vmpi.Comm) {
+		sim := setup(t, c, s, "fmm", particle.DistRandom, false, false, 0.01)
+		if err := sim.Init(); err != nil {
+			t.Errorf("init: %v", err)
+			return
+		}
+		if err := sim.Step(); err != nil {
+			t.Errorf("step: %v", err)
+			return
+		}
+		c.SetResult(sim.PhaseBreakdown())
+	})
+	ph := st.Values[0].(map[string]float64)
+	if ph["sort"] <= 0 {
+		t.Errorf("sort phase not recorded: %v", ph)
+	}
+	if ph["restore"] <= 0 {
+		t.Errorf("restore phase not recorded under method A: %v", ph)
+	}
+	if ph["total"] < ph["sort"]+ph["restore"] {
+		t.Errorf("total %g below sort+restore", ph["total"])
+	}
+}
+
+func TestStepCountAdvances(t *testing.T) {
+	s := particle.SilicaMelt(100, 8, true, 31)
+	vmpi.Run(vmpi.Config{Ranks: 2}, func(c *vmpi.Comm) {
+		sim := setup(t, c, s, "p2nfft", particle.DistRandom, false, false, 0.01)
+		if err := sim.Init(); err != nil {
+			t.Errorf("init: %v", err)
+			return
+		}
+		for i := 0; i < 3; i++ {
+			if err := sim.Step(); err != nil {
+				t.Errorf("step: %v", err)
+			}
+		}
+		if sim.StepCount() != 3 {
+			t.Errorf("StepCount = %d", sim.StepCount())
+		}
+	})
+}
+
+func TestShortRangeCoupling(t *testing.T) {
+	// With the application-side short-range repulsion enabled, the
+	// simulation still conserves particles, stays collective-consistent
+	// under method B, and keeps the minimum pair distance bounded — the
+	// component composition the paper's introduction motivates.
+	s := particle.SilicaMelt(512, 21.3, true, 37)
+	particle.Thermalize(s, 1.0, 38)
+	const ranks = 8
+	st := vmpi.Run(vmpi.Config{Ranks: ranks}, func(c *vmpi.Comm) {
+		sim := setup(t, c, s, "p2nfft", particle.DistGrid, true, false, 0.01)
+		sim.ShortRange = shortrange.New(c, s.Box, shortrange.DefaultParams(21.3/8))
+		if err := sim.Init(); err != nil {
+			t.Errorf("init: %v", err)
+			return
+		}
+		for i := 0; i < 8; i++ {
+			if err := sim.Step(); err != nil {
+				t.Errorf("step %d: %v", i, err)
+				return
+			}
+		}
+		k, u := sim.Energies()
+		c.SetResult([3]float64{float64(sim.L.N), k, u})
+	})
+	total := 0
+	for _, v := range st.Values {
+		r := v.([3]float64)
+		total += int(r[0])
+	}
+	if total != s.N {
+		t.Errorf("particles not conserved: %d vs %d", total, s.N)
+	}
+	e := st.Values[0].([3]float64)
+	if e[1] <= 0 {
+		t.Error("kinetic energy should be positive")
+	}
+	if math.IsNaN(e[1] + e[2]) {
+		t.Error("energies must be finite")
+	}
+}
+
+func TestShortRangeChangesForces(t *testing.T) {
+	// Sanity: enabling the repulsion must actually change the dynamics.
+	s := particle.SilicaMelt(216, 16, true, 41)
+	run := func(withSR bool) float64 {
+		st := vmpi.Run(vmpi.Config{Ranks: 4}, func(c *vmpi.Comm) {
+			sim := setup(t, c, s, "p2nfft", particle.DistGrid, false, false, 0.01)
+			if withSR {
+				sim.ShortRange = shortrange.New(c, s.Box, shortrange.DefaultParams(2))
+			}
+			if err := sim.Init(); err != nil {
+				t.Errorf("init: %v", err)
+				return
+			}
+			for i := 0; i < 3; i++ {
+				if err := sim.Step(); err != nil {
+					t.Errorf("step: %v", err)
+					return
+				}
+			}
+			k, _ := sim.Energies()
+			c.SetResult(k)
+		})
+		return st.Values[0].(float64)
+	}
+	plain := run(false)
+	repel := run(true)
+	if plain == repel {
+		t.Errorf("short-range forces had no effect on kinetic energy (%g)", plain)
+	}
+}

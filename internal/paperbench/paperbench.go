@@ -1,0 +1,239 @@
+// Package paperbench regenerates the evaluation of the paper: Figures 6–9
+// and the summary percentages quoted in §IV-C. Runtimes are deterministic
+// virtual seconds from the vmpi cost model; the figures' *shape* (which
+// method wins, by what factor, where crossovers fall) is the reproduction
+// target, not the absolute numbers of the JuRoPA/Juqueen hardware.
+package paperbench
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/api"
+	"repro/internal/core"
+	"repro/internal/mdsim"
+	"repro/internal/netmodel"
+	"repro/internal/particle"
+	"repro/internal/vmpi"
+)
+
+// Machine models one of the paper's two platforms.
+type Machine struct {
+	Name string
+	// Model builds the network model for a rank count.
+	Model func(ranks int) netmodel.Model
+	// ComputeScale relates the machine's per-core speed to the cost
+	// model's baseline (a ~3 GHz Xeon core).
+	ComputeScale float64
+}
+
+// JuRoPA is the switched-fabric commodity cluster (QDR InfiniBand, Xeon).
+func JuRoPA() Machine {
+	return Machine{
+		Name:         "JuRoPA-like (switched)",
+		Model:        func(int) netmodel.Model { return netmodel.NewSwitched() },
+		ComputeScale: 1.0,
+	}
+}
+
+// Juqueen is the Blue Gene/Q: a torus network and slower cores.
+func Juqueen() Machine {
+	return Machine{
+		Name:         "Juqueen-like (torus)",
+		Model:        func(ranks int) netmodel.Model { return netmodel.NewTorus(ranks) },
+		ComputeScale: 2.5,
+	}
+}
+
+// Config parameterizes an experiment.
+type Config struct {
+	// Particles is the global particle count (the paper uses 829440; the
+	// default scale keeps laptop runtimes while preserving the shapes).
+	Particles int
+	// Side is the box side length.
+	Side float64
+	// Ranks is the number of virtual MPI ranks.
+	Ranks int
+	// Steps is the number of MD time steps where applicable.
+	Steps int
+	// Dt is the time step size (the paper uses 0.01).
+	Dt float64
+	// Machine selects the platform model.
+	Machine Machine
+	// Accuracy is the requested solver accuracy.
+	Accuracy float64
+	// Seed makes the particle system deterministic.
+	Seed int64
+	// Thermal gives particles initial thermal velocities of this scale.
+	// The paper starts from v0 = 0 and runs 1000 steps; thermal velocities
+	// compress the same distribution drift into fewer steps for
+	// scaled-down runs (0 reproduces the paper's v0 = 0).
+	Thermal float64
+}
+
+// DefaultConfig returns a laptop-scale configuration that reproduces the
+// figures' shapes. Side 0 selects the paper's particle density
+// (829440 ions in a 248³ box, i.e. a mean ion spacing of ~2.66).
+func DefaultConfig() Config {
+	return Config{
+		Particles: 6000,
+		Side:      0,
+		Ranks:     8,
+		Steps:     8,
+		Dt:        0.01,
+		Machine:   JuRoPA(),
+		Accuracy:  1e-3,
+		Seed:      42,
+	}
+}
+
+// side resolves the box side: explicit, or the paper's density.
+func (cfg Config) side() float64 {
+	if cfg.Side > 0 {
+		return cfg.Side
+	}
+	const paperSpacing = 2.6567 // 248 / 829440^(1/3)
+	return paperSpacing * math.Cbrt(float64(cfg.Particles))
+}
+
+// StepStat is one time step's phase breakdown, reduced (max) over ranks.
+type StepStat struct {
+	Sort    float64 // solver-side particle sorting/redistribution
+	Restore float64 // method A: restoring the original order
+	Resort  float64 // method B: resorting additional data + index creation
+	Total   float64 // total virtual time of the step's solver run (+resort)
+}
+
+// stepDelta captures one rank's phase deltas over one step.
+type stepDelta struct {
+	Sort, Restore, Resort, Total float64
+}
+
+// phaseSnapshot reads the relevant phase timers.
+func phaseSnapshot(c *vmpi.Comm) stepDelta {
+	return stepDelta{
+		Sort:    c.PhaseTime(api.PhaseSort),
+		Restore: c.PhaseTime(api.PhaseRestore),
+		Resort:  c.PhaseTime(api.PhaseResort) + c.PhaseTime(api.PhaseResortCreate),
+		Total:   c.PhaseTime(api.PhaseTotal) + c.PhaseTime(api.PhaseResort),
+	}
+}
+
+func (a stepDelta) minus(b stepDelta) stepDelta {
+	return stepDelta{a.Sort - b.Sort, a.Restore - b.Restore, a.Resort - b.Resort, a.Total - b.Total}
+}
+
+// reduceSteps max-reduces per-rank step series into StepStats.
+func reduceSteps(values []any) []StepStat {
+	var out []StepStat
+	for _, v := range values {
+		steps := v.([]stepDelta)
+		if out == nil {
+			out = make([]StepStat, len(steps))
+		}
+		for i, d := range steps {
+			out[i].Sort = math.Max(out[i].Sort, d.Sort)
+			out[i].Restore = math.Max(out[i].Restore, d.Restore)
+			out[i].Resort = math.Max(out[i].Resort, d.Resort)
+			out[i].Total = math.Max(out[i].Total, d.Total)
+		}
+	}
+	return out
+}
+
+// runMD runs an MD simulation and returns the per-step phase breakdown.
+// Index 0 is the initial interaction computation (Fig. 3 line 5); indices
+// 1..Steps are the time steps.
+func runMD(cfg Config, solver string, dist particle.Dist, resort, track bool) []StepStat {
+	s := particle.SilicaMelt(cfg.Particles, cfg.side(), true, cfg.Seed)
+	if cfg.Thermal > 0 {
+		particle.Thermalize(s, cfg.Thermal, cfg.Seed+2)
+	}
+	st := vmpi.Run(vmpi.Config{
+		Ranks:        cfg.Ranks,
+		Model:        cfg.Machine.Model(cfg.Ranks),
+		ComputeScale: cfg.Machine.ComputeScale,
+	}, func(c *vmpi.Comm) {
+		l := particle.Distribute(c, s, dist, cfg.Seed+1)
+		h, err := core.Init(solver, c)
+		if err != nil {
+			panic(err)
+		}
+		if err := h.SetCommon(s.Box); err != nil {
+			panic(err)
+		}
+		h.SetAccuracy(cfg.Accuracy)
+		h.SetResortEnabled(resort)
+		sim := mdsim.New(c, h, l, cfg.Dt)
+		sim.TrackMovement = track
+
+		var deltas []stepDelta
+		prev := phaseSnapshot(c)
+		if err := sim.Init(); err != nil {
+			panic(err)
+		}
+		cur := phaseSnapshot(c)
+		deltas = append(deltas, cur.minus(prev))
+		prev = cur
+		for i := 0; i < cfg.Steps; i++ {
+			if err := sim.Step(); err != nil {
+				panic(err)
+			}
+			cur = phaseSnapshot(c)
+			deltas = append(deltas, cur.minus(prev))
+			prev = cur
+		}
+		c.SetResult(deltas)
+	})
+	return reduceSteps(st.Values)
+}
+
+// runOnce performs a single solver run (no MD) and returns its phase
+// breakdown — the Fig. 6 measurement.
+func runOnce(cfg Config, solver string, dist particle.Dist) StepStat {
+	s := particle.SilicaMelt(cfg.Particles, cfg.side(), true, cfg.Seed)
+	st := vmpi.Run(vmpi.Config{
+		Ranks:        cfg.Ranks,
+		Model:        cfg.Machine.Model(cfg.Ranks),
+		ComputeScale: cfg.Machine.ComputeScale,
+	}, func(c *vmpi.Comm) {
+		l := particle.Distribute(c, s, dist, cfg.Seed+1)
+		h, err := core.Init(solver, c)
+		if err != nil {
+			panic(err)
+		}
+		if err := h.SetCommon(s.Box); err != nil {
+			panic(err)
+		}
+		h.SetAccuracy(cfg.Accuracy)
+		if err := h.Tune(l.N, l.ActivePos(), l.ActiveQ()); err != nil {
+			panic(err)
+		}
+		prev := phaseSnapshot(c)
+		n := l.N
+		if err := h.Run(&n, l.Cap, l.Pos, l.Q, l.Pot, l.Field); err != nil {
+			panic(err)
+		}
+		c.SetResult([]stepDelta{phaseSnapshot(c).minus(prev)})
+	})
+	return reduceSteps(st.Values)[0]
+}
+
+// Solvers lists the two solver methods in presentation order.
+func Solvers() []string { return []string{"fmm", "p2nfft"} }
+
+// fmtSeconds renders a virtual time like the paper's log axes.
+func fmtSeconds(v float64) string {
+	return fmt.Sprintf("%10.3e", v)
+}
+
+// RunSingle exposes the Fig. 6 measurement (one solver run) for benchmarks.
+func RunSingle(cfg Config, solver string, dist particle.Dist) StepStat {
+	return runOnce(cfg, solver, dist)
+}
+
+// RunSimulation exposes the MD-loop measurement (Figs. 7–9) for benchmarks:
+// it returns the per-step phase breakdown, index 0 being the initial solve.
+func RunSimulation(cfg Config, solver string, dist particle.Dist, resort, track bool) []StepStat {
+	return runMD(cfg, solver, dist, resort, track)
+}

@@ -1,0 +1,228 @@
+package paperbench
+
+import (
+	"strings"
+	"testing"
+)
+
+// testConfig keeps test runtimes small while preserving the shapes: enough
+// particles per rank that redistribution volume dominates message latency.
+func testConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Particles = 6000
+	cfg.Side = 0
+	cfg.Ranks = 8
+	cfg.Steps = 4
+	return cfg
+}
+
+func TestFig6Shape(t *testing.T) {
+	cfg := testConfig()
+	rows := Fig6(cfg)
+	if len(rows) != 6 {
+		t.Fatalf("expected 6 rows, got %d", len(rows))
+	}
+	byKey := map[string]Fig6Row{}
+	for _, r := range rows {
+		byKey[r.Solver+"/"+r.Dist.String()] = r
+	}
+	for _, solver := range Solvers() {
+		single := byKey[solver+"/single process"]
+		random := byKey[solver+"/random"]
+		grid := byKey[solver+"/process grid"]
+		// Paper: single process is the worst (bottleneck), process grid
+		// beats random by an order of magnitude for sort+restore.
+		if !(single.Sort+single.Restor > random.Sort+random.Restor) {
+			t.Errorf("%s: single-process redistribution (%g) should exceed random (%g)",
+				solver, single.Sort+single.Restor, random.Sort+random.Restor)
+		}
+		if !(random.Sort+random.Restor > grid.Sort+grid.Restor) {
+			t.Errorf("%s: random redistribution (%g) should exceed process grid (%g)",
+				solver, random.Sort+random.Restor, grid.Sort+grid.Restor)
+		}
+		if !(single.Total > grid.Total) {
+			t.Errorf("%s: single-process total (%g) should exceed grid total (%g)",
+				solver, single.Total, grid.Total)
+		}
+	}
+	text := RenderFig6(rows)
+	if !strings.Contains(text, "process grid") || !strings.Contains(text, "fmm") {
+		t.Errorf("render missing content:\n%s", text)
+	}
+}
+
+func TestFig7Shape(t *testing.T) {
+	cfg := testConfig()
+	series := Fig7(cfg)
+	if len(series) != 4 {
+		t.Fatalf("expected 4 series, got %d", len(series))
+	}
+	get := func(solver, method string) Fig7Series {
+		for _, s := range series {
+			if s.Solver == solver && s.Method == method {
+				return s
+			}
+		}
+		t.Fatalf("missing series %s/%s", solver, method)
+		return Fig7Series{}
+	}
+	for _, solver := range Solvers() {
+		a := get(solver, "A")
+		b := get(solver, "B")
+		// Method A: per-step redistribution roughly constant (random
+		// initial distribution is restored every step).
+		lastA := a.Sort[len(a.Sort)-1] + a.Second[len(a.Second)-1]
+		firstA := a.Sort[1] + a.Second[1]
+		if lastA < firstA/4 {
+			t.Errorf("%s/A: redistribution collapsed from %g to %g; should stay high", solver, firstA, lastA)
+		}
+		// Method B: the sort in later steps drops well below the initial
+		// sort (paper: about two orders of magnitude for the FMM; the
+		// P2NFFT sort keeps its drift-independent ghost-creation floor, so
+		// its drop is bounded by the ghost share at this scale).
+		dropFactor := 4.0
+		if solver == "p2nfft" {
+			dropFactor = 1.15
+		}
+		if b.Sort[len(b.Sort)-1] > b.Sort[0]/dropFactor {
+			t.Errorf("%s/B: step sort %g vs initial %g; should drop by %gx",
+				solver, b.Sort[len(b.Sort)-1], b.Sort[0], dropFactor)
+		}
+		// Method B total beats method A total in steady state.
+		if b.Total[len(b.Total)-1] >= a.Total[len(a.Total)-1] {
+			t.Errorf("%s: method B total %g should beat method A %g",
+				solver, b.Total[len(b.Total)-1], a.Total[len(a.Total)-1])
+		}
+	}
+	text := RenderFig7(series)
+	if !strings.Contains(text, "method B total in first step") {
+		t.Errorf("render missing summary:\n%s", text)
+	}
+}
+
+func TestFig8Shape(t *testing.T) {
+	cfg := testConfig()
+	// Drive drift much faster than the paper's 1000 steps: thermal initial
+	// velocities and enough steps that a sizable particle fraction leaves
+	// its initial subdomain.
+	cfg.Steps = 60
+	cfg.Dt = 0.01
+	cfg.Thermal = 2.5
+	series := Fig8(cfg)
+	get := func(solver, method string) Fig8Series {
+		for _, s := range series {
+			if s.Solver == solver && s.Method == method {
+				return s
+			}
+		}
+		t.Fatalf("missing series %s/%s", solver, method)
+		return Fig8Series{}
+	}
+	for _, solver := range Solvers() {
+		a := get(solver, "A")
+		b := get(solver, "B")
+		n := len(a.Redist)
+		// Paper: method A's restore cost grows as particles drift from the
+		// initial process-grid distribution (the P2NFFT sort keeps a large
+		// drift-independent ghost-creation floor, so the restore is the
+		// clean signal).
+		earlyR := avg(a.Second[:n/4])
+		lateR := avg(a.Second[3*n/4:])
+		if lateR < 2*earlyR {
+			t.Errorf("%s/A: restore should grow with drift: early %g, late %g", solver, earlyR, lateR)
+		}
+		// Method B's redistribution stays flat: late ≈ early.
+		earlyB := avg(b.Redist[:n/4])
+		lateB := avg(b.Redist[3*n/4:])
+		if lateB > 4*earlyB {
+			t.Errorf("%s/B: redistribution should stay flat: early %g, late %g", solver, earlyB, lateB)
+		}
+		// And late method B redistribution is below method A's.
+		lateA := avg(a.Redist[3*n/4:])
+		if lateB >= lateA {
+			t.Errorf("%s: late method B redistribution %g should be below method A %g",
+				solver, lateB, lateA)
+		}
+		// Totals: method B wins in the drifted regime.
+		if tb, ta := avg(b.Total[3*n/4:]), avg(a.Total[3*n/4:]); tb >= ta {
+			t.Errorf("%s: late method B total %g should beat method A %g", solver, tb, ta)
+		}
+	}
+	text := RenderFig8(series)
+	if !strings.Contains(text, "redistribution share") {
+		t.Errorf("render missing content:\n%s", text)
+	}
+}
+
+func TestFig9SwitchedShape(t *testing.T) {
+	cfg := testConfig()
+	// The paper's Fig. 9 simulations run 1000 steps, so the particles have
+	// drifted well away from the initial grid distribution; emulate the
+	// drifted regime with thermal initial velocities over fewer steps.
+	cfg.Steps = 25
+	cfg.Dt = 0.025
+	cfg.Thermal = 2.5
+	pts := Fig9(cfg, "fmm", []int{2, 8})
+	if len(pts) != 2 {
+		t.Fatalf("expected 2 points, got %d", len(pts))
+	}
+	// Paper Fig. 9 (left): method B beats method A at moderate scale on
+	// the switched machine, and total runtime decreases with rank count.
+	last := pts[len(pts)-1]
+	if last.TotalB >= last.TotalA {
+		t.Errorf("method B (%g) should beat method A (%g) at %d ranks",
+			last.TotalB, last.TotalA, last.Ranks)
+	}
+	if pts[1].TotalB >= pts[0].TotalB {
+		t.Errorf("method B should scale: %g at %d ranks vs %g at %d",
+			pts[1].TotalB, pts[1].Ranks, pts[0].TotalB, pts[0].Ranks)
+	}
+	text := RenderFig9("fmm", "switched", pts)
+	if !strings.Contains(text, "method A") {
+		t.Errorf("render missing content:\n%s", text)
+	}
+}
+
+func TestFig9TorusMovementHelps(t *testing.T) {
+	cfg := testConfig()
+	cfg.Steps = 3
+	cfg.Machine = Juqueen()
+	pts := Fig9(cfg, "p2nfft", []int{8})
+	p := pts[0]
+	// Paper Fig. 9 (right): on the torus, exploiting the limited movement
+	// (neighborhood communication) does not lose to plain method B.
+	if p.TotalBMv > p.TotalB*1.05 {
+		t.Errorf("movement optimization should not hurt on the torus: %g vs %g",
+			p.TotalBMv, p.TotalB)
+	}
+}
+
+func avg(v []float64) float64 {
+	s := 0.0
+	for _, x := range v {
+		s += x
+	}
+	return s / float64(len(v))
+}
+
+func TestSparkline(t *testing.T) {
+	if got := sparkline(nil); got != "" {
+		t.Errorf("empty series: %q", got)
+	}
+	flat := sparkline([]float64{1, 1, 1})
+	if flat != "▁▁▁" {
+		t.Errorf("flat series: %q", flat)
+	}
+	s := sparkline([]float64{0.001, 0.01, 0.1, 1})
+	runes := []rune(s)
+	if len(runes) != 4 {
+		t.Fatalf("length %d", len(runes))
+	}
+	if runes[0] != '▁' || runes[3] != '█' {
+		t.Errorf("monotone series endpoints: %q", s)
+	}
+	// Zero or negative entries render as the floor glyph.
+	if z := []rune(sparkline([]float64{0, 1})); z[0] != '▁' {
+		t.Errorf("zero entry: %q", string(z))
+	}
+}

@@ -1,0 +1,150 @@
+package particle
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Generators for benchmark particle systems. All generators are
+// deterministic in their seed so every rank of a virtual machine can
+// reproduce the same global system without communication.
+
+// SilicaMelt generates a charge-neutral ionic system resembling the paper's
+// benchmark input: a melting silica crystal with positive and negative ions
+// that are "sufficiently homogeneously distributed" (paper §IV-A). Ions are
+// placed on a full cubic lattice with alternating charges (rock-salt
+// pattern, which is charge neutral along every lattice direction) and
+// displaced by a thermal jitter of a fraction of the lattice constant.
+//
+// To keep the system homogeneous, n is rounded to the nearest even-sided
+// full lattice cube; use System.N for the actual count.
+func SilicaMelt(n int, side float64, periodic bool, seed int64) *System {
+	if n < 8 {
+		n = 8
+	}
+	// Nearest even lattice dimension; even m keeps the rock-salt pattern
+	// charge neutral under periodic wrapping.
+	m := int(math.Round(math.Cbrt(float64(n))/2)) * 2
+	if m < 2 {
+		m = 2
+	}
+	n = m * m * m
+	box := NewCubicBox(side, periodic)
+	s := NewSystem(box, n)
+	rng := rand.New(rand.NewSource(seed))
+	a := side / float64(m) // lattice constant
+	jitter := 0.18 * a     // thermal displacement scale ("melting")
+	i := 0
+	for ix := 0; ix < m; ix++ {
+		for iy := 0; iy < m; iy++ {
+			for iz := 0; iz < m; iz++ {
+				x := (float64(ix)+0.5)*a + jitter*rng.NormFloat64()
+				y := (float64(iy)+0.5)*a + jitter*rng.NormFloat64()
+				z := (float64(iz)+0.5)*a + jitter*rng.NormFloat64()
+				x, y, z = box.Wrap(clampOpen(x, side), clampOpen(y, side), clampOpen(z, side))
+				s.Pos[3*i], s.Pos[3*i+1], s.Pos[3*i+2] = x, y, z
+				if (ix+iy+iz)%2 == 0 {
+					s.Q[i] = 1
+				} else {
+					s.Q[i] = -1
+				}
+				i++
+			}
+		}
+	}
+	neutralize(s)
+	return s
+}
+
+// UniformRandom generates n particles uniformly at random in a cubic box
+// with alternating unit charges (charge neutral for even n).
+func UniformRandom(n int, side float64, periodic bool, seed int64) *System {
+	box := NewCubicBox(side, periodic)
+	s := NewSystem(box, n)
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		s.Pos[3*i] = rng.Float64() * side
+		s.Pos[3*i+1] = rng.Float64() * side
+		s.Pos[3*i+2] = rng.Float64() * side
+		if i%2 == 0 {
+			s.Q[i] = 1
+		} else {
+			s.Q[i] = -1
+		}
+	}
+	neutralize(s)
+	return s
+}
+
+// GaussianBlob generates an inhomogeneous system: particles normally
+// distributed around the box center (clipped to the box), alternating
+// charges. Inhomogeneous inputs stress the difference between the FMM's
+// Z-curve decomposition and a uniform process grid.
+func GaussianBlob(n int, side float64, periodic bool, seed int64) *System {
+	box := NewCubicBox(side, periodic)
+	s := NewSystem(box, n)
+	rng := rand.New(rand.NewSource(seed))
+	sigma := side / 8
+	for i := 0; i < n; i++ {
+		for d := 0; d < 3; d++ {
+			v := side/2 + sigma*rng.NormFloat64()
+			s.Pos[3*i+d] = clampOpen(v, side)
+		}
+		if i%2 == 0 {
+			s.Q[i] = 1
+		} else {
+			s.Q[i] = -1
+		}
+	}
+	neutralize(s)
+	return s
+}
+
+// Thermalize assigns Maxwell-Boltzmann-like initial velocities with the
+// given scale (standard deviation per component) and removes the net
+// momentum. The paper starts its runs from v0 = 0 and lets the forces build
+// up drift over 1000 steps; thermal velocities compress the same
+// distribution drift into far fewer steps for scaled-down experiments.
+func Thermalize(s *System, v0 float64, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	var mean [3]float64
+	for i := 0; i < s.N; i++ {
+		for d := 0; d < 3; d++ {
+			v := v0 * rng.NormFloat64()
+			s.Vel[3*i+d] = v
+			mean[d] += v
+		}
+	}
+	if s.N == 0 {
+		return
+	}
+	for d := 0; d < 3; d++ {
+		mean[d] /= float64(s.N)
+	}
+	for i := 0; i < s.N; i++ {
+		for d := 0; d < 3; d++ {
+			s.Vel[3*i+d] -= mean[d]
+		}
+	}
+}
+
+// neutralize zeroes the net charge by adjusting the last particle, keeping
+// long-range solvers well defined under periodic boundary conditions.
+func neutralize(s *System) {
+	if s.N == 0 {
+		return
+	}
+	total := s.TotalCharge()
+	s.Q[s.N-1] -= total
+}
+
+// clampOpen clamps v to [0, side) with a small margin at the upper end.
+func clampOpen(v, side float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v >= side {
+		return side * (1 - 1e-12)
+	}
+	return v
+}

@@ -1,0 +1,75 @@
+package particle
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// Text I/O for particle systems. The format is line oriented:
+//
+//	# repro particle system v1
+//	n <N>
+//	box <lx> <ly> <lz> <periodic:0|1>
+//	<x> <y> <z> <q> <vx> <vy> <vz>     (N lines)
+//
+// It corresponds to the paper's "simulation application reads the particle
+// system from an input file" (§II-D).
+
+// WriteText serializes a system.
+func WriteText(w io.Writer, s *System) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "# repro particle system v1"); err != nil {
+		return err
+	}
+	fmt.Fprintf(bw, "n %d\n", s.N)
+	l := s.Box.Lengths()
+	per := 0
+	if s.Box.Periodic[0] {
+		per = 1
+	}
+	fmt.Fprintf(bw, "box %.17g %.17g %.17g %d\n", l[0], l[1], l[2], per)
+	for i := 0; i < s.N; i++ {
+		if _, err := fmt.Fprintf(bw, "%.17g %.17g %.17g %.17g %.17g %.17g %.17g\n",
+			s.Pos[3*i], s.Pos[3*i+1], s.Pos[3*i+2], s.Q[i],
+			s.Vel[3*i], s.Vel[3*i+1], s.Vel[3*i+2]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadText deserializes a system written by WriteText.
+func ReadText(r io.Reader) (*System, error) {
+	br := bufio.NewReader(r)
+	var header string
+	if _, err := fmt.Fscanf(br, "# repro particle system v%s\n", &header); err != nil {
+		return nil, fmt.Errorf("particle: bad header: %w", err)
+	}
+	var n int
+	if _, err := fmt.Fscanf(br, "n %d\n", &n); err != nil {
+		return nil, fmt.Errorf("particle: bad particle count: %w", err)
+	}
+	if n < 0 {
+		return nil, fmt.Errorf("particle: negative particle count %d", n)
+	}
+	var lx, ly, lz float64
+	var per int
+	if _, err := fmt.Fscanf(br, "box %g %g %g %d\n", &lx, &ly, &lz, &per); err != nil {
+		return nil, fmt.Errorf("particle: bad box line: %w", err)
+	}
+	box := Box{}
+	box.Base[0][0], box.Base[1][1], box.Base[2][2] = lx, ly, lz
+	for d := 0; d < 3; d++ {
+		box.Periodic[d] = per != 0
+	}
+	s := NewSystem(box, n)
+	for i := 0; i < n; i++ {
+		if _, err := fmt.Fscanf(br, "%g %g %g %g %g %g %g\n",
+			&s.Pos[3*i], &s.Pos[3*i+1], &s.Pos[3*i+2], &s.Q[i],
+			&s.Vel[3*i], &s.Vel[3*i+1], &s.Vel[3*i+2]); err != nil {
+			return nil, fmt.Errorf("particle: bad particle line %d: %w", i, err)
+		}
+	}
+	return s, nil
+}

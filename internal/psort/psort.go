@@ -1,0 +1,489 @@
+// Package psort provides the two parallel sorting methods the paper's FMM
+// solver switches between (§III-A, §III-B):
+//
+//   - SortPartition: a partition-based parallel sort (paper reference [12]).
+//     Ranks sort locally, agree on p-1 key splitters, exchange elements with
+//     a collective all-to-all, and merge. The output is globally sorted and
+//     approximately balanced, but every rank may communicate with every
+//     other rank.
+//   - SortMerge: a merge-based parallel sort (references [15], [16]). Ranks
+//     sort locally, then perform pairwise merge-split steps following
+//     Batcher's merge-exchange sorting network, using point-to-point
+//     communication only. Per-rank element counts are preserved. For almost
+//     sorted inputs — the common case when particles move only slightly per
+//     time step — most pairs detect from a small header exchange that no
+//     data needs to move, so the network's data volume collapses.
+//
+// Both sorts order elements by a uint64 key extracted with a caller-supplied
+// function and are deterministic, including for duplicate keys.
+package psort
+
+import (
+	"sort"
+
+	"repro/internal/costs"
+	"repro/internal/vmpi"
+)
+
+// Tags used by SortMerge header/count/data exchanges.
+const (
+	tagHeader = 101
+	tagData   = 102
+	tagCount  = 103
+)
+
+// LocalSort stably sorts items by key and charges the cost of an adaptive
+// merge sort to the rank's virtual clock if c is non-nil: almost sorted
+// inputs — the method B steady state — cost little more than a scan, as
+// with the merge-based local sorting of the paper's sorting library
+// (reference [15]).
+func LocalSort[T any](c *vmpi.Comm, items []T, key func(T) uint64) {
+	breaks := 0
+	for i := 1; i < len(items); i++ {
+		if key(items[i-1]) > key(items[i]) {
+			breaks++
+		}
+	}
+	if breaks > 0 {
+		sort.SliceStable(items, func(i, j int) bool { return key(items[i]) < key(items[j]) })
+	}
+	if c != nil {
+		c.Compute(costs.AdaptiveSortTime(len(items), breaks))
+	}
+}
+
+// IsSorted reports whether items are locally non-decreasing in key.
+func IsSorted[T any](items []T, key func(T) uint64) bool {
+	for i := 1; i < len(items); i++ {
+		if key(items[i-1]) > key(items[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// SortPartition globally sorts items across the ranks of c: after the call,
+// every rank holds a locally sorted slice and all keys on rank r are <= all
+// keys on rank r+1. Splitters are determined by exact splitting — a
+// collective bisection over the key space that balances element counts up
+// to key multiplicities (the partitioning algorithm of paper reference
+// [12]) — so the distribution cannot drift over repeated sorts. Element
+// exchange uses a collective all-to-all.
+func SortPartition[T any](c *vmpi.Comm, items []T, key func(T) uint64) []T {
+	p := c.Size()
+	LocalSort(c, items, key)
+	if p == 1 {
+		return items
+	}
+	splitters := exactSplitters(c, items, key)
+
+	// Partition the local run: elements with key < splitters[r] (binary
+	// search) go to rank r.
+	parts := make([][]T, p)
+	lo := 0
+	for r := 0; r < p; r++ {
+		hi := len(items)
+		if r < len(splitters) {
+			s := splitters[r]
+			hi = lo + sort.Search(len(items)-lo, func(i int) bool { return key(items[lo+i]) >= s })
+		}
+		parts[r] = items[lo:hi]
+		lo = hi
+	}
+	c.Compute(exchangeCost(c.Rank(), parts)) // pack into send buffers
+
+	recv := vmpi.Alltoall(c, parts)
+
+	// Merge the received sorted runs. Received blocks are in source-rank
+	// order; a stable sort keeps ties deterministic.
+	merged := make([]T, 0, totalLen(recv))
+	for _, b := range recv {
+		merged = append(merged, b...)
+	}
+	sort.SliceStable(merged, func(i, j int) bool { return key(merged[i]) < key(merged[j]) })
+	c.Compute(exchangeCost(c.Rank(), recv) + costs.MergeTime(len(merged), p))
+	return merged
+}
+
+// exchangeCost prices element transfer: elements crossing ranks pay the
+// fine-grained redistribution handling cost, local ones a memory move.
+func exchangeCost[T any](self int, parts [][]T) float64 {
+	cost := 0.0
+	for r, b := range parts {
+		if r == self {
+			cost += costs.Move * float64(len(b))
+		} else {
+			cost += costs.RedistElem * float64(len(b))
+		}
+	}
+	return cost
+}
+
+// exactSplitters finds p-1 splitter keys such that the number of elements
+// with key < splitter[i] equals the target prefix count (i+1)*total/p, up
+// to key multiplicities, via a collective bisection over the key value
+// space. All splitters are searched simultaneously: one small allreduce
+// per bisection round.
+func exactSplitters[T any](c *vmpi.Comm, items []T, key func(T) uint64) []uint64 {
+	p := c.Size()
+	n := len(items)
+	// Global bounds and total count.
+	locMin, locMax := ^uint64(0), uint64(0)
+	if n > 0 {
+		locMin = key(items[0])
+		locMax = key(items[n-1])
+	}
+	agg := vmpi.Allreduce(c, []uint64{^locMin, locMax}, vmpi.Max[uint64])
+	globalMin := ^agg[0]
+	globalMax := agg[1]
+	total := int64(vmpi.AllreduceVal(c, uint64(n), vmpi.Sum[uint64]))
+	if total == 0 {
+		return make([]uint64, p-1)
+	}
+	lo := make([]uint64, p-1)
+	hi := make([]uint64, p-1)
+	targets := make([]int64, p-1)
+	for i := range lo {
+		lo[i] = globalMin
+		hi[i] = globalMax + 1
+		targets[i] = int64(i+1) * total / int64(p)
+	}
+	counts := make([]int64, p-1)
+	for {
+		done := true
+		for i := range lo {
+			if lo[i] < hi[i] {
+				done = false
+			}
+		}
+		if done {
+			break
+		}
+		for i := range lo {
+			mid := lo[i] + (hi[i]-lo[i])/2
+			counts[i] = int64(sort.Search(n, func(j int) bool { return key(items[j]) >= mid }))
+		}
+		c.Compute(costs.Compare * float64(p) * 32)
+		global := vmpi.Allreduce(c, counts, vmpi.Sum[int64])
+		for i := range lo {
+			if lo[i] >= hi[i] {
+				continue
+			}
+			mid := lo[i] + (hi[i]-lo[i])/2
+			if global[i] < targets[i] {
+				lo[i] = mid + 1
+			} else {
+				hi[i] = mid
+			}
+		}
+	}
+	return lo
+}
+
+// SortMerge globally sorts items across the ranks of c with Batcher's
+// merge-exchange network of pairwise merge-split steps. Per-rank element
+// counts are preserved: rank r ends with exactly as many elements as it
+// started with. Before each pairwise data exchange, the pair trades a small
+// header (count, min, max); if the pair is already ordered, the element
+// exchange is skipped entirely — the property that makes this method cheap
+// for almost sorted data.
+func SortMerge[T any](c *vmpi.Comm, items []T, key func(T) uint64) []T {
+	p := c.Size()
+	LocalSort(c, items, key)
+	if p == 1 {
+		return items
+	}
+	me := c.Rank()
+	for _, ce := range MergeExchangeSchedule(p) {
+		switch me {
+		case ce.I:
+			items = mergeSplit(c, items, key, ce.J, true)
+		case ce.J:
+			items = mergeSplit(c, items, key, ce.I, false)
+		}
+	}
+	// Batcher's network provably sorts equal-size blocks; with unequal
+	// per-rank counts (and in particular with empty ranks, through which no
+	// element can flow because merge-split preserves counts) residual
+	// inversions are possible. Clean up with odd-even block transposition
+	// rounds over the chain of non-empty ranks until the global boundary
+	// check passes — for almost sorted inputs typically zero rounds.
+	counts := vmpi.Allgather(c, []int64{int64(len(items))})
+	nonEmpty := make([]int, 0, p)
+	myIdx := -1
+	for r, n := range counts {
+		if n > 0 {
+			if r == c.Rank() {
+				myIdx = len(nonEmpty)
+			}
+			nonEmpty = append(nonEmpty, r)
+		}
+	}
+	// Each pair of rounds fixes at least one boundary inversion, but a
+	// low-capacity rank in the middle of the chain throttles element flow
+	// to its capacity per two rounds, so the worst-case round count is
+	// bounded by the total element count, not the chain length. Almost
+	// sorted inputs — the method's intended regime — need zero or very few
+	// rounds.
+	total := int64(0)
+	for _, n := range counts {
+		total += n
+	}
+	even := true
+	for round := int64(0); !globallySorted(c, items, key); round++ {
+		if round > 2*total+8 {
+			panic("psort: odd-even cleanup failed to converge")
+		}
+		items = oddEvenRound(c, items, key, nonEmpty, myIdx, even)
+		even = !even
+	}
+	return items
+}
+
+// globallySorted checks (collectively) that every rank is locally sorted
+// and rank boundaries are non-decreasing, skipping empty ranks.
+func globallySorted[T any](c *vmpi.Comm, items []T, key func(T) uint64) bool {
+	h := header{Count: int64(len(items))}
+	if len(items) > 0 {
+		h.Min = key(items[0])
+		h.Max = key(items[len(items)-1])
+	}
+	all := vmpi.Allgather(c, []header{h})
+	prevMax := uint64(0)
+	have := false
+	for _, e := range all {
+		if e.Count == 0 {
+			continue
+		}
+		if have && e.Min < prevMax {
+			return false
+		}
+		prevMax = e.Max
+		have = true
+	}
+	return true
+}
+
+// oddEvenRound performs one block transposition round over the chain of
+// non-empty ranks: adjacent chain pairs starting at even or odd chain
+// positions merge-split. myIdx is the calling rank's position in the chain,
+// or -1 if it is empty (and therefore idle).
+func oddEvenRound[T any](c *vmpi.Comm, items []T, key func(T) uint64, chain []int, myIdx int, even bool) []T {
+	if myIdx < 0 {
+		return items
+	}
+	start := 0
+	if !even {
+		start = 1
+	}
+	off := myIdx - start
+	if off >= 0 && off%2 == 0 && myIdx+1 < len(chain) {
+		return mergeSplit(c, items, key, chain[myIdx+1], true)
+	}
+	if off >= 1 && off%2 == 1 {
+		return mergeSplit(c, items, key, chain[myIdx-1], false)
+	}
+	return items
+}
+
+// header describes one side of a merge-split pair.
+type header struct {
+	Count    int64
+	Min, Max uint64
+}
+
+// mergeSplit performs one comparator step with partner. keepLow selects
+// whether this rank keeps the lower (comparator input i) or upper (input j)
+// part of the merged sequence. The local count is preserved.
+//
+// The exchange is count-negotiated: at most t = min(k_i, k_j) elements can
+// change sides, where k_i is the number of i's elements above j's minimum
+// and k_j the number of j's elements below i's maximum (every element that
+// enters the low side displaces a larger one, and vice versa). Each side
+// therefore sends only its t boundary elements. Almost sorted data — even
+// with a few Z-curve stragglers that jumped across the whole key range —
+// exchanges only those few elements, the property the paper's merge-based
+// sorting exploits (§III-B).
+func mergeSplit[T any](c *vmpi.Comm, items []T, key func(T) uint64, partner int, keepLow bool) []T {
+	h := header{Count: int64(len(items))}
+	if len(items) > 0 {
+		h.Min = key(items[0])
+		h.Max = key(items[len(items)-1])
+	}
+	ph := vmpi.Sendrecv(c, []header{h}, partner, partner, tagHeader)[0]
+
+	// Skip the data exchange when the pair is already ordered or one side
+	// is empty.
+	if h.Count == 0 || ph.Count == 0 {
+		return items
+	}
+	if keepLow && h.Max <= ph.Min {
+		return items
+	}
+	if !keepLow && ph.Max <= h.Min {
+		return items
+	}
+
+	n := len(items)
+	// Negotiate the exchange size t = min(k_low, k_high).
+	var k int
+	if keepLow {
+		cut := sort.Search(n, func(i int) bool { return key(items[i]) > ph.Min })
+		k = n - cut // my elements above the partner's minimum
+	} else {
+		k = sort.Search(n, func(i int) bool { return key(items[i]) >= ph.Max })
+	}
+	pk := int(vmpi.Sendrecv(c, []int64{int64(k)}, partner, partner, tagCount)[0])
+	t := k
+	if pk < t {
+		t = pk
+	}
+	if t == 0 {
+		return items
+	}
+
+	if keepLow {
+		// Send my t largest; receive the partner's t smallest. Only these
+		// candidates can change sides.
+		theirLow := vmpi.Sendrecv(c, items[n-t:], partner, partner, tagData)
+		c.Compute(costs.RedistElem * float64(2*t))
+		// Keep the n smallest of (mine ∪ their candidates); ties keep the
+		// lower comparator input (me) first.
+		out := make([]T, 0, n)
+		li, hi := 0, 0
+		for len(out) < n {
+			if li < n && (hi >= len(theirLow) || key(items[li]) <= key(theirLow[hi])) {
+				out = append(out, items[li])
+				li++
+			} else {
+				out = append(out, theirLow[hi])
+				hi++
+			}
+		}
+		c.Compute(costs.MergeTime(len(out), 2))
+		return out
+	}
+	// Upper side: send my t smallest; receive the partner's t largest.
+	theirHigh := vmpi.Sendrecv(c, items[:t], partner, partner, tagData)
+	c.Compute(costs.RedistElem * float64(2*t))
+	// Keep the n largest of (their candidates ∪ mine); the merged order
+	// puts the lower input (partner) first on ties, and we take the last n.
+	total := len(theirHigh) + n
+	merged := make([]T, 0, total)
+	li, hi := 0, 0
+	for li < len(theirHigh) || hi < n {
+		if li < len(theirHigh) && (hi >= n || key(theirHigh[li]) <= key(items[hi])) {
+			merged = append(merged, theirHigh[li])
+			li++
+		} else {
+			merged = append(merged, items[hi])
+			hi++
+		}
+	}
+	c.Compute(costs.MergeTime(len(merged), 2))
+	return append([]T(nil), merged[total-n:]...)
+}
+
+// CE is one comparator of a sorting network: compare-exchange between
+// network inputs I < J.
+type CE struct{ I, J int }
+
+// MergeExchangeSchedule returns the comparator sequence of Batcher's
+// merge-exchange sorting network for n inputs (Knuth, TAOCP vol. 3,
+// Algorithm 5.2.2M). Comparators are emitted in pass order; comparators
+// within one (p,q,r,d) group touch disjoint input pairs and may proceed
+// concurrently.
+func MergeExchangeSchedule(n int) []CE {
+	var out []CE
+	if n < 2 {
+		return out
+	}
+	t := 0
+	for 1<<t < n {
+		t++
+	}
+	for p := 1 << (t - 1); p > 0; p >>= 1 {
+		q := 1 << (t - 1)
+		r := 0
+		d := p
+		for {
+			for i := 0; i < n-d; i++ {
+				if i&p == r {
+					out = append(out, CE{I: i, J: i + d})
+				}
+			}
+			if q == p {
+				break
+			}
+			d = q - p
+			q >>= 1
+			r = p
+		}
+	}
+	return out
+}
+
+func totalLen[T any](blocks [][]T) int {
+	n := 0
+	for _, b := range blocks {
+		n += len(b)
+	}
+	return n
+}
+
+// SortPartitionSampled is SortPartition with splitters chosen by regular
+// sampling of the locally sorted runs (p samples per rank) instead of exact
+// splitting. It is kept as an ablation of the design choice discussed in
+// DESIGN.md: sampling is cheaper per sort (no bisection rounds) but its
+// splitters depend on the current layout, so repeated sorts of slowly
+// changing data let the per-rank loads drift — exactly the pathology the
+// exact splitting of reference [12] avoids.
+func SortPartitionSampled[T any](c *vmpi.Comm, items []T, key func(T) uint64) []T {
+	p := c.Size()
+	LocalSort(c, items, key)
+	if p == 1 {
+		return items
+	}
+	samples := make([]uint64, 0, p)
+	for i := 0; i < p && len(items) > 0; i++ {
+		idx := (i*len(items) + len(items)/2) / p
+		if idx >= len(items) {
+			idx = len(items) - 1
+		}
+		samples = append(samples, key(items[idx]))
+	}
+	all := vmpi.Allgather(c, samples)
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	c.Compute(costs.SortTime(len(all)))
+	splitters := make([]uint64, 0, p-1)
+	for i := 1; i < p; i++ {
+		if len(all) == 0 {
+			break
+		}
+		idx := i * len(all) / p
+		if idx >= len(all) {
+			idx = len(all) - 1
+		}
+		splitters = append(splitters, all[idx])
+	}
+	parts := make([][]T, p)
+	lo := 0
+	for r := 0; r < p; r++ {
+		hi := len(items)
+		if r < len(splitters) {
+			s := splitters[r]
+			hi = lo + sort.Search(len(items)-lo, func(i int) bool { return key(items[lo+i]) >= s })
+		}
+		parts[r] = items[lo:hi]
+		lo = hi
+	}
+	c.Compute(exchangeCost(c.Rank(), parts))
+	recv := vmpi.Alltoall(c, parts)
+	merged := make([]T, 0, totalLen(recv))
+	for _, b := range recv {
+		merged = append(merged, b...)
+	}
+	sort.SliceStable(merged, func(i, j int) bool { return key(merged[i]) < key(merged[j]) })
+	c.Compute(exchangeCost(c.Rank(), recv) + costs.MergeTime(len(merged), p))
+	return merged
+}

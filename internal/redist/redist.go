@@ -1,0 +1,173 @@
+// Package redist implements the fine-grained data redistribution operation
+// of the paper (references [13] and [14], the ZMPI-ATASP library): an
+// all-to-all-specific exchange in which every element is sent to an
+// individually chosen target process, with optional duplication of elements
+// (used to create ghost particles), plus the resort-index machinery that
+// method B (§III-B) builds on.
+//
+// Two communication backends are provided, mirroring §III-B's P2NFFT
+// optimization:
+//
+//   - Exchange uses a collective all-to-all.
+//   - ExchangeNeighborhood uses non-blocking point-to-point messages with a
+//     fixed neighbor set. If any element targets a rank outside the
+//     neighborhood, all ranks transparently fall back to the collective
+//     backend (the fallback decision is itself collective).
+//
+// Resort indices are 64-bit values packing a target process rank (high 32
+// bits) and a target position on that process (low 32 bits), exactly as
+// described in §III-A for the P2NFFT solver's particle copies.
+package redist
+
+import (
+	"fmt"
+
+	"repro/internal/costs"
+	"repro/internal/vmpi"
+)
+
+// Index packs a process rank and a local position.
+type Index uint64
+
+// Invalid marks ghost particles: duplicates that have no original particle
+// to report back to (paper §III-A).
+const Invalid Index = ^Index(0)
+
+// MakeIndex packs rank and position into an Index.
+func MakeIndex(rank, pos int) Index {
+	if rank < 0 || pos < 0 || rank > 0x7fffffff || pos > 0x7fffffff {
+		panic(fmt.Sprintf("redist: index out of range: rank %d pos %d", rank, pos))
+	}
+	return Index(uint64(rank)<<32 | uint64(pos))
+}
+
+// Rank extracts the process rank of an Index.
+func (x Index) Rank() int { return int(x >> 32) }
+
+// Pos extracts the local position of an Index.
+func (x Index) Pos() int { return int(x & 0xffffffff) }
+
+// Valid reports whether the index refers to an original particle.
+func (x Index) Valid() bool { return x != Invalid }
+
+// Targets assigns elements to target ranks. For element i it appends the
+// target rank(s) to dst and returns the result; returning more than one
+// rank duplicates the element (ghosts), returning none drops it.
+type Targets func(i int, dst []int) []int
+
+// ToRank adapts a single-target function to a Targets.
+func ToRank(f func(i int) int) Targets {
+	return func(i int, dst []int) []int { return append(dst, f(i)) }
+}
+
+// Exchange performs the fine-grained redistribution of items using the
+// collective all-to-all backend: element i is sent to every rank listed by
+// targets(i). The result holds, for each source rank in rank order, that
+// rank's elements in their local order. Element order is deterministic.
+func Exchange[T any](c *vmpi.Comm, items []T, targets Targets) []T {
+	p := c.Size()
+	parts := make([][]T, p)
+	var buf []int
+	for i, it := range items {
+		buf = targets(i, buf[:0])
+		for _, r := range buf {
+			if r < 0 || r >= p {
+				panic(fmt.Sprintf("redist: target rank %d out of range (size %d)", r, p))
+			}
+			parts[r] = append(parts[r], it)
+		}
+	}
+	c.Compute(crossCost(c.Rank(), parts))
+	recv := vmpi.Alltoall(c, parts)
+	out := make([]T, 0, totalLen(recv))
+	for _, b := range recv {
+		out = append(out, b...)
+	}
+	c.Compute(crossCost(c.Rank(), recv))
+	return out
+}
+
+// crossCost charges the element-wise redistribution cost: elements crossing
+// process boundaries pay RedistElem, local ones only a memory move.
+func crossCost[T any](self int, parts [][]T) float64 {
+	cost := 0.0
+	for r, b := range parts {
+		if r == self {
+			cost += costs.Move * float64(len(b))
+		} else {
+			cost += costs.RedistElem * float64(len(b))
+		}
+	}
+	return cost
+}
+
+// ExchangeNeighborhood performs the same redistribution as Exchange but
+// sends only point-to-point messages to the given neighbor ranks (plus
+// local copies to self). The neighbor set must be symmetric across ranks
+// (if a is a neighbor of b, then b is a neighbor of a), as produced by
+// vmpi.Cart.Neighbors. If any rank has an element targeting a rank outside
+// its neighborhood, every rank falls back to the collective Exchange; the
+// second return value reports whether the neighborhood path was used.
+func ExchangeNeighborhood[T any](c *vmpi.Comm, items []T, targets Targets, neighbors []int) ([]T, bool) {
+	p := c.Size()
+	inNbr := make(map[int]bool, len(neighbors))
+	for _, r := range neighbors {
+		inNbr[r] = true
+	}
+	parts := make(map[int][]T, len(neighbors)+1)
+	ok := true
+	var buf []int
+	for i, it := range items {
+		buf = targets(i, buf[:0])
+		for _, r := range buf {
+			if r < 0 || r >= p {
+				panic(fmt.Sprintf("redist: target rank %d out of range (size %d)", r, p))
+			}
+			if r != c.Rank() && !inNbr[r] {
+				ok = false
+			}
+			parts[r] = append(parts[r], it)
+		}
+	}
+	// Collective fallback decision: every rank must take the same path.
+	allOK := vmpi.AllreduceVal(c, boolToInt(ok), vmpi.Min[int]) == 1
+	if !allOK {
+		return Exchange(c, items, targets), false
+	}
+
+	sendCost := costs.Move * float64(len(parts[c.Rank()]))
+	for _, nb := range neighbors {
+		sendCost += costs.RedistElem * float64(len(parts[nb]))
+	}
+	c.Compute(sendCost)
+	const tag = 201
+	for _, nb := range neighbors {
+		vmpi.Isend(c, parts[nb], nb, tag)
+	}
+	// Deterministic assembly order: self first, then neighbors ascending.
+	out := make([]T, 0, len(items))
+	out = append(out, parts[c.Rank()]...)
+	recvCost := costs.Move * float64(len(parts[c.Rank()]))
+	for _, nb := range neighbors {
+		got := vmpi.Recv[T](c, nb, tag)
+		recvCost += costs.RedistElem * float64(len(got))
+		out = append(out, got...)
+	}
+	c.Compute(recvCost)
+	return out, true
+}
+
+func boolToInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func totalLen[T any](blocks [][]T) int {
+	n := 0
+	for _, b := range blocks {
+		n += len(b)
+	}
+	return n
+}

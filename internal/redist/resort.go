@@ -1,0 +1,118 @@
+package redist
+
+import (
+	"fmt"
+
+	"repro/internal/costs"
+	"repro/internal/vmpi"
+)
+
+// Resort implements the subsequent reordering and redistribution of
+// additional application-specific particle data (velocities, accelerations)
+// for method B (paper §III-B): each solver produces resort indices — one
+// per original local particle, giving the target process and target
+// position where that particle ended up — and the application calls
+// ResortFloats / ResortInts to move data it owns into the solver's changed
+// order and distribution.
+//
+// The implementation is the fine-grained redistribution operation followed
+// by a permutation according to the target positions, exactly as described
+// in the paper.
+
+const (
+	tagResortPos = 211
+	tagResortVal = 212
+)
+
+// ResortFloats redistributes vals — stride consecutive float64 per original
+// particle i, in original order — according to indices, and returns the
+// values in the changed order: the returned slice has length nNew*stride
+// and element indices[i] (.Pos on .Rank) holds particle i's values. nNew is
+// the local particle count after the solver's redistribution. Entries with
+// invalid indices are dropped.
+func ResortFloats(c *vmpi.Comm, vals []float64, stride int, indices []Index, nNew int) []float64 {
+	return resort(c, vals, stride, indices, nNew)
+}
+
+// ResortInts is ResortFloats for int64 data.
+func ResortInts(c *vmpi.Comm, vals []int64, stride int, indices []Index, nNew int) []int64 {
+	return resort(c, vals, stride, indices, nNew)
+}
+
+// ResortIndices is ResortFloats for Index-typed data (used internally to
+// invert permutations).
+func ResortIndices(c *vmpi.Comm, vals []Index, stride int, indices []Index, nNew int) []Index {
+	return resort(c, vals, stride, indices, nNew)
+}
+
+func resort[T any](c *vmpi.Comm, vals []T, stride int, indices []Index, nNew int) []T {
+	if stride < 1 {
+		panic("redist: resort stride must be >= 1")
+	}
+	n := len(indices)
+	if len(vals) != n*stride {
+		panic(fmt.Sprintf("redist: resort values length %d != %d particles * stride %d", len(vals), n, stride))
+	}
+	p := c.Size()
+	// Per-target position lists and value blocks, in local order.
+	posParts := make([][]int64, p)
+	valParts := make([][]T, p)
+	for i := 0; i < n; i++ {
+		idx := indices[i]
+		if !idx.Valid() {
+			continue
+		}
+		r := idx.Rank()
+		if r < 0 || r >= p {
+			panic(fmt.Sprintf("redist: resort index rank %d out of range (size %d)", r, p))
+		}
+		posParts[r] = append(posParts[r], int64(idx.Pos()))
+		valParts[r] = append(valParts[r], vals[i*stride:(i+1)*stride]...)
+	}
+	c.Compute(crossCost(c.Rank(), posParts) + costs.Move*float64(n*stride))
+
+	recvPos := vmpi.Alltoall(c, posParts)
+	recvVal := vmpi.Alltoall(c, valParts)
+
+	out := make([]T, nNew*stride)
+	placed := make([]bool, nNew)
+	for r := 0; r < p; r++ {
+		pos := recvPos[r]
+		val := recvVal[r]
+		if len(val) != len(pos)*stride {
+			panic("redist: resort position/value length mismatch")
+		}
+		for k, pv := range pos {
+			if pv < 0 || int(pv) >= nNew {
+				panic(fmt.Sprintf("redist: resort target position %d out of range (nNew %d)", pv, nNew))
+			}
+			if placed[pv] {
+				panic(fmt.Sprintf("redist: resort target position %d written twice", pv))
+			}
+			placed[pv] = true
+			copy(out[int(pv)*stride:(int(pv)+1)*stride], val[k*stride:(k+1)*stride])
+		}
+	}
+	c.Compute(crossCost(c.Rank(), recvPos) + costs.Move*float64(nNew*stride))
+	return out
+}
+
+// InvertIndices converts between the two directions of a particle
+// redistribution. Given, for each particle now held locally (in its changed
+// position j), the origin index (original rank and position), it returns,
+// distributed in the original layout, the resort index of every original
+// particle (the changed rank and position it moved to). nOrig is the local
+// particle count in the original distribution.
+//
+// Origin entries equal to Invalid (ghosts) are skipped. Applying
+// InvertIndices twice returns the original index set (an involution), which
+// is how the FMM and P2NFFT solvers create resort indices from the
+// bookkeeping they already maintain for method A's restore step (§III-B,
+// Fig. 5).
+func InvertIndices(c *vmpi.Comm, origin []Index, nOrig int) []Index {
+	where := make([]Index, len(origin))
+	for j := range origin {
+		where[j] = MakeIndex(c.Rank(), j)
+	}
+	return ResortIndices(c, where, 1, origin, nOrig)
+}

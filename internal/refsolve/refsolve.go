@@ -1,0 +1,205 @@
+// Package refsolve provides reference Coulomb solvers used as accuracy
+// oracles for the FMM and P2NFFT solvers: a direct O(n²) summation for open
+// boundaries and classic Ewald summation for periodic boundaries.
+//
+// Units are Gaussian: the potential of a unit charge at distance r is 1/r
+// and the field is r̂/r². The electrostatic energy of the system is
+// U = ½ Σ_i q_i φ_i.
+package refsolve
+
+import (
+	"math"
+
+	"repro/internal/particle"
+)
+
+// DirectOpen computes potentials and fields for n particles with open
+// boundary conditions by direct pairwise summation. pot must have length n
+// and field length 3n; both are overwritten.
+func DirectOpen(pos, q, pot, field []float64) {
+	n := len(q)
+	for i := range pot[:n] {
+		pot[i] = 0
+	}
+	for i := range field[:3*n] {
+		field[i] = 0
+	}
+	for i := 0; i < n; i++ {
+		xi, yi, zi := pos[3*i], pos[3*i+1], pos[3*i+2]
+		for j := i + 1; j < n; j++ {
+			dx := xi - pos[3*j]
+			dy := yi - pos[3*j+1]
+			dz := zi - pos[3*j+2]
+			r2 := dx*dx + dy*dy + dz*dz
+			if r2 == 0 {
+				continue
+			}
+			r := math.Sqrt(r2)
+			inv := 1 / r
+			inv3 := inv / r2
+			pot[i] += q[j] * inv
+			pot[j] += q[i] * inv
+			// Field at i points away from a positive charge at j.
+			field[3*i] += q[j] * dx * inv3
+			field[3*i+1] += q[j] * dy * inv3
+			field[3*i+2] += q[j] * dz * inv3
+			field[3*j] -= q[i] * dx * inv3
+			field[3*j+1] -= q[i] * dy * inv3
+			field[3*j+2] -= q[i] * dz * inv3
+		}
+	}
+}
+
+// Energy returns the electrostatic energy ½ Σ q_i φ_i.
+func Energy(q, pot []float64) float64 {
+	u := 0.0
+	for i, qi := range q {
+		u += qi * pot[i]
+	}
+	return u / 2
+}
+
+// Ewald is a classic Ewald summation solver for fully periodic
+// orthorhombic boxes. The real-space part is summed with the minimum image
+// convention (requiring RCut ≤ L/2), the reciprocal part over all k vectors
+// with |k_int| ≤ KMax per dimension.
+type Ewald struct {
+	Box   particle.Box
+	Alpha float64 // splitting parameter
+	RCut  float64 // real-space cutoff
+	KMax  int     // reciprocal-space cutoff in integer k per dimension
+}
+
+// NewEwald constructs an Ewald solver tuned to the given relative accuracy
+// (e.g. 1e-4): α and the cutoffs are chosen from the standard exponential
+// error estimates exp(−α²r_c²) ≈ ε and exp(−k²/4α²) ≈ ε.
+func NewEwald(box particle.Box, accuracy float64) *Ewald {
+	if accuracy <= 0 || accuracy >= 1 {
+		accuracy = 1e-5
+	}
+	l := box.Lengths()
+	lmin := math.Min(l[0], math.Min(l[1], l[2]))
+	rcut := lmin / 2 * 0.999
+	s := math.Sqrt(-math.Log(accuracy))
+	alpha := s / rcut
+	kphys := 2 * alpha * s // exp(-k²/4α²) = ε at k = 2αs
+	lmax := math.Max(l[0], math.Max(l[1], l[2]))
+	kmax := int(math.Ceil(kphys * lmax / (2 * math.Pi)))
+	if kmax < 1 {
+		kmax = 1
+	}
+	return &Ewald{Box: box, Alpha: alpha, RCut: rcut, KMax: kmax}
+}
+
+// Compute fills pot (length n) and field (length 3n) with the periodic
+// Coulomb potentials and fields of the n particles. The system should be
+// charge neutral; a background correction for small residual net charge is
+// applied to the energy-consistent potential.
+func (e *Ewald) Compute(pos, q, pot, field []float64) {
+	n := len(q)
+	for i := range pot[:n] {
+		pot[i] = 0
+	}
+	for i := range field[:3*n] {
+		field[i] = 0
+	}
+	e.realSpace(pos, q, pot, field)
+	e.recipSpace(pos, q, pot, field)
+	e.selfAndBackground(q, pot)
+}
+
+// realSpace adds the short-range erfc part using minimum images.
+func (e *Ewald) realSpace(pos, q, pot, field []float64) {
+	n := len(q)
+	a := e.Alpha
+	rc2 := e.RCut * e.RCut
+	twoOverSqrtPi := 2 / math.Sqrt(math.Pi)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			dx := pos[3*i] - pos[3*j]
+			dy := pos[3*i+1] - pos[3*j+1]
+			dz := pos[3*i+2] - pos[3*j+2]
+			dx, dy, dz = e.Box.MinImage(dx, dy, dz)
+			r2 := dx*dx + dy*dy + dz*dz
+			if r2 == 0 || r2 > rc2 {
+				continue
+			}
+			r := math.Sqrt(r2)
+			erfcTerm := math.Erfc(a*r) / r
+			pot[i] += q[j] * erfcTerm
+			pot[j] += q[i] * erfcTerm
+			// -d/dr of erfc(αr)/r, projected on r̂ and divided by r.
+			fr := (erfcTerm + twoOverSqrtPi*a*math.Exp(-a*a*r2)) / r2
+			field[3*i] += q[j] * fr * dx
+			field[3*i+1] += q[j] * fr * dy
+			field[3*i+2] += q[j] * fr * dz
+			field[3*j] -= q[i] * fr * dx
+			field[3*j+1] -= q[i] * fr * dy
+			field[3*j+2] -= q[i] * fr * dz
+		}
+	}
+}
+
+// recipSpace adds the long-range Fourier part.
+func (e *Ewald) recipSpace(pos, q, pot, field []float64) {
+	n := len(q)
+	l := e.Box.Lengths()
+	vol := e.Box.Volume()
+	fourPiOverV := 4 * math.Pi / vol
+	a2inv := 1 / (4 * e.Alpha * e.Alpha)
+	kmax := e.KMax
+	kcut2 := float64(kmax*kmax) * math.Pow(2*math.Pi/math.Max(l[0], math.Max(l[1], l[2])), 2) * 1.0001
+
+	cosk := make([]float64, n)
+	sink := make([]float64, n)
+	for kx := -kmax; kx <= kmax; kx++ {
+		for ky := -kmax; ky <= kmax; ky++ {
+			for kz := -kmax; kz <= kmax; kz++ {
+				if kx == 0 && ky == 0 && kz == 0 {
+					continue
+				}
+				gx := 2 * math.Pi * float64(kx) / l[0]
+				gy := 2 * math.Pi * float64(ky) / l[1]
+				gz := 2 * math.Pi * float64(kz) / l[2]
+				k2 := gx*gx + gy*gy + gz*gz
+				if k2 > kcut2 {
+					continue
+				}
+				// Structure factor S(k) = Σ q_j exp(i k·r_j).
+				var sRe, sIm float64
+				for j := 0; j < n; j++ {
+					ph := gx*pos[3*j] + gy*pos[3*j+1] + gz*pos[3*j+2]
+					cj, sj := math.Cos(ph), math.Sin(ph)
+					cosk[j], sink[j] = cj, sj
+					sRe += q[j] * cj
+					sIm += q[j] * sj
+				}
+				w := fourPiOverV * math.Exp(-k2*a2inv) / k2
+				for i := 0; i < n; i++ {
+					// φ_i += w Re(exp(-i k·r_i) S); the gradient of the Re
+					// part is k times the Im part, so E = -∇φ = -w k Im.
+					pot[i] += w * (cosk[i]*sRe + sink[i]*sIm)
+					im := cosk[i]*sIm - sink[i]*sRe
+					field[3*i] -= w * gx * im
+					field[3*i+1] -= w * gy * im
+					field[3*i+2] -= w * gz * im
+				}
+			}
+		}
+	}
+}
+
+// selfAndBackground removes each charge's interaction with its own
+// screening cloud and adds the neutralizing-background term for residual
+// net charge.
+func (e *Ewald) selfAndBackground(q, pot []float64) {
+	selfTerm := 2 * e.Alpha / math.Sqrt(math.Pi)
+	net := 0.0
+	for _, qi := range q {
+		net += qi
+	}
+	bg := math.Pi / (e.Alpha * e.Alpha * e.Box.Volume()) * net
+	for i, qi := range q {
+		pot[i] -= selfTerm*qi + bg
+	}
+}

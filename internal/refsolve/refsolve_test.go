@@ -1,0 +1,248 @@
+package refsolve
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/particle"
+)
+
+func TestDirectOpenTwoCharges(t *testing.T) {
+	pos := []float64{0, 0, 0, 2, 0, 0}
+	q := []float64{1, -1}
+	pot := make([]float64, 2)
+	field := make([]float64, 6)
+	DirectOpen(pos, q, pot, field)
+	if math.Abs(pot[0]-(-0.5)) > 1e-14 || math.Abs(pot[1]-0.5) > 1e-14 {
+		t.Errorf("pot = %v, want [-0.5 0.5]", pot)
+	}
+	// Field at particle 0 from charge -1 at (2,0,0): points toward the
+	// negative charge (+x): q1 * (x0-x1)/r³ = -1 * (-2)/8 = +0.25. Field at
+	// particle 1 from charge +1 at the origin: away from it, also +x:
+	// q0 * (x1-x0)/r³ = +0.25.
+	if math.Abs(field[0]-0.25) > 1e-14 {
+		t.Errorf("field x at 0 = %g, want 0.25", field[0])
+	}
+	if math.Abs(field[3]-0.25) > 1e-14 {
+		t.Errorf("field x at 1 = %g, want 0.25", field[3])
+	}
+	// Force on positive charge q0 is q0*E = +0.25 toward the negative
+	// charge: attraction. Energy must be -1/r = -0.5.
+	if u := Energy(q, pot); math.Abs(u-(-0.5)) > 1e-14 {
+		t.Errorf("energy = %g, want -0.5", u)
+	}
+}
+
+func TestDirectOpenNewtonThirdLaw(t *testing.T) {
+	pos := []float64{0, 0, 0, 1, 0.5, 0.25, -0.5, 1, 0.75}
+	q := []float64{1, -2, 1.5}
+	pot := make([]float64, 3)
+	field := make([]float64, 9)
+	DirectOpen(pos, q, pot, field)
+	// Total force Σ q_i E_i must vanish.
+	var fx, fy, fz float64
+	for i := 0; i < 3; i++ {
+		fx += q[i] * field[3*i]
+		fy += q[i] * field[3*i+1]
+		fz += q[i] * field[3*i+2]
+	}
+	if math.Abs(fx) > 1e-12 || math.Abs(fy) > 1e-12 || math.Abs(fz) > 1e-12 {
+		t.Errorf("net force = (%g,%g,%g)", fx, fy, fz)
+	}
+}
+
+func TestDirectOpenFieldIsNegGradient(t *testing.T) {
+	// E = -∇φ: move a probe charge and compare numerical gradient of its
+	// potential energy with the analytic field.
+	base := []float64{0, 0, 0, 1.3, 0.4, -0.2, -0.8, 0.9, 1.1}
+	q := []float64{1, -1, 0.5}
+	pot := make([]float64, 3)
+	field := make([]float64, 9)
+	DirectOpen(base, q, pot, field)
+	const h = 1e-6
+	for d := 0; d < 3; d++ {
+		plus := append([]float64(nil), base...)
+		minus := append([]float64(nil), base...)
+		plus[d] += h
+		minus[d] -= h
+		pp := make([]float64, 3)
+		pm := make([]float64, 3)
+		f := make([]float64, 9)
+		DirectOpen(plus, q, pp, f)
+		DirectOpen(minus, q, pm, f)
+		du := (Energy(q, pp) - Energy(q, pm)) / (2 * h)
+		wantF := -du / q[0]
+		if math.Abs(field[d]-wantF) > 1e-5 {
+			t.Errorf("dim %d: field %g, -grad %g", d, field[d], wantF)
+		}
+	}
+}
+
+// madelungSystem builds an m³ rock-salt lattice with spacing a in a
+// periodic box.
+func madelungSystem(m int, a float64) *particle.System {
+	box := particle.NewCubicBox(float64(m)*a, true)
+	s := particle.NewSystem(box, m*m*m)
+	i := 0
+	for x := 0; x < m; x++ {
+		for y := 0; y < m; y++ {
+			for z := 0; z < m; z++ {
+				s.Pos[3*i] = (float64(x) + 0.5) * a
+				s.Pos[3*i+1] = (float64(y) + 0.5) * a
+				s.Pos[3*i+2] = (float64(z) + 0.5) * a
+				if (x+y+z)%2 == 0 {
+					s.Q[i] = 1
+				} else {
+					s.Q[i] = -1
+				}
+				i++
+			}
+		}
+	}
+	return s
+}
+
+func TestEwaldMadelung(t *testing.T) {
+	// The potential at every site of a rock-salt lattice with nearest
+	// neighbor distance a is ∓M/a with the Madelung constant
+	// M = 1.747564594633... — a sharp end-to-end oracle for the Ewald
+	// implementation.
+	const madelung = 1.7475645946331822
+	s := madelungSystem(4, 1.0)
+	e := NewEwald(s.Box, 1e-7)
+	pot := make([]float64, s.N)
+	field := make([]float64, 3*s.N)
+	e.Compute(s.Pos, s.Q, pot, field)
+	for i := 0; i < s.N; i++ {
+		got := -pot[i] * s.Q[i] // q_i φ_i = -M/a at every site
+		if math.Abs(got-madelung) > 1e-5 {
+			t.Fatalf("site %d: Madelung = %.8f, want %.8f", i, got, madelung)
+		}
+	}
+	// Fields vanish at lattice sites by symmetry.
+	for i := 0; i < 3*s.N; i++ {
+		if math.Abs(field[i]) > 1e-6 {
+			t.Fatalf("field[%d] = %g, want 0 by symmetry", i, field[i])
+		}
+	}
+}
+
+func TestEwaldIndependentOfAlpha(t *testing.T) {
+	// The total result must be independent of the splitting parameter —
+	// the defining property of Ewald summation.
+	s := madelungSystem(2, 1.0)
+	// Perturb positions so fields are nonzero.
+	s.Pos[0] += 0.1
+	s.Pos[4] -= 0.07
+	base := NewEwald(s.Box, 1e-7)
+	potA := make([]float64, s.N)
+	fieldA := make([]float64, 3*s.N)
+	base.Compute(s.Pos, s.Q, potA, fieldA)
+
+	alt := *base
+	alt.Alpha *= 1.35
+	alt.KMax += 4
+	potB := make([]float64, s.N)
+	fieldB := make([]float64, 3*s.N)
+	alt.Compute(s.Pos, s.Q, potB, fieldB)
+
+	for i := range potA {
+		if math.Abs(potA[i]-potB[i]) > 1e-4 {
+			t.Fatalf("pot[%d]: %g vs %g across alpha", i, potA[i], potB[i])
+		}
+	}
+	for i := range fieldA {
+		if math.Abs(fieldA[i]-fieldB[i]) > 1e-4 {
+			t.Fatalf("field[%d]: %g vs %g across alpha", i, fieldA[i], fieldB[i])
+		}
+	}
+}
+
+func TestEwaldFieldIsNegGradient(t *testing.T) {
+	s := madelungSystem(2, 1.0)
+	s.Pos[0] += 0.13
+	s.Pos[1] -= 0.05
+	e := NewEwald(s.Box, 1e-7)
+	pot := make([]float64, s.N)
+	field := make([]float64, 3*s.N)
+	e.Compute(s.Pos, s.Q, pot, field)
+	const h = 1e-5
+	for d := 0; d < 3; d++ {
+		pp := make([]float64, s.N)
+		pm := make([]float64, s.N)
+		f := make([]float64, 3*s.N)
+		plus := append([]float64(nil), s.Pos...)
+		minus := append([]float64(nil), s.Pos...)
+		plus[d] += h
+		minus[d] -= h
+		e.Compute(plus, s.Q, pp, f)
+		e.Compute(minus, s.Q, pm, f)
+		du := (Energy(s.Q, pp) - Energy(s.Q, pm)) / (2 * h)
+		wantF := -du / s.Q[0]
+		if math.Abs(field[d]-wantF) > 1e-4 {
+			t.Errorf("dim %d: field %g, -grad %g", d, field[d], wantF)
+		}
+	}
+}
+
+func TestEwaldNewtonThirdLaw(t *testing.T) {
+	s := madelungSystem(2, 1.2)
+	s.Pos[0] += 0.2
+	s.Pos[7] -= 0.15
+	e := NewEwald(s.Box, 1e-6)
+	pot := make([]float64, s.N)
+	field := make([]float64, 3*s.N)
+	e.Compute(s.Pos, s.Q, pot, field)
+	var fx, fy, fz float64
+	for i := 0; i < s.N; i++ {
+		fx += s.Q[i] * field[3*i]
+		fy += s.Q[i] * field[3*i+1]
+		fz += s.Q[i] * field[3*i+2]
+	}
+	if math.Abs(fx)+math.Abs(fy)+math.Abs(fz) > 1e-6 {
+		t.Errorf("net force = (%g,%g,%g)", fx, fy, fz)
+	}
+}
+
+func TestEwaldEnergyTranslationInvariant(t *testing.T) {
+	s := madelungSystem(2, 1.0)
+	s.Pos[0] += 0.11
+	e := NewEwald(s.Box, 1e-6)
+	pot := make([]float64, s.N)
+	field := make([]float64, 3*s.N)
+	e.Compute(s.Pos, s.Q, pot, field)
+	u0 := Energy(s.Q, pot)
+	// Shift everything by an arbitrary vector (with periodic wrap).
+	shifted := append([]float64(nil), s.Pos...)
+	for i := 0; i < s.N; i++ {
+		x, y, z := s.Box.Wrap(shifted[3*i]+0.37, shifted[3*i+1]+1.91, shifted[3*i+2]-0.53)
+		shifted[3*i], shifted[3*i+1], shifted[3*i+2] = x, y, z
+	}
+	e.Compute(shifted, s.Q, pot, field)
+	u1 := Energy(s.Q, pot)
+	if math.Abs(u0-u1) > 1e-6*math.Abs(u0) {
+		t.Errorf("energy not translation invariant: %g vs %g", u0, u1)
+	}
+}
+
+func TestNewEwaldTuning(t *testing.T) {
+	box := particle.NewCubicBox(10, true)
+	e := NewEwald(box, 1e-5)
+	if e.RCut > 5 {
+		t.Errorf("RCut %g exceeds L/2", e.RCut)
+	}
+	if e.Alpha <= 0 || e.KMax < 1 {
+		t.Errorf("bad tuning: alpha %g kmax %d", e.Alpha, e.KMax)
+	}
+	// Tighter accuracy → more reciprocal vectors.
+	e2 := NewEwald(box, 1e-10)
+	if e2.KMax <= e.KMax {
+		t.Errorf("tighter accuracy should raise KMax: %d vs %d", e2.KMax, e.KMax)
+	}
+}
+
+func TestEnergyEmpty(t *testing.T) {
+	if Energy(nil, nil) != 0 {
+		t.Error("empty energy should be 0")
+	}
+}

@@ -1,0 +1,190 @@
+package shortrange
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/particle"
+	"repro/internal/vmpi"
+)
+
+// serialReference computes the repulsion by brute force with minimum-image
+// distances.
+func serialReference(s *particle.System, p Params) (pot, force []float64) {
+	pot = make([]float64, s.N)
+	force = make([]float64, 3*s.N)
+	rc2 := p.Cutoff * p.Cutoff
+	for i := 0; i < s.N; i++ {
+		for j := i + 1; j < s.N; j++ {
+			dx := s.Pos[3*i] - s.Pos[3*j]
+			dy := s.Pos[3*i+1] - s.Pos[3*j+1]
+			dz := s.Pos[3*i+2] - s.Pos[3*j+2]
+			dx, dy, dz = s.Box.MinImage(dx, dy, dz)
+			r2 := dx*dx + dy*dy + dz*dz
+			if r2 == 0 || r2 > rc2 {
+				continue
+			}
+			r := math.Sqrt(r2)
+			u := p.A * math.Exp(-r/p.Rho)
+			fr := u / (p.Rho * r)
+			pot[i] += u
+			pot[j] += u
+			force[3*i] += fr * dx
+			force[3*i+1] += fr * dy
+			force[3*i+2] += fr * dz
+			force[3*j] -= fr * dx
+			force[3*j+1] -= fr * dy
+			force[3*j+2] -= fr * dz
+		}
+	}
+	return pot, force
+}
+
+func runParallel(t *testing.T, s *particle.System, ranks int, params Params,
+	dist particle.Dist) (pot, force []float64) {
+	t.Helper()
+	type out struct {
+		ids   []int64
+		pot   []float64
+		force []float64
+	}
+	st := vmpi.Run(vmpi.Config{Ranks: ranks}, func(c *vmpi.Comm) {
+		l := particle.Distribute(c, s, dist, 9)
+		ids := make([]int64, l.N)
+		for i := 0; i < l.N; i++ {
+			ids[i] = globalID(s, l.Pos[3*i], l.Pos[3*i+1], l.Pos[3*i+2])
+		}
+		sv := New(c, s.Box, params)
+		p := make([]float64, l.N)
+		f := make([]float64, 3*l.N)
+		sv.Compute(l.N, l.ActivePos(), l.ActiveQ(), p, f)
+		c.SetResult(out{ids, p, f})
+	})
+	pot = make([]float64, s.N)
+	force = make([]float64, 3*s.N)
+	for _, v := range st.Values {
+		o := v.(out)
+		for i, g := range o.ids {
+			pot[g] = o.pot[i]
+			force[3*g] = o.force[3*i]
+			force[3*g+1] = o.force[3*i+1]
+			force[3*g+2] = o.force[3*i+2]
+		}
+	}
+	return pot, force
+}
+
+func globalID(s *particle.System, x, y, z float64) int64 {
+	for i := 0; i < s.N; i++ {
+		if s.Pos[3*i] == x && s.Pos[3*i+1] == y && s.Pos[3*i+2] == z {
+			return int64(i)
+		}
+	}
+	return -1
+}
+
+func TestParallelMatchesSerial(t *testing.T) {
+	s := particle.SilicaMelt(512, 21.3, true, 7)
+	params := DefaultParams(21.3 / 8)
+	wantPot, wantForce := serialReference(s, params)
+	for _, ranks := range []int{1, 4, 8} {
+		for _, dist := range []particle.Dist{particle.DistRandom, particle.DistGrid} {
+			pot, force := runParallel(t, s, ranks, params, dist)
+			for i := 0; i < s.N; i++ {
+				if math.Abs(pot[i]-wantPot[i]) > 1e-10*(math.Abs(wantPot[i])+1) {
+					t.Fatalf("ranks=%d dist=%v: pot[%d] = %g, want %g", ranks, dist, i, pot[i], wantPot[i])
+				}
+			}
+			for i := 0; i < 3*s.N; i++ {
+				if math.Abs(force[i]-wantForce[i]) > 1e-10*(math.Abs(wantForce[i])+1) {
+					t.Fatalf("ranks=%d dist=%v: force[%d] = %g, want %g", ranks, dist, i, force[i], wantForce[i])
+				}
+			}
+		}
+	}
+}
+
+func TestNewtonThirdLaw(t *testing.T) {
+	s := particle.SilicaMelt(216, 12, true, 11)
+	params := DefaultParams(2)
+	_, force := runParallel(t, s, 4, params, particle.DistRandom)
+	var fx, fy, fz float64
+	for i := 0; i < s.N; i++ {
+		fx += force[3*i]
+		fy += force[3*i+1]
+		fz += force[3*i+2]
+	}
+	if math.Abs(fx)+math.Abs(fy)+math.Abs(fz) > 1e-9 {
+		t.Errorf("net force (%g,%g,%g) should vanish", fx, fy, fz)
+	}
+}
+
+func TestForceIsNegativeGradient(t *testing.T) {
+	// Move one particle by h and compare the energy difference with the
+	// reported force.
+	s := particle.SilicaMelt(64, 6, true, 13)
+	params := DefaultParams(1.5)
+	energy := func(sys *particle.System) float64 {
+		pot, _ := serialReference(sys, params)
+		u := 0.0
+		for _, p := range pot {
+			u += p
+		}
+		return u / 2
+	}
+	_, force := serialReference(s, params)
+	const h = 1e-6
+	for d := 0; d < 3; d++ {
+		plus := *s
+		plus.Pos = append([]float64(nil), s.Pos...)
+		plus.Pos[d] += h
+		minus := *s
+		minus.Pos = append([]float64(nil), s.Pos...)
+		minus.Pos[d] -= h
+		grad := (energy(&plus) - energy(&minus)) / (2 * h)
+		if math.Abs(-grad-force[d]) > 1e-4*(math.Abs(force[d])+1) {
+			t.Errorf("dim %d: force %g, -grad %g", d, force[d], -grad)
+		}
+	}
+}
+
+func TestRepulsionPreventsCollapse(t *testing.T) {
+	// The motivating property: with repulsion, the minimum pair distance in
+	// a short heated simulation stays bounded away from zero. Rather than
+	// wiring a full MD loop here, verify the static property that the
+	// repulsive energy dominates the Coulomb attraction below the
+	// screening length.
+	params := DefaultParams(2.66)
+	r := params.Rho // a close approach
+	repulsion := params.A * math.Exp(-1)
+	coulomb := 1 / r
+	if repulsion <= coulomb {
+		t.Errorf("repulsion %g at r=ρ should dominate Coulomb %g", repulsion, coulomb)
+	}
+}
+
+func TestCutoffValidation(t *testing.T) {
+	s := particle.NewCubicBox(8, true)
+	vmpi.Run(vmpi.Config{Ranks: 8}, func(c *vmpi.Comm) {
+		defer func() {
+			if recover() == nil {
+				t.Error("cutoff beyond subdomain side should panic")
+			}
+		}()
+		New(c, s, Params{A: 1, Rho: 1, Cutoff: 5}) // subdomain side 4
+	})
+}
+
+func TestEmptyRanksHandled(t *testing.T) {
+	// All particles on one rank; others contribute none but participate in
+	// the collectives.
+	s := particle.SilicaMelt(64, 8, true, 17)
+	params := DefaultParams(2)
+	wantPot, _ := serialReference(s, params)
+	pot, _ := runParallel(t, s, 4, params, particle.DistSingle)
+	for i := 0; i < s.N; i++ {
+		if math.Abs(pot[i]-wantPot[i]) > 1e-10*(math.Abs(wantPot[i])+1) {
+			t.Fatalf("pot[%d] = %g, want %g", i, pot[i], wantPot[i])
+		}
+	}
+}

@@ -1,0 +1,273 @@
+package vmpi
+
+// Collective operations, implemented on top of point-to-point messages with
+// standard algorithms (dissemination barrier, binomial trees, ring
+// allgather, pairwise all-to-all). Because they decompose into ordinary
+// messages, their virtual cost emerges from the network topology model.
+//
+// All collectives must be called by every rank of the communicator in the
+// same program order (SPMD discipline), as with MPI.
+
+// Reserved internal tags. User point-to-point tags must be non-negative.
+const (
+	tagBarrier = -1
+	tagBcast   = -2
+	tagReduce  = -3
+	tagGather  = -4
+	tagGatherA = -5
+	tagA2A     = -6
+	tagScan    = -7
+	tagScatter = -8
+)
+
+// Number constrains element types usable with the arithmetic reduction
+// helpers.
+type Number interface {
+	~int | ~int8 | ~int16 | ~int32 | ~int64 |
+		~uint | ~uint8 | ~uint16 | ~uint32 | ~uint64 |
+		~float32 | ~float64
+}
+
+// Sum is an element-wise addition reduction operator.
+func Sum[T Number](a, b T) T { return a + b }
+
+// Max is an element-wise maximum reduction operator.
+func Max[T Number](a, b T) T {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Min is an element-wise minimum reduction operator.
+func Min[T Number](a, b T) T {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Barrier blocks until all ranks of the communicator have entered it, using
+// the dissemination algorithm (log2(p) rounds of point-to-point messages).
+func Barrier(c *Comm) {
+	p := c.Size()
+	for k := 1; k < p; k <<= 1 {
+		Send(c, []byte{}, (c.rank+k)%p, tagBarrier)
+		Recv[byte](c, (c.rank-k+p)%p, tagBarrier)
+	}
+}
+
+// Bcast distributes root's data to all ranks using a binomial tree and
+// returns the received slice (root returns data unchanged).
+func Bcast[T any](c *Comm, data []T, root int) []T {
+	p := c.Size()
+	if p == 1 {
+		return data
+	}
+	rel := (c.rank - root + p) % p
+	mask := 1
+	for mask < p {
+		if rel&mask != 0 {
+			src := (rel - mask + root) % p
+			data = Recv[T](c, src, tagBcast)
+			break
+		}
+		mask <<= 1
+	}
+	mask >>= 1
+	for mask > 0 {
+		if rel+mask < p {
+			dst := (rel + mask + root) % p
+			Send(c, data, dst, tagBcast)
+		}
+		mask >>= 1
+	}
+	return data
+}
+
+// Reduce combines equal-length slices element-wise with op (which must be
+// commutative and associative) down a binomial tree; the combined slice is
+// returned on root, nil elsewhere.
+func Reduce[T any](c *Comm, data []T, op func(a, b T) T, root int) []T {
+	p := c.Size()
+	acc := copySlice(data)
+	rel := (c.rank - root + p) % p
+	for mask := 1; mask < p; mask <<= 1 {
+		if rel&mask != 0 {
+			dst := (rel - mask + root) % p
+			Send(c, acc, dst, tagReduce)
+			return nil
+		}
+		if src := rel | mask; src < p {
+			part := Recv[T](c, (src+root)%p, tagReduce)
+			if len(part) != len(acc) {
+				panic("vmpi: Reduce length mismatch across ranks")
+			}
+			for i := range acc {
+				acc[i] = op(acc[i], part[i])
+			}
+		}
+	}
+	return acc
+}
+
+// Allreduce combines equal-length slices element-wise with op and returns
+// the combined slice on every rank (reduce to rank 0 + broadcast).
+func Allreduce[T any](c *Comm, data []T, op func(a, b T) T) []T {
+	res := Reduce(c, data, op, 0)
+	if c.rank != 0 {
+		res = nil
+	}
+	if c.rank == 0 && res == nil {
+		res = []T{}
+	}
+	return Bcast(c, res, 0)
+}
+
+// AllreduceVal reduces a single value with op across all ranks.
+func AllreduceVal[T any](c *Comm, v T, op func(a, b T) T) T {
+	return Allreduce(c, []T{v}, op)[0]
+}
+
+// GatherBlocks collects each rank's (variable-length) slice on root. Root
+// receives a slice of blocks indexed by source rank; other ranks get nil.
+func GatherBlocks[T any](c *Comm, data []T, root int) [][]T {
+	p := c.Size()
+	if c.rank != root {
+		Send(c, data, root, tagGather)
+		return nil
+	}
+	blocks := make([][]T, p)
+	for r := 0; r < p; r++ {
+		if r == root {
+			blocks[r] = copySlice(data)
+		} else {
+			blocks[r] = Recv[T](c, r, tagGather)
+		}
+	}
+	return blocks
+}
+
+// Gather collects each rank's slice on root, concatenated in rank order.
+func Gather[T any](c *Comm, data []T, root int) []T {
+	blocks := GatherBlocks(c, data, root)
+	if blocks == nil {
+		return nil
+	}
+	return concat(blocks)
+}
+
+// ScatterBlocks distributes blocks[r] from root to each rank r and returns
+// the local block. Only root's blocks argument is consulted.
+func ScatterBlocks[T any](c *Comm, blocks [][]T, root int) []T {
+	p := c.Size()
+	if c.rank == root {
+		if len(blocks) != p {
+			panic("vmpi: ScatterBlocks needs one block per rank")
+		}
+		var mine []T
+		for r := 0; r < p; r++ {
+			if r == root {
+				mine = copySlice(blocks[r])
+			} else {
+				Send(c, blocks[r], r, tagScatter)
+			}
+		}
+		return mine
+	}
+	return Recv[T](c, root, tagScatter)
+}
+
+// AllgatherBlocks collects every rank's (variable-length) slice on every
+// rank using the ring algorithm (p-1 neighbor exchange steps). The result is
+// indexed by source rank.
+func AllgatherBlocks[T any](c *Comm, data []T) [][]T {
+	p := c.Size()
+	blocks := make([][]T, p)
+	blocks[c.rank] = copySlice(data)
+	right := (c.rank + 1) % p
+	left := (c.rank - 1 + p) % p
+	cur := c.rank
+	for step := 1; step < p; step++ {
+		Send(c, blocks[cur], right, tagGatherA)
+		cur = (cur - 1 + p) % p // after this step we hold left neighbor's block chain
+		blocks[cur] = Recv[T](c, left, tagGatherA)
+	}
+	return blocks
+}
+
+// Allgather collects every rank's slice on every rank, concatenated in rank
+// order.
+func Allgather[T any](c *Comm, data []T) []T {
+	return concat(AllgatherBlocks(c, data))
+}
+
+// Alltoall exchanges parts[dst] from every rank to every rank dst using the
+// pairwise exchange algorithm (p-1 rounds). The result is indexed by source
+// rank; block lengths may differ arbitrarily (MPI_Alltoallv semantics).
+func Alltoall[T any](c *Comm, parts [][]T) [][]T {
+	p := c.Size()
+	if len(parts) != p {
+		panic("vmpi: Alltoall needs one part per rank")
+	}
+	recv := make([][]T, p)
+	recv[c.rank] = copySlice(parts[c.rank])
+	for step := 1; step < p; step++ {
+		dst := (c.rank + step) % p
+		src := (c.rank - step + p) % p
+		Send(c, parts[dst], dst, tagA2A)
+		recv[src] = Recv[T](c, src, tagA2A)
+	}
+	return recv
+}
+
+// Scan computes the inclusive prefix reduction of equal-length slices in
+// rank order (linear chain).
+func Scan[T any](c *Comm, data []T, op func(a, b T) T) []T {
+	acc := copySlice(data)
+	if c.rank > 0 {
+		prev := Recv[T](c, c.rank-1, tagScan)
+		for i := range acc {
+			acc[i] = op(prev[i], acc[i])
+		}
+	}
+	if c.rank < c.Size()-1 {
+		Send(c, acc, c.rank+1, tagScan)
+	}
+	return acc
+}
+
+// Exscan computes the exclusive prefix reduction of equal-length slices in
+// rank order; rank 0 receives zero values.
+func Exscan[T any](c *Comm, data []T, op func(a, b T) T) []T {
+	var prev []T
+	if c.rank > 0 {
+		prev = Recv[T](c, c.rank-1, tagScan)
+	} else {
+		prev = make([]T, len(data))
+	}
+	if c.rank < c.Size()-1 {
+		next := make([]T, len(data))
+		for i := range next {
+			next[i] = op(prev[i], data[i])
+		}
+		if c.rank == 0 {
+			copy(next, data)
+		}
+		Send(c, next, c.rank+1, tagScan)
+	}
+	return prev
+}
+
+// concat joins blocks into one slice.
+func concat[T any](blocks [][]T) []T {
+	n := 0
+	for _, b := range blocks {
+		n += len(b)
+	}
+	out := make([]T, 0, n)
+	for _, b := range blocks {
+		out = append(out, b...)
+	}
+	return out
+}

@@ -1,0 +1,142 @@
+package vmpi
+
+import (
+	"fmt"
+	"unsafe"
+)
+
+// Point-to-point communication.
+//
+// Payloads are slices of flat element types (no interior pointers); they are
+// deep-copied at send time so ranks never share memory, mirroring the
+// distributed-memory semantics of MPI. Message sizes for the network model
+// are computed from the element size, so element types must not contain
+// slices, maps, or strings.
+
+// sizeOf returns the in-memory size of T in bytes.
+func sizeOf[T any]() int {
+	var z T
+	return int(unsafe.Sizeof(z))
+}
+
+// Send sends data to rank dst with the given tag (blocking, eager). The
+// payload is copied; the caller may reuse data immediately. User tags must
+// be non-negative; negative tags are reserved for collectives.
+func Send[T any](c *Comm, data []T, dst, tag int) {
+	sendRaw(c, copySlice(data), len(data)*sizeOf[T](), dst, tag)
+}
+
+// Recv blocks until a message from rank src with the given tag arrives and
+// returns its payload.
+func Recv[T any](c *Comm, src, tag int) []T {
+	m := recvRaw(c, src, tag)
+	data, ok := m.payload.([]T)
+	if !ok {
+		panic(fmt.Sprintf("vmpi: Recv type mismatch: got %T from rank %d tag %d", m.payload, src, tag))
+	}
+	return data
+}
+
+// Sendrecv sends sendData to dst and receives a message from src with the
+// same tag, without deadlocking.
+func Sendrecv[T any](c *Comm, sendData []T, dst, src, tag int) []T {
+	Send(c, sendData, dst, tag)
+	return Recv[T](c, src, tag)
+}
+
+// Request represents a pending nonblocking receive.
+type Request[T any] struct {
+	c    *Comm
+	src  int
+	tag  int
+	done bool
+	data []T
+}
+
+// Isend initiates a nonblocking send. With vmpi's eager protocol the send
+// completes immediately; Isend exists so communication code reads like its
+// MPI counterpart.
+func Isend[T any](c *Comm, data []T, dst, tag int) {
+	Send(c, data, dst, tag)
+}
+
+// Irecv posts a nonblocking receive; Wait blocks for its completion.
+func Irecv[T any](c *Comm, src, tag int) *Request[T] {
+	return &Request[T]{c: c, src: src, tag: tag}
+}
+
+// Wait blocks until the request completes and returns the received payload.
+func (r *Request[T]) Wait() []T {
+	if !r.done {
+		r.data = Recv[T](r.c, r.src, r.tag)
+		r.done = true
+	}
+	return r.data
+}
+
+// Waitall completes all requests and returns their payloads in order.
+func Waitall[T any](reqs []*Request[T]) [][]T {
+	out := make([][]T, len(reqs))
+	for i, r := range reqs {
+		out[i] = r.Wait()
+	}
+	return out
+}
+
+// SendrecvReplace sends data to dst and returns the message received from
+// src with the same tag, like MPI_Sendrecv_replace.
+func SendrecvReplace[T any](c *Comm, data []T, dst, src, tag int) []T {
+	return Sendrecv(c, data, dst, src, tag)
+}
+
+// sendRaw enqueues a payload for dst, charging injection cost to the sender
+// and stamping the arrival time from the network model.
+func sendRaw(c *Comm, payload any, bytes, dst, tag int) {
+	if dst < 0 || dst >= len(c.members) {
+		panic(fmt.Sprintf("vmpi: Send to invalid rank %d (size %d)", dst, len(c.members)))
+	}
+	model := c.rt.model
+	srcW := c.world(c.rank)
+	dstW := c.world(dst)
+	start := c.st.clock + sendOverhead
+	c.st.clock = start + model.Injection(bytes)
+	c.st.bytesSent += int64(bytes)
+	c.st.msgsSent++
+	arrive := start + model.Cost(srcW, dstW, bytes)
+	c.rt.boxes[dstW].put(c.rt, dstW, &message{
+		src:     c.rank,
+		tag:     tag,
+		ctx:     c.ctx,
+		arrive:  arrive,
+		bytes:   bytes,
+		payload: payload,
+	})
+	if c.rt.traceEvents != nil {
+		c.rt.traceEvents[srcW] = append(c.rt.traceEvents[srcW], TraceEvent{
+			From: srcW, To: dstW, Tag: tag, Bytes: bytes,
+			SendTime: start, ArriveTime: arrive,
+			Phase: c.st.currentPhase,
+		})
+	}
+}
+
+// recvRaw blocks for a matching message and advances the receiver clock to
+// the message arrival time.
+func recvRaw(c *Comm, src, tag int) *message {
+	if src < 0 || src >= len(c.members) {
+		panic(fmt.Sprintf("vmpi: Recv from invalid rank %d (size %d)", src, len(c.members)))
+	}
+	m := c.rt.boxes[c.world(c.rank)].take(c.rt, c.world(c.rank), src, tag, c.ctx)
+	if m.arrive > c.st.clock {
+		c.st.clock = m.arrive
+	}
+	c.st.clock += recvOverhead
+	return m
+}
+
+// copySlice deep-copies a payload slice.
+func copySlice[T any](data []T) []T {
+	out := make([]T, len(data))
+	copy(out, data)
+	return out
+}

@@ -1,0 +1,134 @@
+package vmpi
+
+// Communication tracing. When enabled in the Config, every point-to-point
+// message (including those underlying collectives) is recorded. Traces feed
+// the communication-matrix analyses used by the ablation benchmarks: they
+// show, for example, how method B's steady state shrinks the all-to-all
+// exchange to a neighborhood pattern. Each sender appends only to its own
+// slice, so tracing needs no locking and stays deterministic.
+
+// TraceEvent records one message.
+type TraceEvent struct {
+	// From and To are world ranks.
+	From, To int
+	// Tag is the message tag (negative for collectives).
+	Tag int
+	// Bytes is the payload size.
+	Bytes int
+	// SendTime and ArriveTime are virtual timestamps.
+	SendTime, ArriveTime float64
+	// Phase is the sender's innermost active phase timer name at send
+	// time ("" outside any phase), letting analyses attribute traffic to
+	// program phases such as "sort" or "restore".
+	Phase string
+}
+
+// Filter returns a Trace containing only the events for which keep returns
+// true, preserving sender grouping and order.
+func (t *Trace) Filter(keep func(TraceEvent) bool) *Trace {
+	out := &Trace{BySender: make([][]TraceEvent, len(t.BySender))}
+	for r, evs := range t.BySender {
+		for _, e := range evs {
+			if keep(e) {
+				out.BySender[r] = append(out.BySender[r], e)
+			}
+		}
+	}
+	return out
+}
+
+// PhaseBytes returns the total bytes sent within the named phase.
+func (t *Trace) PhaseBytes(phase string) int64 {
+	var n int64
+	for _, evs := range t.BySender {
+		for _, e := range evs {
+			if e.Phase == phase {
+				n += int64(e.Bytes)
+			}
+		}
+	}
+	return n
+}
+
+// PhaseMessages returns the number of messages sent within the named
+// phase, including zero-byte ones (the latency-bound cost of a collective
+// exchange with mostly empty parts).
+func (t *Trace) PhaseMessages(phase string) int {
+	n := 0
+	for _, evs := range t.BySender {
+		for _, e := range evs {
+			if e.Phase == phase {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// TotalBytes returns the total traced bytes.
+func (t *Trace) TotalBytes() int64 {
+	var n int64
+	for _, evs := range t.BySender {
+		for _, e := range evs {
+			n += int64(e.Bytes)
+		}
+	}
+	return n
+}
+
+// Trace is the collected communication record of a traced Run.
+type Trace struct {
+	// BySender holds each rank's sent messages in send order.
+	BySender [][]TraceEvent
+}
+
+// Events returns all events, grouped by sender, flattened in rank order.
+func (t *Trace) Events() []TraceEvent {
+	var out []TraceEvent
+	for _, ev := range t.BySender {
+		out = append(out, ev...)
+	}
+	return out
+}
+
+// CommMatrix returns an n×n matrix m where m[src][dst] is the total bytes
+// sent from src to dst.
+func (t *Trace) CommMatrix() [][]int64 {
+	n := len(t.BySender)
+	m := make([][]int64, n)
+	for i := range m {
+		m[i] = make([]int64, n)
+	}
+	for src, evs := range t.BySender {
+		for _, e := range evs {
+			m[src][e.To] += int64(e.Bytes)
+		}
+	}
+	return m
+}
+
+// MessageCount returns the total number of messages.
+func (t *Trace) MessageCount() int {
+	n := 0
+	for _, evs := range t.BySender {
+		n += len(evs)
+	}
+	return n
+}
+
+// ActivePairs returns the number of ordered (src, dst) pairs that exchanged
+// at least one message with a positive payload — the "who talks to whom"
+// footprint that distinguishes all-to-all from neighborhood communication.
+func (t *Trace) ActivePairs() int {
+	n := 0
+	for src, evs := range t.BySender {
+		seen := map[int]bool{}
+		for _, e := range evs {
+			if e.Bytes > 0 && e.To != src && !seen[e.To] {
+				seen[e.To] = true
+				n++
+			}
+		}
+	}
+	return n
+}

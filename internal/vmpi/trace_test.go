@@ -1,0 +1,129 @@
+package vmpi
+
+import (
+	"testing"
+
+	"repro/internal/netmodel"
+)
+
+func TestTraceRecordsMessages(t *testing.T) {
+	st := Run(Config{Ranks: 3, Trace: true}, func(c *Comm) {
+		if c.Rank() == 0 {
+			Send(c, []float64{1, 2}, 1, 5)
+			Send(c, []byte{9}, 2, 6)
+		}
+		if c.Rank() == 1 {
+			Recv[float64](c, 0, 5)
+		}
+		if c.Rank() == 2 {
+			Recv[byte](c, 0, 6)
+		}
+	})
+	if st.Trace == nil {
+		t.Fatal("trace missing")
+	}
+	evs := st.Trace.Events()
+	if len(evs) != 2 {
+		t.Fatalf("recorded %d events, want 2", len(evs))
+	}
+	if evs[0].From != 0 || evs[0].To != 1 || evs[0].Bytes != 16 || evs[0].Tag != 5 {
+		t.Errorf("event 0 = %+v", evs[0])
+	}
+	if evs[1].To != 2 || evs[1].Bytes != 1 {
+		t.Errorf("event 1 = %+v", evs[1])
+	}
+	if evs[0].ArriveTime <= evs[0].SendTime {
+		t.Errorf("arrival %g not after send %g", evs[0].ArriveTime, evs[0].SendTime)
+	}
+	if st.Trace.MessageCount() != 2 {
+		t.Errorf("MessageCount = %d", st.Trace.MessageCount())
+	}
+}
+
+func TestTraceDisabledByDefault(t *testing.T) {
+	st := Run(Config{Ranks: 2}, func(c *Comm) {
+		if c.Rank() == 0 {
+			Send(c, []int{1}, 1, 0)
+		} else {
+			Recv[int](c, 0, 0)
+		}
+	})
+	if st.Trace != nil {
+		t.Error("trace should be nil when not requested")
+	}
+}
+
+func TestTraceCommMatrix(t *testing.T) {
+	const p = 4
+	st := Run(Config{Ranks: p, Trace: true}, func(c *Comm) {
+		// Ring exchange: each rank sends 80 bytes to its right neighbor.
+		right := (c.Rank() + 1) % p
+		left := (c.Rank() - 1 + p) % p
+		Send(c, make([]float64, 10), right, 1)
+		Recv[float64](c, left, 1)
+	})
+	m := st.Trace.CommMatrix()
+	for src := 0; src < p; src++ {
+		for dst := 0; dst < p; dst++ {
+			want := int64(0)
+			if dst == (src+1)%p {
+				want = 80
+			}
+			if m[src][dst] != want {
+				t.Errorf("m[%d][%d] = %d, want %d", src, dst, m[src][dst], want)
+			}
+		}
+	}
+	if got := st.Trace.ActivePairs(); got != p {
+		t.Errorf("ActivePairs = %d, want %d", got, p)
+	}
+}
+
+func TestTraceMatchesCounters(t *testing.T) {
+	st := Run(Config{Ranks: 4, Trace: true}, func(c *Comm) {
+		Barrier(c)
+		Allgather(c, []int{c.Rank()})
+		parts := make([][]float64, 4)
+		for i := range parts {
+			parts[i] = make([]float64, 3)
+		}
+		Alltoall(c, parts)
+	})
+	var traceBytes int64
+	for _, e := range st.Trace.Events() {
+		traceBytes += int64(e.Bytes)
+	}
+	if traceBytes != st.TotalBytes() {
+		t.Errorf("trace bytes %d != counter %d", traceBytes, st.TotalBytes())
+	}
+	if st.Trace.MessageCount() != int(st.TotalMessages()) {
+		t.Errorf("trace messages %d != counter %d", st.Trace.MessageCount(), st.TotalMessages())
+	}
+}
+
+func TestTraceNeighborhoodFootprint(t *testing.T) {
+	// The footprint analysis distinguishes all-to-all from neighbor-only
+	// communication: the property behind the paper's method B + movement
+	// optimization.
+	const p = 8
+	a2a := Run(Config{Ranks: p, Trace: true, Model: netmodel.NewSwitched()}, func(c *Comm) {
+		parts := make([][]byte, p)
+		for i := range parts {
+			parts[i] = []byte{1}
+		}
+		Alltoall(c, parts)
+	})
+	ring := Run(Config{Ranks: p, Trace: true, Model: netmodel.NewSwitched()}, func(c *Comm) {
+		right := (c.Rank() + 1) % p
+		left := (c.Rank() - 1 + p) % p
+		Send(c, []byte{1}, right, 1)
+		Recv[byte](c, left, 1)
+	})
+	if a2a.Trace.ActivePairs() <= ring.Trace.ActivePairs() {
+		t.Errorf("all-to-all footprint (%d pairs) should exceed ring (%d pairs)",
+			a2a.Trace.ActivePairs(), ring.Trace.ActivePairs())
+	}
+	if ring.Trace.ActivePairs() != p {
+		t.Errorf("ring footprint = %d pairs, want %d", ring.Trace.ActivePairs(), p)
+	}
+}

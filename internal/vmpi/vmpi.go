@@ -1,0 +1,516 @@
+// Package vmpi implements a virtual MPI: a deterministic, in-process
+// message-passing runtime that stands in for MPI on a distributed-memory
+// cluster.
+//
+// The paper's algorithms (parallel sorting, fine-grained particle
+// redistribution, all-to-all vs. neighborhood exchange) are defined by which
+// messages of which sizes flow between which ranks. vmpi executes the real
+// data movement — every rank is a goroutine with private memory, and message
+// payloads are deep-copied between ranks — while charging communication and
+// computation to per-rank virtual clocks:
+//
+//   - A send occupies the sender's port for an injection time given by the
+//     network model and puts the message in flight; it arrives at
+//     sendStart + Model.Cost(src, dst, bytes).
+//   - A receive completes at max(receiver clock, arrival time), so causality
+//     and load imbalance propagate exactly as on a real machine.
+//   - Computation is charged explicitly via Comm.Compute.
+//
+// Collectives are implemented on top of point-to-point messages using
+// standard algorithms (binomial trees, ring allgather, pairwise all-to-all,
+// dissemination barrier), so their virtual cost emerges from the network
+// topology model rather than being postulated. On a switched model,
+// neighborhood exchanges gain nothing; on a torus model they do — matching
+// the paper's JuRoPA vs. Juqueen observations.
+//
+// Virtual time is deterministic: it depends only on the program's
+// communication structure and charged computation, never on host scheduling.
+package vmpi
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/netmodel"
+)
+
+// Fixed per-message CPU overheads in seconds (the "o" of the LogP family).
+const (
+	sendOverhead = 0.3e-6
+	recvOverhead = 0.3e-6
+)
+
+// message is a unit of point-to-point communication between world ranks.
+type message struct {
+	src     int // sender's rank within the communicator's context
+	tag     int
+	ctx     int64 // communicator context id
+	arrive  float64
+	bytes   int
+	payload any
+}
+
+// mailbox holds pending messages for one world rank.
+type mailbox struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	queue []*message
+}
+
+func newMailbox() *mailbox {
+	mb := &mailbox{}
+	mb.cond = sync.NewCond(&mb.mu)
+	return mb
+}
+
+// put enqueues a message and wakes receivers. rt and dst feed the deadlock
+// detector: a delivery to a currently blocked rank defers any all-blocked
+// verdict until that rank has rescanned its queue.
+func (mb *mailbox) put(rt *Runtime, dst int, m *message) {
+	mb.mu.Lock()
+	mb.queue = append(mb.queue, m)
+	mb.mu.Unlock()
+	rt.notePut(dst)
+	mb.cond.Broadcast()
+}
+
+// take blocks until a message matching (src, tag, ctx) is available and
+// removes the first such message in arrival order. Arrival order from a
+// single source is the source's program order, so matching is deterministic.
+//
+// If every live rank of the virtual machine ends up blocked in take, no
+// rank can ever send again, so the program has deadlocked; the detector
+// then panics with a description of what each rank is waiting for instead
+// of hanging the process.
+func (mb *mailbox) take(rt *Runtime, rank, src, tag int, ctx int64) *message {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	for {
+		for i, m := range mb.queue {
+			if m.src == src && m.tag == tag && m.ctx == ctx {
+				mb.queue = append(mb.queue[:i], mb.queue[i+1:]...)
+				return m
+			}
+		}
+		rt.noteBlocked(rank, src, tag)
+		mb.cond.Wait()
+		rt.noteUnblocked(rank)
+	}
+}
+
+// deadlockState tracks which ranks are blocked in a receive or have
+// finished, to detect all-blocked deadlocks. wakePending marks blocked
+// ranks that have received a message since blocking but have not yet
+// rescanned their queue; while any such token exists, an all-blocked state
+// is not (yet) a verdict.
+type deadlockState struct {
+	mu           sync.Mutex
+	blocked      int
+	finished     int
+	pendingCount int
+	isBlocked    []bool
+	wakePending  []bool
+	waitingOn    []string
+}
+
+// noteBlocked registers that a rank is about to wait. If that makes every
+// unfinished rank blocked with no wake-ups in flight, the program can never
+// progress: panic with the wait set.
+func (rt *Runtime) noteBlocked(rank, src, tag int) {
+	d := &rt.deadlock
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.blocked++
+	d.isBlocked[rank] = true
+	d.waitingOn[rank] = fmt.Sprintf("rank %d waiting for (src %d, tag %d)", rank, src, tag)
+	if d.blocked+d.finished == rt.size && d.pendingCount == 0 {
+		msg := "vmpi: deadlock: all ranks blocked in receive:\n"
+		for _, w := range d.waitingOn {
+			if w != "" {
+				msg += "  " + w + "\n"
+			}
+		}
+		panic(msg)
+	}
+}
+
+// noteUnblocked registers that a rank woke up and consumed its wake token.
+func (rt *Runtime) noteUnblocked(rank int) {
+	d := &rt.deadlock
+	d.mu.Lock()
+	d.blocked--
+	d.isBlocked[rank] = false
+	if d.wakePending[rank] {
+		d.wakePending[rank] = false
+		d.pendingCount--
+	}
+	d.waitingOn[rank] = ""
+	d.mu.Unlock()
+}
+
+// notePut records a delivery to dst; if dst is blocked, the next
+// all-blocked check is deferred until dst rescans.
+func (rt *Runtime) notePut(dst int) {
+	d := &rt.deadlock
+	d.mu.Lock()
+	if d.isBlocked[dst] && !d.wakePending[dst] {
+		d.wakePending[dst] = true
+		d.pendingCount++
+	}
+	d.mu.Unlock()
+}
+
+// noteFinished registers that a rank's function returned.
+func (rt *Runtime) noteFinished() {
+	d := &rt.deadlock
+	d.mu.Lock()
+	d.finished++
+	d.mu.Unlock()
+}
+
+// rankState is the per-rank mutable state shared by all communicators that
+// the rank participates in. It must only be touched by the rank's goroutine.
+type rankState struct {
+	clock        float64
+	phases       map[string]float64
+	currentPhase string
+	bytesSent    int64
+	msgsSent     int64
+	splitSeq     int64
+	result       any
+}
+
+// Runtime is a virtual machine of n ranks connected by a network model.
+type Runtime struct {
+	size  int
+	model netmodel.Model
+	boxes []*mailbox
+	state []*rankState
+	// computeScale multiplies all Compute charges, modelling slower or
+	// faster cores (e.g. Blue Gene/Q A2 vs. Xeon).
+	computeScale float64
+	// traceEvents, when non-nil, records every message per sender rank.
+	traceEvents [][]TraceEvent
+	// deadlock tracks blocked/finished ranks for deadlock detection.
+	deadlock deadlockState
+}
+
+// Config parameterizes a virtual machine.
+type Config struct {
+	// Ranks is the number of MPI ranks (goroutines).
+	Ranks int
+	// Model is the network model; nil selects netmodel.NewSwitched().
+	Model netmodel.Model
+	// ComputeScale multiplies computation charges; 0 means 1.0.
+	ComputeScale float64
+	// Trace records every point-to-point message for post-run analysis
+	// (Stats.Trace).
+	Trace bool
+}
+
+// Stats aggregates the outcome of a Run.
+type Stats struct {
+	// Clocks holds each rank's final virtual clock in seconds.
+	Clocks []float64
+	// Phases holds each rank's accumulated named phase times.
+	Phases []map[string]float64
+	// BytesSent and MessagesSent are per-rank communication counters.
+	BytesSent    []int64
+	MessagesSent []int64
+	// Values holds each rank's result value (whatever the rank function
+	// stored via Comm.SetResult), indexed by rank.
+	Values []any
+	// Trace holds the communication record when Config.Trace was set.
+	Trace *Trace
+}
+
+// MaxClock returns the maximum final clock — the virtual wall-clock time of
+// the whole run.
+func (s *Stats) MaxClock() float64 {
+	max := 0.0
+	for _, c := range s.Clocks {
+		if c > max {
+			max = c
+		}
+	}
+	return max
+}
+
+// MaxPhase returns the maximum across ranks of the accumulated time of the
+// named phase. Ranks without the phase contribute zero.
+func (s *Stats) MaxPhase(name string) float64 {
+	max := 0.0
+	for _, p := range s.Phases {
+		if v := p[name]; v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// PhaseNames returns the sorted union of phase names across ranks.
+func (s *Stats) PhaseNames() []string {
+	set := map[string]bool{}
+	for _, p := range s.Phases {
+		for k := range p {
+			set[k] = true
+		}
+	}
+	names := make([]string, 0, len(set))
+	for k := range set {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// TotalBytes returns the total bytes sent by all ranks.
+func (s *Stats) TotalBytes() int64 {
+	var t int64
+	for _, b := range s.BytesSent {
+		t += b
+	}
+	return t
+}
+
+// TotalMessages returns the total number of messages sent by all ranks.
+func (s *Stats) TotalMessages() int64 {
+	var t int64
+	for _, m := range s.MessagesSent {
+		t += m
+	}
+	return t
+}
+
+// Run executes f on a virtual machine described by cfg, one goroutine per
+// rank, and returns aggregated statistics. It panics if the configuration is
+// invalid (e.g. a torus model that cannot cover the rank count).
+func Run(cfg Config, f func(c *Comm)) *Stats {
+	n := cfg.Ranks
+	if n < 1 {
+		panic("vmpi: Run needs at least 1 rank")
+	}
+	model := cfg.Model
+	if model == nil {
+		model = netmodel.NewSwitched()
+	}
+	if err := netmodel.Validate(model, n); err != nil {
+		panic(err)
+	}
+	scale := cfg.ComputeScale
+	if scale == 0 {
+		scale = 1
+	}
+	rt := &Runtime{
+		size:         n,
+		model:        model,
+		boxes:        make([]*mailbox, n),
+		state:        make([]*rankState, n),
+		computeScale: scale,
+	}
+	for i := range rt.boxes {
+		rt.boxes[i] = newMailbox()
+		rt.state[i] = &rankState{phases: map[string]float64{}}
+	}
+	if cfg.Trace {
+		rt.traceEvents = make([][]TraceEvent, n)
+	}
+	rt.deadlock.waitingOn = make([]string, n)
+	rt.deadlock.isBlocked = make([]bool, n)
+	rt.deadlock.wakePending = make([]bool, n)
+	var wg sync.WaitGroup
+	wg.Add(n)
+	// Rank panics (including the deadlock detector's) are re-raised in the
+	// caller's goroutine so they are recoverable and carry a useful value.
+	panicCh := make(chan any, n)
+	for r := 0; r < n; r++ {
+		c := &Comm{
+			rt:      rt,
+			rank:    r,
+			members: identity(n),
+			ctx:     0,
+			st:      rt.state[r],
+		}
+		go func(c *Comm) {
+			defer func() {
+				if p := recover(); p != nil {
+					select {
+					case panicCh <- p:
+					default:
+					}
+					return // leave wg incomplete; Run returns via panicCh
+				}
+				rt.noteFinished()
+				wg.Done()
+			}()
+			f(c)
+		}(c)
+	}
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case p := <-panicCh:
+		panic(p)
+	}
+	st := &Stats{
+		Clocks:       make([]float64, n),
+		Phases:       make([]map[string]float64, n),
+		BytesSent:    make([]int64, n),
+		MessagesSent: make([]int64, n),
+		Values:       make([]any, n),
+	}
+	for r, s := range rt.state {
+		st.Clocks[r] = s.clock
+		st.Phases[r] = s.phases
+		st.BytesSent[r] = s.bytesSent
+		st.MessagesSent[r] = s.msgsSent
+		st.Values[r] = s.result
+	}
+	if rt.traceEvents != nil {
+		st.Trace = &Trace{BySender: rt.traceEvents}
+	}
+	return st
+}
+
+func identity(n int) []int {
+	m := make([]int, n)
+	for i := range m {
+		m[i] = i
+	}
+	return m
+}
+
+// Comm is a communicator: a group of ranks that exchange messages. Each rank
+// holds its own Comm value; a Comm must only be used by the goroutine of its
+// rank. All communicators of one rank share the rank's virtual clock and
+// phase timers.
+type Comm struct {
+	rt      *Runtime
+	rank    int   // rank within this communicator
+	members []int // world rank of each communicator rank
+	ctx     int64 // context id separating message streams of communicators
+	st      *rankState
+}
+
+// Rank returns the calling rank's index within the communicator.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the number of ranks in the communicator.
+func (c *Comm) Size() int { return len(c.members) }
+
+// WorldRank returns the calling rank's index in the world communicator.
+func (c *Comm) WorldRank() int { return c.members[c.rank] }
+
+// Time returns the rank's current virtual clock in seconds.
+func (c *Comm) Time() float64 { return c.st.clock }
+
+// Compute advances the rank's virtual clock by the given computation time in
+// seconds, scaled by the machine's compute scale.
+func (c *Comm) Compute(seconds float64) {
+	if seconds < 0 {
+		panic("vmpi: negative compute time")
+	}
+	c.st.clock += seconds * c.rt.computeScale
+}
+
+// Model returns the network model of the underlying virtual machine.
+func (c *Comm) Model() netmodel.Model { return c.rt.model }
+
+// SetResult stores a per-rank result value that Run surfaces in
+// Stats.Values. Typically used by tests and the benchmark harness.
+func (c *Comm) SetResult(v any) { c.st.result = v }
+
+// AddPhase accumulates dt seconds into the named phase timer.
+func (c *Comm) AddPhase(name string, dt float64) {
+	if dt < 0 {
+		// Clock deltas are always non-negative; guard against misuse.
+		panic(fmt.Sprintf("vmpi: negative phase time for %q", name))
+	}
+	c.st.phases[name] += dt
+}
+
+// Phase runs f and accumulates the elapsed virtual time into the named
+// phase timer. While f runs, messages sent by this rank are attributed to
+// the phase in traces; nested phases attribute to the innermost name.
+func (c *Comm) Phase(name string, f func()) {
+	prev := c.st.currentPhase
+	c.st.currentPhase = name
+	t0 := c.st.clock
+	f()
+	c.AddPhase(name, c.st.clock-t0)
+	c.st.currentPhase = prev
+}
+
+// PhaseTime returns the accumulated virtual time of the named phase on this
+// rank.
+func (c *Comm) PhaseTime(name string) float64 { return c.st.phases[name] }
+
+// ResetPhases clears all phase timers on this rank.
+func (c *Comm) ResetPhases() {
+	c.st.phases = map[string]float64{}
+}
+
+// Split partitions the communicator: ranks supplying the same color form a
+// new communicator; ranks are ordered by (key, parent rank). Every rank of
+// the parent must call Split. A negative color returns nil for that rank
+// (MPI_UNDEFINED).
+func (c *Comm) Split(color, key int) *Comm {
+	type entry struct{ color, key, rank int }
+	mine := entry{color, key, c.rank}
+	all := Allgather(c, []entry{mine})
+	c.st.splitSeq++
+	if color < 0 {
+		return nil
+	}
+	var group []entry
+	for _, e := range all {
+		if e.color == color {
+			group = append(group, e)
+		}
+	}
+	sort.Slice(group, func(i, j int) bool {
+		if group[i].key != group[j].key {
+			return group[i].key < group[j].key
+		}
+		return group[i].rank < group[j].rank
+	})
+	members := make([]int, len(group))
+	newRank := -1
+	for i, e := range group {
+		members[i] = c.members[e.rank]
+		if e.rank == c.rank {
+			newRank = i
+		}
+	}
+	return &Comm{
+		rt:      c.rt,
+		rank:    newRank,
+		members: members,
+		ctx:     c.ctx*1_000_003 + int64(color)*1009 + c.st.splitSeq,
+		st:      c.st,
+	}
+}
+
+// Dup returns a communicator with the same group but a separate message
+// context. Every rank must call Dup.
+func (c *Comm) Dup() *Comm {
+	Barrier(c)
+	c.st.splitSeq++
+	return &Comm{
+		rt:      c.rt,
+		rank:    c.rank,
+		members: append([]int(nil), c.members...),
+		ctx:     c.ctx*1_000_003 + 500_009 + c.st.splitSeq,
+		st:      c.st,
+	}
+}
+
+// world returns the world rank for a communicator rank.
+func (c *Comm) world(rank int) int {
+	return c.members[rank]
+}

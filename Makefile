@@ -1,0 +1,33 @@
+# Developer entry points. `make check` is the local tier-1 gate: build,
+# vet, full tests, and a race-detector pass over the packages that mix
+# goroutines with shared state (the virtual-MPI runtime and the
+# host-parallel FMM kernels).
+
+GO ?= go
+
+.PHONY: all build test race bench bench-json vet check
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The race detector needs real goroutine interleaving; force a few Ps even
+# on single-core hosts.
+race:
+	GOMAXPROCS=4 $(GO) test -race ./internal/vmpi/... ./internal/fmm/...
+
+bench:
+	$(GO) test -bench=. -benchmem -run '^$$' .
+
+# Regenerates the wall-clock + virtual-seconds report for Figures 6-9.
+bench-json:
+	$(GO) run ./cmd/paperbench -bench-json BENCH_1.json
+
+vet:
+	$(GO) vet ./...
+
+check: build vet test race

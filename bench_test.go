@@ -9,6 +9,8 @@
 package repro
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 
 	"repro/internal/paperbench"
@@ -101,6 +103,31 @@ func BenchmarkFig9FMM(b *testing.B) {
 // the torus (Juqueen-like) machine.
 func BenchmarkFig9P2NFFT(b *testing.B) {
 	benchFig9(b, "p2nfft", paperbench.Juqueen())
+}
+
+// BenchmarkHostParallelism pins GOMAXPROCS at 1 and at NumCPU and runs the
+// same Figure-7-style MD loop at each setting, isolating the wall-clock
+// effect of the intra-rank worker pool on the solver hot kernels. The
+// vsec/step-total metric must be identical across the two settings (the
+// determinism test asserts this bit-exactly); only wall-clock may differ.
+func BenchmarkHostParallelism(b *testing.B) {
+	orig := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(orig)
+	for _, procs := range []int{1, runtime.NumCPU()} {
+		for _, solver := range paperbench.Solvers() {
+			b.Run(fmt.Sprintf("%s/procs%d", solver, procs), func(b *testing.B) {
+				runtime.GOMAXPROCS(procs)
+				defer runtime.GOMAXPROCS(orig)
+				cfg := benchConfig()
+				cfg.Steps = 4
+				var stats []paperbench.StepStat
+				for i := 0; i < b.N; i++ {
+					stats = paperbench.RunSimulation(cfg, solver, particle.DistRandom, true, false)
+				}
+				b.ReportMetric(stats[len(stats)-1].Total, "vsec/step-total")
+			})
+		}
+	}
 }
 
 func benchFig9(b *testing.B, solver string, machine paperbench.Machine) {

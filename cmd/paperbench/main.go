@@ -9,6 +9,13 @@
 //	paperbench -fig 8 -steps 120 -thermal 2.5
 //	paperbench -fig 9l -ranks-list 2,4,8,16
 //	paperbench -fig all
+//	paperbench -bench-json BENCH_1.json
+//
+// With -bench-json, instead of printing tables the command runs all
+// figures and writes a JSON report pairing every figure's virtual-second
+// metrics with the host wall-clock time spent producing it (see
+// internal/benchjson). Virtual seconds are deterministic; wall-clock is
+// the host-performance regression baseline.
 package main
 
 import (
@@ -18,6 +25,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/benchjson"
 	"repro/internal/paperbench"
 )
 
@@ -32,6 +40,8 @@ func main() {
 		accuracy  = flag.Float64("accuracy", 1e-3, "requested solver accuracy")
 		seed      = flag.Int64("seed", 42, "particle system seed")
 		rankListF = flag.String("ranks-list", "2,4,8", "rank counts for figure 9 sweeps")
+		benchJSON = flag.String("bench-json", "", "write a wall-clock + virtual-seconds benchmark report for all figures to this file and exit")
+		stepScale = flag.Float64("step-scale", 1, "scale factor on the per-figure default step counts in -bench-json mode")
 	)
 	flag.Parse()
 
@@ -62,6 +72,20 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "paperbench: bad -ranks-list: %v\n", err)
 		os.Exit(2)
+	}
+
+	if *benchJSON != "" {
+		rep := benchjson.Collect(base, rankList, *stepScale)
+		if err := benchjson.WriteFile(rep, *benchJSON); err != nil {
+			fmt.Fprintf(os.Stderr, "paperbench: writing %s: %v\n", *benchJSON, err)
+			os.Exit(1)
+		}
+		wall := 0.0
+		for _, f := range rep.Figures {
+			wall += f.WallSeconds
+		}
+		fmt.Printf("wrote %s: %d figures, %.2fs wall clock total\n", *benchJSON, len(rep.Figures), wall)
+		return
 	}
 
 	run := func(which string) {

@@ -1,0 +1,215 @@
+// Package benchjson collects the paperbench figure measurements into a
+// machine-readable benchmark report: every virtual-second metric that
+// appears in Figures 6–9, plus the host wall-clock time spent producing
+// each figure. The virtual seconds are deterministic (cost-model) numbers
+// and comparable across machines and commits; the wall-clock numbers
+// measure the implementation itself and are the regression baseline for
+// host-side performance work.
+package benchjson
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/paperbench"
+)
+
+// Schema identifies the report layout for downstream tooling.
+const Schema = "paperbench/v1"
+
+// Report is the top-level JSON document.
+type Report struct {
+	Schema    string   `json:"schema"`
+	CreatedAt string   `json:"created_at"`
+	Host      Host     `json:"host"`
+	Config    Config   `json:"config"`
+	Figures   []Figure `json:"figures"`
+}
+
+// Host records the machine the wall-clock numbers were taken on.
+type Host struct {
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+}
+
+// Config echoes the experiment parameters the report was generated with.
+type Config struct {
+	Particles int     `json:"particles"`
+	Ranks     int     `json:"ranks"`
+	Accuracy  float64 `json:"accuracy"`
+	Seed      int64   `json:"seed"`
+	RankList  []int   `json:"rank_list"`
+}
+
+// Figure is one figure's measurements: the host wall-clock time to produce
+// it and its virtual-second metrics.
+type Figure struct {
+	Name        string   `json:"name"`
+	WallSeconds float64  `json:"wall_seconds"`
+	Metrics     []Metric `json:"metrics"`
+}
+
+// Metric is a single virtual-second value, named by a stable
+// slash-separated path (e.g. "fmm/A/step3/total").
+type Metric struct {
+	Name string  `json:"name"`
+	VSec float64 `json:"vsec"`
+}
+
+// hostInfo snapshots the current process environment.
+func hostInfo() Host {
+	return Host{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+}
+
+// Collect runs Figures 6–9 with the given base configuration and returns
+// the full report. The base config's Steps/Dt/Thermal are overridden with
+// each figure's defaults scaled by stepScale (1 reproduces the paperbench
+// CLI defaults; tests pass a small fraction). rankList drives the Fig. 9
+// sweeps.
+func Collect(base paperbench.Config, rankList []int, stepScale float64) *Report {
+	if stepScale <= 0 {
+		stepScale = 1
+	}
+	steps := func(def int) int {
+		s := int(float64(def) * stepScale)
+		if s < 1 {
+			s = 1
+		}
+		return s
+	}
+	rep := &Report{
+		Schema:    Schema,
+		CreatedAt: time.Now().UTC().Format(time.RFC3339),
+		Host:      hostInfo(),
+		Config: Config{
+			Particles: base.Particles,
+			Ranks:     base.Ranks,
+			Accuracy:  base.Accuracy,
+			Seed:      base.Seed,
+			RankList:  rankList,
+		},
+	}
+
+	timed := func(name string, run func() []Metric) {
+		start := time.Now()
+		metrics := run()
+		rep.Figures = append(rep.Figures, Figure{
+			Name:        name,
+			WallSeconds: time.Since(start).Seconds(),
+			Metrics:     metrics,
+		})
+	}
+
+	cfg6 := base
+	cfg6.Dt = 0.01
+	timed("fig6", func() []Metric { return fig6Metrics(paperbench.Fig6(cfg6)) })
+
+	cfg7 := base
+	cfg7.Steps, cfg7.Dt = steps(8), 0.01
+	timed("fig7", func() []Metric { return fig7Metrics(paperbench.Fig7(cfg7)) })
+
+	cfg8 := base
+	cfg8.Steps, cfg8.Dt, cfg8.Thermal = steps(60), 0.01, 2.5
+	timed("fig8", func() []Metric { return fig8Metrics(paperbench.Fig8(cfg8)) })
+
+	cfg9 := base
+	cfg9.Steps, cfg9.Dt, cfg9.Thermal = steps(25), 0.025, 2.5
+	cfg9.Machine = paperbench.JuRoPA()
+	timed("fig9l", func() []Metric {
+		return fig9Metrics("fmm", paperbench.Fig9(cfg9, "fmm", rankList))
+	})
+	cfg9r := cfg9
+	cfg9r.Machine = paperbench.Juqueen()
+	timed("fig9r", func() []Metric {
+		return fig9Metrics("p2nfft", paperbench.Fig9(cfg9r, "p2nfft", rankList))
+	})
+
+	return rep
+}
+
+func fig6Metrics(rows []paperbench.Fig6Row) []Metric {
+	var m []Metric
+	for _, r := range rows {
+		base := fmt.Sprintf("%s/%s", r.Solver, r.Dist)
+		m = append(m,
+			Metric{base + "/total", r.Total},
+			Metric{base + "/sort", r.Sort},
+			Metric{base + "/restore", r.Restor},
+		)
+	}
+	return m
+}
+
+func fig7Metrics(series []paperbench.Fig7Series) []Metric {
+	var m []Metric
+	for _, s := range series {
+		second := "restore"
+		if s.Method == "B" {
+			second = "resort"
+		}
+		for i := range s.Total {
+			base := fmt.Sprintf("%s/%s/step%d", s.Solver, s.Method, i)
+			m = append(m,
+				Metric{base + "/sort", s.Sort[i]},
+				Metric{base + "/" + second, s.Second[i]},
+				Metric{base + "/total", s.Total[i]},
+			)
+		}
+	}
+	return m
+}
+
+func fig8Metrics(series []paperbench.Fig8Series) []Metric {
+	var m []Metric
+	for _, s := range series {
+		second := "restore"
+		if s.Method == "B" {
+			second = "resort"
+		}
+		for i := range s.Total {
+			base := fmt.Sprintf("%s/%s/step%d", s.Solver, s.Method, i+1)
+			m = append(m,
+				Metric{base + "/sort", s.Sort[i]},
+				Metric{base + "/" + second, s.Second[i]},
+				Metric{base + "/redist", s.Redist[i]},
+				Metric{base + "/total", s.Total[i]},
+			)
+		}
+	}
+	return m
+}
+
+func fig9Metrics(solver string, pts []paperbench.Fig9Point) []Metric {
+	var m []Metric
+	for _, p := range pts {
+		base := fmt.Sprintf("%s/ranks%d", solver, p.Ranks)
+		m = append(m,
+			Metric{base + "/totalA", p.TotalA},
+			Metric{base + "/totalB", p.TotalB},
+			Metric{base + "/totalBmv", p.TotalBMv},
+		)
+	}
+	return m
+}
+
+// WriteFile marshals the report (indented, trailing newline) to path.
+func WriteFile(rep *Report, path string) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	return os.WriteFile(path, data, 0o644)
+}

@@ -1,0 +1,100 @@
+package benchjson
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/paperbench"
+)
+
+// TestCollectAndWrite runs a miniature end-to-end collection and checks the
+// report's structure: all five figures present, wall-clock recorded, and
+// every expected metric family populated.
+func TestCollectAndWrite(t *testing.T) {
+	cfg := paperbench.DefaultConfig()
+	cfg.Particles = 256
+	cfg.Ranks = 2
+	cfg.Accuracy = 1e-1
+
+	rep := Collect(cfg, []int{2}, 0.05)
+
+	want := map[string]bool{"fig6": false, "fig7": false, "fig8": false, "fig9l": false, "fig9r": false}
+	for _, f := range rep.Figures {
+		if _, ok := want[f.Name]; !ok {
+			t.Errorf("unexpected figure %q", f.Name)
+			continue
+		}
+		want[f.Name] = true
+		if f.WallSeconds <= 0 {
+			t.Errorf("%s: wall_seconds = %v, want > 0", f.Name, f.WallSeconds)
+		}
+		if len(f.Metrics) == 0 {
+			t.Errorf("%s: no metrics", f.Name)
+		}
+		for _, m := range f.Metrics {
+			if m.Name == "" {
+				t.Errorf("%s: metric with empty name", f.Name)
+			}
+		}
+	}
+	for name, seen := range want {
+		if !seen {
+			t.Errorf("figure %s missing from report", name)
+		}
+	}
+	if rep.Schema != Schema {
+		t.Errorf("schema = %q, want %q", rep.Schema, Schema)
+	}
+	if rep.Host.NumCPU < 1 || rep.Host.GOMAXPROCS < 1 {
+		t.Errorf("bad host info: %+v", rep.Host)
+	}
+
+	// fig6 carries 2 solvers x 3 distributions x 3 values.
+	for _, f := range rep.Figures {
+		if f.Name == "fig6" && len(f.Metrics) != 18 {
+			t.Errorf("fig6: %d metrics, want 18", len(f.Metrics))
+		}
+	}
+
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := WriteFile(rep, path); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	var back Report
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("round-trip unmarshal: %v", err)
+	}
+	if len(back.Figures) != len(rep.Figures) {
+		t.Errorf("round-trip: %d figures, want %d", len(back.Figures), len(rep.Figures))
+	}
+}
+
+// TestCollectDeterministicVsec verifies that the virtual-second metrics —
+// unlike the wall-clock fields — are identical across repeated collections.
+func TestCollectDeterministicVsec(t *testing.T) {
+	cfg := paperbench.DefaultConfig()
+	cfg.Particles = 256
+	cfg.Ranks = 2
+	cfg.Accuracy = 1e-1
+
+	a := Collect(cfg, []int{2}, 0.05)
+	b := Collect(cfg, []int{2}, 0.05)
+	for i, fa := range a.Figures {
+		fb := b.Figures[i]
+		if fa.Name != fb.Name || len(fa.Metrics) != len(fb.Metrics) {
+			t.Fatalf("figure mismatch at %d: %s vs %s", i, fa.Name, fb.Name)
+		}
+		for j, ma := range fa.Metrics {
+			mb := fb.Metrics[j]
+			if ma.Name != mb.Name || ma.VSec != mb.VSec {
+				t.Errorf("%s: metric %d differs: %v vs %v", fa.Name, j, ma, mb)
+			}
+		}
+	}
+}

@@ -41,6 +41,21 @@ type Solver struct {
 	// order, so the next input is almost sorted and the movement heuristic
 	// applies.
 	lastSorted bool
+	// Per-call scratch reused across Run invocations (the engine only
+	// reads these during compute, so the buffers are free again when it
+	// returns).
+	posBuf, qBuf []float64
+	keyBuf       []uint64
+}
+
+// grow returns a length-n view of *buf, reallocating only when the capacity
+// is insufficient. Contents are unspecified; callers overwrite all entries.
+func grow[T any](buf *[]T, n int) []T {
+	if cap(*buf) < n {
+		*buf = make([]T, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
 }
 
 // New creates an FMM solver on the communicator for the given box,
@@ -212,9 +227,9 @@ func (s *Solver) Run(in Input) (api.Output, error) {
 func (s *Solver) compute(recs []pRec) (pot, field []float64) {
 	c := s.comm
 	n := len(recs)
-	pos := make([]float64, 3*n)
-	q := make([]float64, n)
-	keys := make([]uint64, n)
+	pos := grow(&s.posBuf, 3*n)
+	q := grow(&s.qBuf, n)
+	keys := grow(&s.keyBuf, n)
 	for i, r := range recs {
 		pos[3*i], pos[3*i+1], pos[3*i+2] = r.X, r.Y, r.Z
 		q[i] = r.Q
@@ -299,7 +314,10 @@ func (s *Solver) exchangeMultipoles(e *Engine, ranges []keyRange) {
 	sent := map[[2]uint64]map[int]bool{} // (level,key) -> dest set
 	var dsts []int
 	for l := 1; l <= s.Level; l++ {
-		for key, M := range e.M[l] {
+		// Sorted iteration keeps the message payload order (and with it the
+		// whole exchange) independent of Go's randomized map traversal.
+		for _, key := range sortedKeys(e.M[l]) {
+			M := e.M[l][key]
 			id := [2]uint64{uint64(l), key}
 			for _, il := range e.InteractionList(l, key) {
 				lo, hi := s.boxSpan(l, il)
@@ -323,8 +341,10 @@ func (s *Solver) exchangeMultipoles(e *Engine, ranges []keyRange) {
 			}
 		}
 	}
-	recvKeys := vmpi.Alltoall(c, keyParts)
-	recvVals := vmpi.Alltoall(c, valParts)
+	// The per-destination parts are freshly built and disjoint, so their
+	// buffers can be relinquished into the messages without a copy.
+	recvKeys := vmpi.AlltoallOwned(c, keyParts)
+	recvVals := vmpi.AlltoallOwned(c, valParts)
 	for r := 0; r < p; r++ {
 		ks := recvKeys[r]
 		vs := recvVals[r]
@@ -337,6 +357,8 @@ func (s *Solver) exchangeMultipoles(e *Engine, ranges []keyRange) {
 			e.AddRemoteMultipole(l, key, vs[i*nc:(i+1)*nc])
 		}
 	}
+	vmpi.ReleaseBlocks(recvKeys)
+	vmpi.ReleaseBlocks(recvVals)
 }
 
 // ghostRec is a particle pushed to a neighboring process for its near
@@ -378,8 +400,9 @@ func (s *Solver) exchangeGhosts(e *Engine, ranges []keyRange, keys []uint64, pos
 	// Each destination part is deterministic: boxes are visited in
 	// ascending key order and a box's particles are appended to a given
 	// part at most once, so map iteration over the dest set cannot change
-	// any single part's content or order.
-	recv := vmpi.Alltoall(c, parts)
+	// any single part's content or order. The parts are freshly built and
+	// disjoint, so they are relinquished into the messages without a copy.
+	recv := vmpi.AlltoallOwned(c, parts)
 	var gpos []float64
 	var gq []float64
 	for _, b := range recv {
@@ -388,6 +411,7 @@ func (s *Solver) exchangeGhosts(e *Engine, ranges []keyRange, keys []uint64, pos
 			gq = append(gq, g.Q)
 		}
 	}
+	vmpi.ReleaseBlocks(recv)
 	e.AddGhosts(gpos, gq)
 }
 

@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"repro/internal/costs"
+	"repro/internal/hostpar"
 	"repro/internal/particle"
 	"repro/internal/zorder"
 )
@@ -41,8 +43,17 @@ type Engine struct {
 	L []map[uint64][]float64
 
 	// derivCache memoizes derivative tensors per (level, wrapped integer
-	// cell offset).
+	// cell offset). derivMu guards it because Downward fills the cache from
+	// host worker goroutines; entries are pure functions of the key, so
+	// which worker computes one first does not change its value.
 	derivCache map[derivKey][]float64
+	derivMu    sync.Mutex
+
+	// boxLen and boxPer cache the box geometry so the pair kernels avoid
+	// re-deriving (and re-validating) it per interaction. Only engines built
+	// by NewEngine may use them; the box must not change afterwards.
+	boxLen [3]float64
+	boxPer [3]bool
 
 	// CostSeconds accumulates the modelled computation time of all engine
 	// work since construction.
@@ -85,6 +96,8 @@ func NewEngine(tab *Tables, box particle.Box, level int, pos, q []float64, keys 
 		keys:       keys,
 		gleaves:    map[uint64][2]int{},
 		derivCache: map[derivKey][]float64{},
+		boxLen:     box.Lengths(),
+		boxPer:     box.Periodic,
 	}
 	e.leaves = buildRanges(keys)
 	e.M = make([]map[uint64][]float64, level+1)
@@ -152,11 +165,26 @@ func (e *Engine) AddGhosts(pos, q []float64) {
 	e.CostSeconds += costs.SortTime(n)
 }
 
-// cellSize returns the box edge lengths of a level-l box.
+// cellSize returns the box edge lengths of a level-l box. It relies on the
+// cached geometry, so it must only be called on engines built by NewEngine.
 func (e *Engine) cellSize(l int) [3]float64 {
-	lengths := e.Box.Lengths()
 	f := float64(uint64(1) << uint(l))
-	return [3]float64{lengths[0] / f, lengths[1] / f, lengths[2] / f}
+	return [3]float64{e.boxLen[0] / f, e.boxLen[1] / f, e.boxLen[2] / f}
+}
+
+// minImage is Box.MinImage against the cached geometry: the same arithmetic
+// without re-validating the box per pair.
+func (e *Engine) minImage(dx, dy, dz float64) (float64, float64, float64) {
+	if e.boxPer[0] {
+		dx -= e.boxLen[0] * math.Round(dx/e.boxLen[0])
+	}
+	if e.boxPer[1] {
+		dy -= e.boxLen[1] * math.Round(dy/e.boxLen[1])
+	}
+	if e.boxPer[2] {
+		dz -= e.boxLen[2] * math.Round(dz/e.boxLen[2])
+	}
+	return dx, dy, dz
 }
 
 // center returns the center of the box with the given key at level l.
@@ -170,31 +198,89 @@ func (e *Engine) center(l int, key uint64) [3]float64 {
 	}
 }
 
+// sortedKeys returns the keys of an expansion map in ascending order, so
+// iteration order (and therefore floating-point accumulation order) is a
+// property of the tree, not of Go's randomized map traversal.
+func sortedKeys(m map[uint64][]float64) []uint64 {
+	out := make([]uint64, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
+// Host-parallel tile grains for the engine kernels: tiles are pure
+// functions of these constants and the problem size, never of the host.
+const (
+	leafGrain   = 4 // leaves per tile in P2M / L2P sweeps
+	groupGrain  = 2 // parent groups per tile in the M2M sweep
+	targetGrain = 2 // target boxes per tile in the Downward sweep
+	nearGrain   = 1 // leaves per tile in the near-field sweep
+)
+
 // Upward builds leaf multipoles from owned particles and translates them up
 // to level 1.
+//
+// Both sweeps run on host workers (package hostpar): each leaf / parent box
+// is an independent output, computed into a dense per-tile slot, and the
+// map inserts plus the virtual-cost charges replay sequentially afterwards
+// in ascending key order. Children are folded into their parent in
+// ascending key order, so the result is bit-identical at any GOMAXPROCS.
 func (e *Engine) Upward() {
 	nc := e.Tab.NCoef()
-	for _, lr := range e.leaves {
-		M := make([]float64, nc)
-		c := e.center(e.Level, lr.key)
-		for i := lr.lo; i < lr.hi; i++ {
-			e.Tab.P2M(e.q[i], e.pos[3*i]-c[0], e.pos[3*i+1]-c[1], e.pos[3*i+2]-c[2], M)
+	leafMs := make([][]float64, len(e.leaves))
+	hostpar.For(len(e.leaves), leafGrain, func(lo, hi int) {
+		for li := lo; li < hi; li++ {
+			lr := e.leaves[li]
+			M := make([]float64, nc)
+			c := e.center(e.Level, lr.key)
+			for i := lr.lo; i < lr.hi; i++ {
+				e.Tab.P2M(e.q[i], e.pos[3*i]-c[0], e.pos[3*i+1]-c[1], e.pos[3*i+2]-c[2], M)
+			}
+			leafMs[li] = M
 		}
-		e.M[e.Level][lr.key] = M
+	})
+	for li, lr := range e.leaves {
+		e.M[e.Level][lr.key] = leafMs[li]
 		e.CostSeconds += float64(lr.hi-lr.lo) * float64(nc) * costs.MultipoleTerm
 	}
 	for l := e.Level - 1; l >= 1; l-- {
-		for key, Mc := range e.M[l+1] {
-			pk := zorder.Parent(key)
-			Mp := e.M[l][pk]
-			if Mp == nil {
-				Mp = make([]float64, nc)
-				e.M[l][pk] = Mp
+		children := sortedKeys(e.M[l+1])
+		// Sorted Morton keys have a common parent contiguous, so group the
+		// children by parent; each group is one independent M2M reduction.
+		type group struct {
+			pk     uint64
+			lo, hi int
+		}
+		var groups []group
+		for i := 0; i < len(children); {
+			pk := zorder.Parent(children[i])
+			j := i
+			for j < len(children) && zorder.Parent(children[j]) == pk {
+				j++
 			}
-			cc := e.center(l+1, key)
-			pc := e.center(l, pk)
-			e.Tab.M2M(Mc, cc[0]-pc[0], cc[1]-pc[1], cc[2]-pc[2], Mp)
-			e.CostSeconds += float64(nc*nc) * costs.MultipoleTerm
+			groups = append(groups, group{pk: pk, lo: i, hi: j})
+			i = j
+		}
+		parentMs := make([][]float64, len(groups))
+		hostpar.For(len(groups), groupGrain, func(lo, hi int) {
+			for gi := lo; gi < hi; gi++ {
+				g := groups[gi]
+				Mp := make([]float64, nc)
+				pc := e.center(l, g.pk)
+				for _, key := range children[g.lo:g.hi] {
+					cc := e.center(l+1, key)
+					e.Tab.M2M(e.M[l+1][key], cc[0]-pc[0], cc[1]-pc[1], cc[2]-pc[2], Mp)
+				}
+				parentMs[gi] = Mp
+			}
+		})
+		for gi, g := range groups {
+			e.M[l][g.pk] = parentMs[gi]
+			for k := g.lo; k < g.hi; k++ {
+				e.CostSeconds += float64(nc*nc) * costs.MultipoleTerm
+			}
 		}
 	}
 }
@@ -264,16 +350,27 @@ func (e *Engine) wrapOffset(l int, target, source uint64) [3]int {
 }
 
 // deriv returns the (cached) derivative tensor for a cell offset at a
-// level.
+// level. Safe for concurrent use: on a miss the tensor is computed outside
+// the lock (two workers may duplicate the work, but the value is a pure
+// function of the key, so either copy is bit-identical).
 func (e *Engine) deriv(l int, off [3]int) []float64 {
 	k := derivKey{l, off[0], off[1], off[2]}
-	if b, ok := e.derivCache[k]; ok {
+	e.derivMu.Lock()
+	b, ok := e.derivCache[k]
+	e.derivMu.Unlock()
+	if ok {
 		return b
 	}
 	cs := e.cellSize(l)
-	b := make([]float64, e.Tab.NCoef())
+	b = make([]float64, e.Tab.NCoef())
 	e.Tab.Deriv(float64(off[0])*cs[0], float64(off[1])*cs[1], float64(off[2])*cs[2], b)
-	e.derivCache[k] = b
+	e.derivMu.Lock()
+	if prev, ok := e.derivCache[k]; ok {
+		b = prev
+	} else {
+		e.derivCache[k] = b
+	}
+	e.derivMu.Unlock()
 	return b
 }
 
@@ -302,28 +399,50 @@ func (e *Engine) Downward() {
 		}
 		targets[l] = t
 	}
+	// Each level translates from the (read-only) level above: its targets
+	// are independent, so they run on host workers, each filling a dense
+	// per-target slot. The map inserts and the virtual-cost charges replay
+	// sequentially in target order afterwards — the charge sequence (one
+	// L2L term when the parent had a local expansion, then one term per
+	// performed M2L) is exactly the serial one.
 	for l := 1; l <= e.Level; l++ {
-		for _, key := range targets[l] {
-			L := make([]float64, nc)
-			if l > 1 {
-				pk := zorder.Parent(key)
-				if Lp := e.L[l-1][pk]; Lp != nil {
-					pc := e.center(l-1, pk)
-					cc := e.center(l, key)
-					e.Tab.L2L(Lp, cc[0]-pc[0], cc[1]-pc[1], cc[2]-pc[2], L)
-					e.CostSeconds += float64(nc*nc) * costs.MultipoleTerm
+		tl := targets[l]
+		Ls := make([][]float64, len(tl))
+		hadParent := make([]bool, len(tl))
+		nM2L := make([]int, len(tl))
+		hostpar.For(len(tl), targetGrain, func(lo, hi int) {
+			for ti := lo; ti < hi; ti++ {
+				key := tl[ti]
+				L := make([]float64, nc)
+				if l > 1 {
+					pk := zorder.Parent(key)
+					if Lp := e.L[l-1][pk]; Lp != nil {
+						pc := e.center(l-1, pk)
+						cc := e.center(l, key)
+						e.Tab.L2L(Lp, cc[0]-pc[0], cc[1]-pc[1], cc[2]-pc[2], L)
+						hadParent[ti] = true
+					}
 				}
+				for _, src := range e.InteractionList(l, key) {
+					M := e.M[l][src]
+					if M == nil {
+						continue
+					}
+					b := e.deriv(l, e.wrapOffset(l, key, src))
+					e.Tab.M2L(M, b, L)
+					nM2L[ti]++
+				}
+				Ls[ti] = L
 			}
-			for _, src := range e.InteractionList(l, key) {
-				M := e.M[l][src]
-				if M == nil {
-					continue
-				}
-				b := e.deriv(l, e.wrapOffset(l, key, src))
-				e.Tab.M2L(M, b, L)
+		})
+		for ti, key := range tl {
+			if hadParent[ti] {
+				e.CostSeconds += float64(nc*nc) * costs.MultipoleTerm
+			}
+			for k := 0; k < nM2L[ti]; k++ {
 				e.CostSeconds += float64(e.Tab.M2LOps()) * costs.MultipoleTerm
 			}
-			e.L[l][key] = L
+			e.L[l][key] = Ls[ti]
 		}
 	}
 }
@@ -332,18 +451,29 @@ func (e *Engine) Downward() {
 // particle into pot (length n) and field (length 3n).
 func (e *Engine) EvalFarField(pot, field []float64) {
 	nc := e.Tab.NCoef()
-	for _, lr := range e.leaves {
-		L := e.L[e.Level][lr.key]
-		if L == nil {
-			continue
+	// Leaves partition the particle index range, so the tiles write
+	// disjoint slices of pot and field; the cost charges replay in leaf
+	// order afterwards.
+	hostpar.For(len(e.leaves), leafGrain, func(lo, hi int) {
+		for li := lo; li < hi; li++ {
+			lr := e.leaves[li]
+			L := e.L[e.Level][lr.key]
+			if L == nil {
+				continue
+			}
+			c := e.center(e.Level, lr.key)
+			for i := lr.lo; i < lr.hi; i++ {
+				p, fx, fy, fz := e.Tab.L2P(L, e.pos[3*i]-c[0], e.pos[3*i+1]-c[1], e.pos[3*i+2]-c[2])
+				pot[i] += p
+				field[3*i] += fx
+				field[3*i+1] += fy
+				field[3*i+2] += fz
+			}
 		}
-		c := e.center(e.Level, lr.key)
-		for i := lr.lo; i < lr.hi; i++ {
-			p, fx, fy, fz := e.Tab.L2P(L, e.pos[3*i]-c[0], e.pos[3*i+1]-c[1], e.pos[3*i+2]-c[2])
-			pot[i] += p
-			field[3*i] += fx
-			field[3*i+1] += fy
-			field[3*i+2] += fz
+	})
+	for _, lr := range e.leaves {
+		if e.L[e.Level][lr.key] == nil {
+			continue
 		}
 		e.CostSeconds += float64(lr.hi-lr.lo) * float64(nc) * costs.MultipoleTerm
 	}
@@ -353,38 +483,76 @@ func (e *Engine) EvalFarField(pot, field []float64) {
 // owned and ghost particles into pot and field of the owned particles.
 // Displacements use the minimum-image convention, which is exact for
 // neighbor boxes at level ≥ 2.
+//
+// The sweep is formulated as a gather: every owned particle accumulates
+// only its own contributions, so leaves run on host workers with disjoint
+// writes. Bit-identity with the symmetric leaf-pair traversal (the serial
+// formulation) holds at any GOMAXPROCS because (a) the per-particle
+// accumulation order reproduces the traversal exactly — smaller-key owned
+// neighbor leaves in ascending key order (their earlier turn in the leaf
+// loop), then the own box, then larger-key owned and ghost neighbors in
+// Neighbors3 order — and (b) the minimum image of a negated displacement
+// is the negated minimum image, and IEEE a-b == a+(-b), so a pair seen
+// from the far side contributes the exact bits the symmetric update wrote.
+// Every interacting owned pair is gathered from both sides, so the pair
+// count the cost model charges is owned/2 + ghost, the symmetric count.
 func (e *Engine) EvalNearField(pot, field []float64) {
-	pairs := 0
-	for li, lr := range e.leaves {
-		// Same-box owned pairs (symmetric update).
-		for i := lr.lo; i < lr.hi; i++ {
-			for j := i + 1; j < lr.hi; j++ {
-				pairs += e.pairSym(i, j, pot, field)
-			}
+	nt := hostpar.Tiles(len(e.leaves), nearGrain)
+	ownedC := make([]int, nt)
+	ghostC := make([]int, nt)
+	hostpar.ForTiles(len(e.leaves), nearGrain, func(t, lo, hi int) {
+		for li := lo; li < hi; li++ {
+			o, g := e.nearLeaf(e.leaves[li], pot, field)
+			ownedC[t] += o
+			ghostC[t] += g
 		}
-		for _, nb := range zorder.Neighbors3(lr.key, e.Level, e.Periodic) {
-			if nb > lr.key {
-				// Owned neighbor box: symmetric update, processed once.
-				if rr, ok := e.findLeaf(li, nb); ok {
-					for i := lr.lo; i < lr.hi; i++ {
-						for j := rr.lo; j < rr.hi; j++ {
-							pairs += e.pairSym(i, j, pot, field)
-						}
-					}
-				}
-			}
-			// Ghost particles in the neighbor box (including the same key:
-			// a leaf split across processes): one-sided update.
-			if gr, ok := e.gleaves[nb]; ok {
-				for i := lr.lo; i < lr.hi; i++ {
-					for j := gr[0]; j < gr[1]; j++ {
-						pairs += e.pairGhost(i, j, pot, field)
-					}
-				}
+	})
+	own, gh := 0, 0
+	for t := 0; t < nt; t++ {
+		own += ownedC[t]
+		gh += ghostC[t]
+	}
+	e.CostSeconds += float64(own/2+gh) * costs.Pair
+}
+
+// nearLeaf gathers the near-field contributions of every particle in leaf
+// lr and returns the number of owned and ghost contributions with nonzero
+// displacement.
+func (e *Engine) nearLeaf(lr leafRange, pot, field []float64) (own, gh int) {
+	nbs := zorder.Neighbors3(lr.key, e.Level, e.Periodic)
+	// Owned neighbor leaves with smaller keys: in the symmetric traversal
+	// their contributions arrived during their own (earlier) leaf turns, in
+	// ascending key order.
+	var earlier []leafRange
+	for _, nb := range nbs {
+		if nb < lr.key {
+			if rr, ok := e.findLeaf(0, nb); ok {
+				earlier = append(earlier, rr)
 			}
 		}
 	}
-	e.CostSeconds += float64(pairs) * costs.Pair
+	sort.Slice(earlier, func(a, b int) bool { return earlier[a].key < earlier[b].key })
+	for i := lr.lo; i < lr.hi; i++ {
+		for _, rr := range earlier {
+			own += e.gatherOwned(i, rr.lo, rr.hi, pot, field)
+		}
+		// Own box: the j == i term has zero displacement and is skipped, so
+		// this is exactly "rows before i, then row i" of the pair loops.
+		own += e.gatherOwned(i, lr.lo, lr.hi, pot, field)
+		for _, nb := range nbs {
+			if nb > lr.key {
+				if rr, ok := e.findLeaf(0, nb); ok {
+					own += e.gatherOwned(i, rr.lo, rr.hi, pot, field)
+				}
+			}
+			// Ghosts in the neighbor box (including the same key: a leaf
+			// split across processes).
+			if gr, ok := e.gleaves[nb]; ok {
+				gh += e.gatherGhost(i, gr[0], gr[1], pot, field)
+			}
+		}
+	}
+	return own, gh
 }
 
 // findLeaf locates an owned leaf range by key; hint is the index of the
@@ -397,48 +565,58 @@ func (e *Engine) findLeaf(hint int, key uint64) (leafRange, bool) {
 	return leafRange{}, false
 }
 
-// pairSym accumulates the interaction of owned pair (i, j) into both.
-func (e *Engine) pairSym(i, j int, pot, field []float64) int {
-	dx := e.pos[3*i] - e.pos[3*j]
-	dy := e.pos[3*i+1] - e.pos[3*j+1]
-	dz := e.pos[3*i+2] - e.pos[3*j+2]
-	dx, dy, dz = e.Box.MinImage(dx, dy, dz)
-	r2 := dx*dx + dy*dy + dz*dz
-	if r2 == 0 {
-		return 0
+// gatherOwned accumulates onto owned particle i the contributions of the
+// owned particles in [jlo, jhi), returning how many had nonzero
+// displacement. The j == i term (and any exactly coincident particle) is
+// skipped on both sides of a pair, as in the symmetric update.
+func (e *Engine) gatherOwned(i, jlo, jhi int, pot, field []float64) int {
+	n := 0
+	xi, yi, zi := e.pos[3*i], e.pos[3*i+1], e.pos[3*i+2]
+	for j := jlo; j < jhi; j++ {
+		dx := xi - e.pos[3*j]
+		dy := yi - e.pos[3*j+1]
+		dz := zi - e.pos[3*j+2]
+		dx, dy, dz = e.minImage(dx, dy, dz)
+		r2 := dx*dx + dy*dy + dz*dz
+		if r2 == 0 {
+			continue
+		}
+		r := math.Sqrt(r2)
+		inv := 1 / r
+		inv3 := inv / r2
+		pot[i] += e.q[j] * inv
+		field[3*i] += e.q[j] * dx * inv3
+		field[3*i+1] += e.q[j] * dy * inv3
+		field[3*i+2] += e.q[j] * dz * inv3
+		n++
 	}
-	r := math.Sqrt(r2)
-	inv := 1 / r
-	inv3 := inv / r2
-	pot[i] += e.q[j] * inv
-	pot[j] += e.q[i] * inv
-	field[3*i] += e.q[j] * dx * inv3
-	field[3*i+1] += e.q[j] * dy * inv3
-	field[3*i+2] += e.q[j] * dz * inv3
-	field[3*j] -= e.q[i] * dx * inv3
-	field[3*j+1] -= e.q[i] * dy * inv3
-	field[3*j+2] -= e.q[i] * dz * inv3
-	return 1
+	return n
 }
 
-// pairGhost accumulates the contribution of ghost j onto owned particle i.
-func (e *Engine) pairGhost(i, j int, pot, field []float64) int {
-	dx := e.pos[3*i] - e.gpos[3*j]
-	dy := e.pos[3*i+1] - e.gpos[3*j+1]
-	dz := e.pos[3*i+2] - e.gpos[3*j+2]
-	dx, dy, dz = e.Box.MinImage(dx, dy, dz)
-	r2 := dx*dx + dy*dy + dz*dz
-	if r2 == 0 {
-		return 0
+// gatherGhost accumulates onto owned particle i the contributions of the
+// ghost particles in [jlo, jhi).
+func (e *Engine) gatherGhost(i, jlo, jhi int, pot, field []float64) int {
+	n := 0
+	xi, yi, zi := e.pos[3*i], e.pos[3*i+1], e.pos[3*i+2]
+	for j := jlo; j < jhi; j++ {
+		dx := xi - e.gpos[3*j]
+		dy := yi - e.gpos[3*j+1]
+		dz := zi - e.gpos[3*j+2]
+		dx, dy, dz = e.minImage(dx, dy, dz)
+		r2 := dx*dx + dy*dy + dz*dz
+		if r2 == 0 {
+			continue
+		}
+		r := math.Sqrt(r2)
+		inv := 1 / r
+		inv3 := inv / r2
+		pot[i] += e.gq[j] * inv
+		field[3*i] += e.gq[j] * dx * inv3
+		field[3*i+1] += e.gq[j] * dy * inv3
+		field[3*i+2] += e.gq[j] * dz * inv3
+		n++
 	}
-	r := math.Sqrt(r2)
-	inv := 1 / r
-	inv3 := inv / r2
-	pot[i] += e.gq[j] * inv
-	field[3*i] += e.gq[j] * dx * inv3
-	field[3*i+1] += e.gq[j] * dy * inv3
-	field[3*i+2] += e.gq[j] * dz * inv3
-	return 1
+	return n
 }
 
 // SolveSerial runs the whole FMM on a single process: particles need not be

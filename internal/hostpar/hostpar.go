@@ -1,0 +1,135 @@
+// Package hostpar provides deterministic intra-rank host parallelism for
+// the compute kernels of the solvers.
+//
+// The virtual machine (package vmpi) models distributed-memory parallelism:
+// every rank is a goroutine with a virtual clock, and all performance
+// results are virtual seconds derived from the cost model. Host parallelism
+// is orthogonal: it only shrinks the real wall-clock time of running the
+// experiments, and must never change what the experiments compute. Package
+// hostpar therefore enforces two invariants:
+//
+//   - Tiling is a pure function of the problem size and the grain, never of
+//     GOMAXPROCS or scheduling. A kernel parallelized with For runs the
+//     exact same tile decomposition on every host.
+//   - Callers keep all floating-point accumulation inside a tile (or reduce
+//     per-tile partials in tile order), so results are bit-identical
+//     regardless of how many workers execute the tiles.
+//
+// Kernels running under For must not touch a vmpi.Comm: communicators are
+// bound to their rank's goroutine, and virtual time must not observe host
+// concurrency. Charge virtual cost before or after the parallel section.
+package hostpar
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// helperSlots bounds the number of extra worker goroutines that exist
+// across all concurrent For calls in the process. Every rank goroutine of
+// the virtual machine may enter a parallel section at the same time; the
+// semaphore keeps the total worker count near the host's core count instead
+// of multiplying the two. Acquisition is non-blocking — a For call that
+// finds no free slot simply runs on its caller, so the semaphore can never
+// deadlock nested or concurrent sections.
+var helperSlots = make(chan struct{}, maxInt(runtime.NumCPU()-1, 1))
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Tiles returns the number of grain-sized tiles covering [0, n). It depends
+// only on n and grain.
+func Tiles(n, grain int) int {
+	if n <= 0 {
+		return 0
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	return (n + grain - 1) / grain
+}
+
+// For executes fn(lo, hi) for every grain-sized tile of [0, n), possibly
+// concurrently. The tile decomposition depends only on n and grain. Tiles
+// may run in any order and on any goroutine; fn must confine its writes to
+// per-tile state (disjoint output ranges, or a per-tile partial obtained
+// from the tile bounds) so the result is independent of the schedule.
+func For(n, grain int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	tiles := (n + grain - 1) / grain
+	serial := func() {
+		for t := 0; t < tiles; t++ {
+			lo := t * grain
+			hi := lo + grain
+			if hi > n {
+				hi = n
+			}
+			fn(lo, hi)
+		}
+	}
+	if tiles == 1 || runtime.GOMAXPROCS(0) == 1 {
+		serial()
+		return
+	}
+	var next int64
+	work := func() {
+		for {
+			t := int(atomic.AddInt64(&next, 1)) - 1
+			if t >= tiles {
+				return
+			}
+			lo := t * grain
+			hi := lo + grain
+			if hi > n {
+				hi = n
+			}
+			fn(lo, hi)
+		}
+	}
+	want := runtime.GOMAXPROCS(0) - 1
+	if want > tiles-1 {
+		want = tiles - 1
+	}
+	var wg sync.WaitGroup
+spawn:
+	for i := 0; i < want; i++ {
+		select {
+		case helperSlots <- struct{}{}:
+			wg.Add(1)
+			go func() {
+				defer func() {
+					<-helperSlots
+					wg.Done()
+				}()
+				work()
+			}()
+		default:
+			// No free host core: the caller handles the remaining tiles.
+			break spawn
+		}
+	}
+	work()
+	wg.Wait()
+}
+
+// ForTiles executes fn(t, lo, hi) for every grain-sized tile of [0, n),
+// passing the tile index so callers can write per-tile partial results into
+// a slice indexed by t and reduce them in tile order afterwards.
+func ForTiles(n, grain int, fn func(t, lo, hi int)) {
+	if grain < 1 {
+		grain = 1
+	}
+	For(n, grain, func(lo, hi int) {
+		fn(lo/grain, lo, hi)
+	})
+}

@@ -1,0 +1,114 @@
+package hostpar
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+// TestForCoversRange checks every index is visited exactly once for a
+// variety of sizes and grains.
+func TestForCoversRange(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 64, 1000} {
+		for _, grain := range []int{0, 1, 3, 64, 4096} {
+			visited := make([]int32, n)
+			For(n, grain, func(lo, hi int) {
+				if lo < 0 || hi > n || lo >= hi {
+					t.Errorf("n=%d grain=%d: bad tile [%d,%d)", n, grain, lo, hi)
+				}
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&visited[i], 1)
+				}
+			})
+			for i, v := range visited {
+				if v != 1 {
+					t.Fatalf("n=%d grain=%d: index %d visited %d times", n, grain, i, v)
+				}
+			}
+		}
+	}
+}
+
+// TestForTileBoundsFixed checks the tile decomposition is a pure function
+// of (n, grain), independent of GOMAXPROCS.
+func TestForTileBoundsFixed(t *testing.T) {
+	collect := func() map[[2]int]bool {
+		tiles := make(chan [2]int, 1024)
+		For(1000, 37, func(lo, hi int) { tiles <- [2]int{lo, hi} })
+		close(tiles)
+		set := map[[2]int]bool{}
+		for tl := range tiles {
+			set[tl] = true
+		}
+		return set
+	}
+	prev := runtime.GOMAXPROCS(1)
+	one := collect()
+	runtime.GOMAXPROCS(maxInt(prev, 4))
+	many := collect()
+	runtime.GOMAXPROCS(prev)
+	if len(one) != len(many) {
+		t.Fatalf("tile count changed with GOMAXPROCS: %d vs %d", len(one), len(many))
+	}
+	for tl := range one {
+		if !many[tl] {
+			t.Fatalf("tile %v missing at high GOMAXPROCS", tl)
+		}
+	}
+	if want := Tiles(1000, 37); len(one) != want {
+		t.Fatalf("got %d tiles, Tiles() says %d", len(one), want)
+	}
+}
+
+// TestForTilesIndices checks tile indices are consistent with bounds.
+func TestForTilesIndices(t *testing.T) {
+	n, grain := 101, 10
+	got := make([]int64, Tiles(n, grain))
+	ForTiles(n, grain, func(tile, lo, hi int) {
+		if lo/grain != tile || lo%grain != 0 {
+			t.Errorf("tile %d has lo %d", tile, lo)
+		}
+		atomic.AddInt64(&got[tile], int64(hi-lo))
+	})
+	total := int64(0)
+	for _, v := range got {
+		total += v
+	}
+	if total != int64(n) {
+		t.Fatalf("tiles covered %d of %d indices", total, n)
+	}
+}
+
+// TestDeterministicReduction exercises the canonical usage pattern: partial
+// sums per tile, reduced in tile order, must be bit-identical under
+// different GOMAXPROCS values.
+func TestDeterministicReduction(t *testing.T) {
+	n, grain := 12345, 64
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = 1.0 / float64(3*i+1)
+	}
+	sum := func() float64 {
+		parts := make([]float64, Tiles(n, grain))
+		ForTiles(n, grain, func(tile, lo, hi int) {
+			s := 0.0
+			for i := lo; i < hi; i++ {
+				s += xs[i]
+			}
+			parts[tile] = s
+		})
+		total := 0.0
+		for _, p := range parts {
+			total += p
+		}
+		return total
+	}
+	prev := runtime.GOMAXPROCS(1)
+	a := sum()
+	runtime.GOMAXPROCS(maxInt(prev, 8))
+	b := sum()
+	runtime.GOMAXPROCS(prev)
+	if a != b {
+		t.Fatalf("reduction not deterministic: %x vs %x", a, b)
+	}
+}

@@ -6,6 +6,9 @@
 package paperbench
 
 import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
 	"fmt"
 	"math"
 
@@ -123,11 +126,18 @@ func (a stepDelta) minus(b stepDelta) stepDelta {
 	return stepDelta{a.Sort - b.Sort, a.Restore - b.Restore, a.Resort - b.Resort, a.Total - b.Total}
 }
 
+// rankResult is one rank's contribution: its step series plus a digest of
+// its final local particle state.
+type rankResult struct {
+	deltas []stepDelta
+	digest [sha256.Size]byte
+}
+
 // reduceSteps max-reduces per-rank step series into StepStats.
 func reduceSteps(values []any) []StepStat {
 	var out []StepStat
 	for _, v := range values {
-		steps := v.([]stepDelta)
+		steps := v.(rankResult).deltas
 		if out == nil {
 			out = make([]StepStat, len(steps))
 		}
@@ -141,10 +151,48 @@ func reduceSteps(values []any) []StepStat {
 	return out
 }
 
+// combineDigests hashes the per-rank state digests in rank order into one
+// hex string identifying the global final particle state.
+func combineDigests(values []any) string {
+	h := sha256.New()
+	for _, v := range values {
+		d := v.(rankResult).digest
+		h.Write(d[:])
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// stateDigest hashes a rank's complete final particle state: count,
+// positions, charges, potentials, fields, and the application-managed
+// velocities and accelerations.
+func stateDigest(l *particle.Local) [sha256.Size]byte {
+	h := sha256.New()
+	var b [8]byte
+	writeFloats := func(v []float64) {
+		for _, x := range v {
+			binary.LittleEndian.PutUint64(b[:], math.Float64bits(x))
+			h.Write(b[:])
+		}
+	}
+	binary.LittleEndian.PutUint64(b[:], uint64(l.N))
+	h.Write(b[:])
+	n := l.N
+	writeFloats(l.Pos[:3*n])
+	writeFloats(l.Q[:n])
+	writeFloats(l.Pot[:n])
+	writeFloats(l.Field[:3*n])
+	writeFloats(l.Vel[:3*n])
+	writeFloats(l.Acc[:3*n])
+	var out [sha256.Size]byte
+	h.Sum(out[:0])
+	return out
+}
+
 // runMD runs an MD simulation and returns the per-step phase breakdown.
 // Index 0 is the initial interaction computation (Fig. 3 line 5); indices
-// 1..Steps are the time steps.
-func runMD(cfg Config, solver string, dist particle.Dist, resort, track bool) []StepStat {
+// 1..Steps are the time steps. The second return value digests the final
+// particle state over all ranks.
+func runMD(cfg Config, solver string, dist particle.Dist, resort, track bool) ([]StepStat, string) {
 	s := particle.SilicaMelt(cfg.Particles, cfg.side(), true, cfg.Seed)
 	if cfg.Thermal > 0 {
 		particle.Thermalize(s, cfg.Thermal, cfg.Seed+2)
@@ -183,9 +231,9 @@ func runMD(cfg Config, solver string, dist particle.Dist, resort, track bool) []
 			deltas = append(deltas, cur.minus(prev))
 			prev = cur
 		}
-		c.SetResult(deltas)
+		c.SetResult(rankResult{deltas: deltas, digest: stateDigest(l)})
 	})
-	return reduceSteps(st.Values)
+	return reduceSteps(st.Values), combineDigests(st.Values)
 }
 
 // runOnce performs a single solver run (no MD) and returns its phase
@@ -214,7 +262,7 @@ func runOnce(cfg Config, solver string, dist particle.Dist) StepStat {
 		if err := h.Run(&n, l.Cap, l.Pos, l.Q, l.Pot, l.Field); err != nil {
 			panic(err)
 		}
-		c.SetResult([]stepDelta{phaseSnapshot(c).minus(prev)})
+		c.SetResult(rankResult{deltas: []stepDelta{phaseSnapshot(c).minus(prev)}})
 	})
 	return reduceSteps(st.Values)[0]
 }
@@ -235,5 +283,15 @@ func RunSingle(cfg Config, solver string, dist particle.Dist) StepStat {
 // RunSimulation exposes the MD-loop measurement (Figs. 7–9) for benchmarks:
 // it returns the per-step phase breakdown, index 0 being the initial solve.
 func RunSimulation(cfg Config, solver string, dist particle.Dist, resort, track bool) []StepStat {
+	stats, _ := runMD(cfg, solver, dist, resort, track)
+	return stats
+}
+
+// RunSimulationDigest is RunSimulation plus a hex digest of the final
+// particle state (positions, charges, potentials, fields, velocities, and
+// accelerations of every rank, in rank order). The determinism tests use it
+// to assert that host-level worker-pool parallelism leaves both the virtual
+// timings and the physics bit-identical.
+func RunSimulationDigest(cfg Config, solver string, dist particle.Dist, resort, track bool) ([]StepStat, string) {
 	return runMD(cfg, solver, dist, resort, track)
 }

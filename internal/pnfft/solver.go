@@ -8,9 +8,17 @@ import (
 	"repro/internal/cells"
 	"repro/internal/costs"
 	"repro/internal/fft"
+	"repro/internal/hostpar"
 	"repro/internal/particle"
 	"repro/internal/redist"
 	"repro/internal/vmpi"
+)
+
+// Host-parallel tile grains for the mesh kernels (pure constants, so the
+// tile decomposition is a property of the problem size only).
+const (
+	asgGrain  = 64  // particles per tile in charge assignment / interpolation
+	specGrain = 512 // spectral mesh points per tile in the influence loop
 )
 
 // Solver is the parallel P2NFFT-style solver. Its domain decomposition
@@ -463,29 +471,51 @@ func (s *Solver) farField(own []pRec, pot, field []float64) {
 	L := s.box.Lengths()[0]
 	h := float64(n) / L // mesh points per unit length
 
-	// 1. Charge assignment into the local grown block.
+	// 1. Charge assignment into the local grown block. Particle tiles
+	// scatter into private partial blocks on host workers; the partials are
+	// reduced into the block in tile index order, so the result is
+	// independent of GOMAXPROCS. Mesh points no particle touches stay
+	// exactly zero in every tile, so the sparsity pattern sent to the slab
+	// owners in step 2 is unchanged.
 	lo, hi := s.meshRegion()
 	bx, by, bz := hi[0]-lo[0], hi[1]-lo[1], hi[2]-lo[2]
 	block := make([]float64, bx*by*bz)
-	w := make([][]float64, 3)
-	for d := range w {
-		w[d] = make([]float64, s.Order)
-	}
-	var base [3]int
-	for pi, r := range own {
-		u := [3]float64{(r.X - s.box.Offset[0]) * h, (r.Y - s.box.Offset[1]) * h, (r.Z - s.box.Offset[2]) * h}
-		for d := 0; d < 3; d++ {
-			base[d] = splineWeights(s.Order, u[d], w[d])
+	nTiles := hostpar.Tiles(len(own), asgGrain)
+	tileBlocks := make([][]float64, nTiles)
+	hostpar.ForTiles(len(own), asgGrain, func(t, plo, phi int) {
+		tb := block
+		if nTiles > 1 {
+			tb = make([]float64, bx*by*bz)
+			tileBlocks[t] = tb
 		}
-		for ix := 0; ix < s.Order; ix++ {
-			for iy := 0; iy < s.Order; iy++ {
-				for iz := 0; iz < s.Order; iz++ {
-					gx, gy, gz := base[0]+ix-lo[0], base[1]+iy-lo[1], base[2]+iz-lo[2]
-					if gx < 0 || gx >= bx || gy < 0 || gy >= by || gz < 0 || gz >= bz {
-						panic(fmt.Sprintf("pnfft: assignment outside grown block (particle %d)", pi))
+		var w [3][]float64
+		for d := range w {
+			w[d] = make([]float64, s.Order)
+		}
+		var base [3]int
+		for pi := plo; pi < phi; pi++ {
+			r := own[pi]
+			u := [3]float64{(r.X - s.box.Offset[0]) * h, (r.Y - s.box.Offset[1]) * h, (r.Z - s.box.Offset[2]) * h}
+			for d := 0; d < 3; d++ {
+				base[d] = splineWeights(s.Order, u[d], w[d])
+			}
+			for ix := 0; ix < s.Order; ix++ {
+				for iy := 0; iy < s.Order; iy++ {
+					for iz := 0; iz < s.Order; iz++ {
+						gx, gy, gz := base[0]+ix-lo[0], base[1]+iy-lo[1], base[2]+iz-lo[2]
+						if gx < 0 || gx >= bx || gy < 0 || gy >= by || gz < 0 || gz >= bz {
+							panic(fmt.Sprintf("pnfft: assignment outside grown block (particle %d)", pi))
+						}
+						tb[(gx*by+gy)*bz+gz] += r.Q * w[0][ix] * w[1][iy] * w[2][iz]
 					}
-					block[(gx*by+gy)*bz+gz] += r.Q * w[0][ix] * w[1][iy] * w[2][iz]
 				}
+			}
+		}
+	})
+	if nTiles > 1 {
+		for _, tb := range tileBlocks {
+			for k, v := range tb {
+				block[k] += v
 			}
 		}
 	}
@@ -509,7 +539,8 @@ func (s *Solver) farField(own []pRec, pot, field []float64) {
 			}
 		}
 	}
-	recv := vmpi.Alltoall(c, parts)
+	// Freshly built per-destination buffers: relinquish them, no copy.
+	recv := vmpi.AlltoallOwned(c, parts)
 
 	// 3. Assemble the charge slab and transform.
 	xLo, xHi := s.slab.XRange(c.Rank())
@@ -521,11 +552,12 @@ func (s *Solver) farField(own []pRec, pot, field []float64) {
 			rho[(x-xLo)*n*n+flat%(n*n)] += complex(blk[i+1], 0)
 		}
 	}
+	vmpi.ReleaseBlocks(recv)
 	c.Compute(costs.MeshPoint * float64(len(rho)))
 	spec := s.slab.Forward(rho)
 
 	// 4. Influence function and ik differentiation.
-	yLo, yHi := s.slab.YRange(c.Rank())
+	yLo, _ := s.slab.YRange(c.Rank())
 	phiSpec := make([]complex128, len(spec))
 	exSpec := make([]complex128, len(spec))
 	eySpec := make([]complex128, len(spec))
@@ -534,26 +566,28 @@ func (s *Solver) farField(own []pRec, pot, field []float64) {
 	// The inverse FFT normalizes by 1/n³, but the Ewald reciprocal sum is
 	// an unnormalized sum over modes; compensate here.
 	scale := float64(n) * float64(n) * float64(n)
-	for y := 0; y < yHi-yLo; y++ {
-		my := signedMode(yLo+y, n)
-		for x := 0; x < n; x++ {
+	// Every spectral point writes only its own slot, so the loop tiles
+	// freely across host workers with bit-identical results.
+	hostpar.For(len(spec), specGrain, func(ilo, ihi int) {
+		for idx := ilo; idx < ihi; idx++ {
+			y := idx / (n * n)
+			x := (idx / n) % n
+			z := idx % n
+			my := signedMode(yLo+y, n)
 			mx := signedMode(x, n)
-			for z := 0; z < n; z++ {
-				mz := signedMode(z, n)
-				idx := (y*n+x)*n + z
-				gInf := influence(mx, my, mz, n, L, s.Alpha, s.Order)
-				if gInf == 0 {
-					continue
-				}
-				phi := complex(gInf*scale, 0) * spec[idx]
-				phiSpec[idx] = phi
-				// E(k) = −i k φ(k)
-				exSpec[idx] = complex(0, -g*float64(mx)) * phi
-				eySpec[idx] = complex(0, -g*float64(my)) * phi
-				ezSpec[idx] = complex(0, -g*float64(mz)) * phi
+			mz := signedMode(z, n)
+			gInf := influence(mx, my, mz, n, L, s.Alpha, s.Order)
+			if gInf == 0 {
+				continue
 			}
+			phi := complex(gInf*scale, 0) * spec[idx]
+			phiSpec[idx] = phi
+			// E(k) = −i k φ(k)
+			exSpec[idx] = complex(0, -g*float64(mx)) * phi
+			eySpec[idx] = complex(0, -g*float64(my)) * phi
+			ezSpec[idx] = complex(0, -g*float64(mz)) * phi
 		}
-	}
+	})
 	c.Compute(costs.MeshPoint * float64(len(spec)))
 
 	potMesh := s.slab.Inverse(phiSpec)
@@ -588,38 +622,50 @@ func (s *Solver) farField(own []pRec, pot, field []float64) {
 			}
 		}
 	}
-	retRecv := vmpi.Alltoall(c, retParts)
+	// Freshly built per-destination buffers: relinquish them, no copy.
+	retRecv := vmpi.AlltoallOwned(c, retParts)
 	values := map[int][4]float64{}
 	for _, blk := range retRecv {
 		for i := 0; i+4 < len(blk); i += 5 {
 			values[int(blk[i])] = [4]float64{blk[i+1], blk[i+2], blk[i+3], blk[i+4]}
 		}
 	}
+	vmpi.ReleaseBlocks(retRecv)
 	c.Compute(costs.MeshPoint * float64(len(values)))
 
-	// 6. Interpolate back to the owned particles.
-	for pi, r := range own {
-		u := [3]float64{(r.X - s.box.Offset[0]) * h, (r.Y - s.box.Offset[1]) * h, (r.Z - s.box.Offset[2]) * h}
-		for d := 0; d < 3; d++ {
-			base[d] = splineWeights(s.Order, u[d], w[d])
+	// 6. Interpolate back to the owned particles. Each particle writes only
+	// its own output slots and the values map is read-only here, so the
+	// particle tiles run on host workers with bit-identical results.
+	hostpar.For(len(own), asgGrain, func(plo, phi int) {
+		var w [3][]float64
+		for d := range w {
+			w[d] = make([]float64, s.Order)
 		}
-		for ix := 0; ix < s.Order; ix++ {
-			for iy := 0; iy < s.Order; iy++ {
-				for iz := 0; iz < s.Order; iz++ {
-					wt := w[0][ix] * w[1][iy] * w[2][iz]
-					flat := (wrapIdx(base[0]+ix, n)*n+wrapIdx(base[1]+iy, n))*n + wrapIdx(base[2]+iz, n)
-					v, ok := values[flat]
-					if !ok {
-						panic("pnfft: interpolation point missing from returned mesh region")
+		var base [3]int
+		for pi := plo; pi < phi; pi++ {
+			r := own[pi]
+			u := [3]float64{(r.X - s.box.Offset[0]) * h, (r.Y - s.box.Offset[1]) * h, (r.Z - s.box.Offset[2]) * h}
+			for d := 0; d < 3; d++ {
+				base[d] = splineWeights(s.Order, u[d], w[d])
+			}
+			for ix := 0; ix < s.Order; ix++ {
+				for iy := 0; iy < s.Order; iy++ {
+					for iz := 0; iz < s.Order; iz++ {
+						wt := w[0][ix] * w[1][iy] * w[2][iz]
+						flat := (wrapIdx(base[0]+ix, n)*n+wrapIdx(base[1]+iy, n))*n + wrapIdx(base[2]+iz, n)
+						v, ok := values[flat]
+						if !ok {
+							panic("pnfft: interpolation point missing from returned mesh region")
+						}
+						pot[pi] += wt * v[0]
+						field[3*pi] += wt * v[1]
+						field[3*pi+1] += wt * v[2]
+						field[3*pi+2] += wt * v[3]
 					}
-					pot[pi] += wt * v[0]
-					field[3*pi] += wt * v[1]
-					field[3*pi+1] += wt * v[2]
-					field[3*pi+2] += wt * v[3]
 				}
 			}
 		}
-	}
+	})
 	c.Compute(costs.MeshPoint * float64(len(own)*s.Order*s.Order*s.Order))
 }
 

@@ -32,20 +32,39 @@ const (
 	tagCount  = 103
 )
 
+// keyedSorter sorts items and their extracted keys together, so the
+// comparator reads cached keys instead of re-extracting them O(n log n)
+// times. Stability (and therefore the permutation for duplicate keys) is
+// identical to stably sorting items with a key-extracting comparator.
+type keyedSorter[T any] struct {
+	items []T
+	keys  []uint64
+}
+
+func (s *keyedSorter[T]) Len() int           { return len(s.items) }
+func (s *keyedSorter[T]) Less(i, j int) bool { return s.keys[i] < s.keys[j] }
+func (s *keyedSorter[T]) Swap(i, j int) {
+	s.items[i], s.items[j] = s.items[j], s.items[i]
+	s.keys[i], s.keys[j] = s.keys[j], s.keys[i]
+}
+
 // LocalSort stably sorts items by key and charges the cost of an adaptive
 // merge sort to the rank's virtual clock if c is non-nil: almost sorted
 // inputs — the method B steady state — cost little more than a scan, as
 // with the merge-based local sorting of the paper's sorting library
-// (reference [15]).
+// (reference [15]). Keys are extracted once during the sortedness scan and
+// cached for the sort.
 func LocalSort[T any](c *vmpi.Comm, items []T, key func(T) uint64) {
+	keys := make([]uint64, len(items))
 	breaks := 0
-	for i := 1; i < len(items); i++ {
-		if key(items[i-1]) > key(items[i]) {
+	for i := range items {
+		keys[i] = key(items[i])
+		if i > 0 && keys[i-1] > keys[i] {
 			breaks++
 		}
 	}
 	if breaks > 0 {
-		sort.SliceStable(items, func(i, j int) bool { return key(items[i]) < key(items[j]) })
+		sort.Stable(&keyedSorter[T]{items: items, keys: keys})
 	}
 	if c != nil {
 		c.Compute(costs.AdaptiveSortTime(len(items), breaks))
@@ -102,6 +121,7 @@ func SortPartition[T any](c *vmpi.Comm, items []T, key func(T) uint64) []T {
 	}
 	sort.SliceStable(merged, func(i, j int) bool { return key(merged[i]) < key(merged[j]) })
 	c.Compute(exchangeCost(c.Rank(), recv) + costs.MergeTime(len(merged), p))
+	vmpi.ReleaseBlocks(recv)
 	return merged
 }
 
@@ -194,12 +214,15 @@ func SortMerge[T any](c *vmpi.Comm, items []T, key func(T) uint64) []T {
 		return items
 	}
 	me := c.Rank()
+	// spare ping-pongs with items through the merge-split rounds, so the
+	// whole network reuses two buffers instead of allocating per round.
+	var spare []T
 	for _, ce := range MergeExchangeSchedule(p) {
 		switch me {
 		case ce.I:
-			items = mergeSplit(c, items, key, ce.J, true)
+			items, spare = mergeSplit(c, items, key, ce.J, true, spare)
 		case ce.J:
-			items = mergeSplit(c, items, key, ce.I, false)
+			items, spare = mergeSplit(c, items, key, ce.I, false, spare)
 		}
 	}
 	// Batcher's network provably sorts equal-size blocks; with unequal
@@ -234,7 +257,7 @@ func SortMerge[T any](c *vmpi.Comm, items []T, key func(T) uint64) []T {
 		if round > 2*total+8 {
 			panic("psort: odd-even cleanup failed to converge")
 		}
-		items = oddEvenRound(c, items, key, nonEmpty, myIdx, even)
+		items, spare = oddEvenRound(c, items, key, nonEmpty, myIdx, even, spare)
 		even = !even
 	}
 	return items
@@ -268,9 +291,9 @@ func globallySorted[T any](c *vmpi.Comm, items []T, key func(T) uint64) bool {
 // non-empty ranks: adjacent chain pairs starting at even or odd chain
 // positions merge-split. myIdx is the calling rank's position in the chain,
 // or -1 if it is empty (and therefore idle).
-func oddEvenRound[T any](c *vmpi.Comm, items []T, key func(T) uint64, chain []int, myIdx int, even bool) []T {
+func oddEvenRound[T any](c *vmpi.Comm, items []T, key func(T) uint64, chain []int, myIdx int, even bool, spare []T) ([]T, []T) {
 	if myIdx < 0 {
-		return items
+		return items, spare
 	}
 	start := 0
 	if !even {
@@ -278,12 +301,12 @@ func oddEvenRound[T any](c *vmpi.Comm, items []T, key func(T) uint64, chain []in
 	}
 	off := myIdx - start
 	if off >= 0 && off%2 == 0 && myIdx+1 < len(chain) {
-		return mergeSplit(c, items, key, chain[myIdx+1], true)
+		return mergeSplit(c, items, key, chain[myIdx+1], true, spare)
 	}
 	if off >= 1 && off%2 == 1 {
-		return mergeSplit(c, items, key, chain[myIdx-1], false)
+		return mergeSplit(c, items, key, chain[myIdx-1], false, spare)
 	}
-	return items
+	return items, spare
 }
 
 // header describes one side of a merge-split pair.
@@ -294,7 +317,10 @@ type header struct {
 
 // mergeSplit performs one comparator step with partner. keepLow selects
 // whether this rank keeps the lower (comparator input i) or upper (input j)
-// part of the merged sequence. The local count is preserved.
+// part of the merged sequence. The local count is preserved. spare is a
+// reusable merge buffer: the returned pair is (new items, new spare), with
+// the buffers swapped when an exchange happened, so repeated rounds recycle
+// the same two allocations.
 //
 // The exchange is count-negotiated: at most t = min(k_i, k_j) elements can
 // change sides, where k_i is the number of i's elements above j's minimum
@@ -304,7 +330,7 @@ type header struct {
 // with a few Z-curve stragglers that jumped across the whole key range —
 // exchanges only those few elements, the property the paper's merge-based
 // sorting exploits (§III-B).
-func mergeSplit[T any](c *vmpi.Comm, items []T, key func(T) uint64, partner int, keepLow bool) []T {
+func mergeSplit[T any](c *vmpi.Comm, items []T, key func(T) uint64, partner int, keepLow bool, spare []T) ([]T, []T) {
 	h := header{Count: int64(len(items))}
 	if len(items) > 0 {
 		h.Min = key(items[0])
@@ -315,13 +341,13 @@ func mergeSplit[T any](c *vmpi.Comm, items []T, key func(T) uint64, partner int,
 	// Skip the data exchange when the pair is already ordered or one side
 	// is empty.
 	if h.Count == 0 || ph.Count == 0 {
-		return items
+		return items, spare
 	}
 	if keepLow && h.Max <= ph.Min {
-		return items
+		return items, spare
 	}
 	if !keepLow && ph.Max <= h.Min {
-		return items
+		return items, spare
 	}
 
 	n := len(items)
@@ -339,7 +365,7 @@ func mergeSplit[T any](c *vmpi.Comm, items []T, key func(T) uint64, partner int,
 		t = pk
 	}
 	if t == 0 {
-		return items
+		return items, spare
 	}
 
 	if keepLow {
@@ -349,7 +375,10 @@ func mergeSplit[T any](c *vmpi.Comm, items []T, key func(T) uint64, partner int,
 		c.Compute(costs.RedistElem * float64(2*t))
 		// Keep the n smallest of (mine ∪ their candidates); ties keep the
 		// lower comparator input (me) first.
-		out := make([]T, 0, n)
+		out := spare[:0]
+		if cap(out) < n {
+			out = make([]T, 0, n)
+		}
 		li, hi := 0, 0
 		for len(out) < n {
 			if li < n && (hi >= len(theirLow) || key(items[li]) <= key(theirLow[hi])) {
@@ -361,7 +390,8 @@ func mergeSplit[T any](c *vmpi.Comm, items []T, key func(T) uint64, partner int,
 			}
 		}
 		c.Compute(costs.MergeTime(len(out), 2))
-		return out
+		vmpi.Release(theirLow)
+		return out, items
 	}
 	// Upper side: send my t smallest; receive the partner's t largest.
 	theirHigh := vmpi.Sendrecv(c, items[:t], partner, partner, tagData)
@@ -369,7 +399,10 @@ func mergeSplit[T any](c *vmpi.Comm, items []T, key func(T) uint64, partner int,
 	// Keep the n largest of (their candidates ∪ mine); the merged order
 	// puts the lower input (partner) first on ties, and we take the last n.
 	total := len(theirHigh) + n
-	merged := make([]T, 0, total)
+	merged := spare[:0]
+	if cap(merged) < total {
+		merged = make([]T, 0, total)
+	}
 	li, hi := 0, 0
 	for li < len(theirHigh) || hi < n {
 		if li < len(theirHigh) && (hi >= n || key(theirHigh[li]) <= key(items[hi])) {
@@ -381,7 +414,9 @@ func mergeSplit[T any](c *vmpi.Comm, items []T, key func(T) uint64, partner int,
 		}
 	}
 	c.Compute(costs.MergeTime(len(merged), 2))
-	return append([]T(nil), merged[total-n:]...)
+	vmpi.Release(theirHigh)
+	copy(items, merged[total-n:])
+	return items, merged[:0]
 }
 
 // CE is one comparator of a sorting network: compare-exchange between
@@ -485,5 +520,6 @@ func SortPartitionSampled[T any](c *vmpi.Comm, items []T, key func(T) uint64) []
 	}
 	sort.SliceStable(merged, func(i, j int) bool { return key(merged[i]) < key(merged[j]) })
 	c.Compute(exchangeCost(c.Rank(), recv) + costs.MergeTime(len(merged), p))
+	vmpi.ReleaseBlocks(recv)
 	return merged
 }

@@ -78,12 +78,16 @@ func Exchange[T any](c *vmpi.Comm, items []T, targets Targets) []T {
 		}
 	}
 	c.Compute(crossCost(c.Rank(), parts))
-	recv := vmpi.Alltoall(c, parts)
+	// The parts are freshly built per-destination buffers, so they are
+	// relinquished into the messages without a copy; the received blocks
+	// are recycled once concatenated.
+	recv := vmpi.AlltoallOwned(c, parts)
 	out := make([]T, 0, totalLen(recv))
 	for _, b := range recv {
 		out = append(out, b...)
 	}
 	c.Compute(crossCost(c.Rank(), recv))
+	vmpi.ReleaseBlocks(recv)
 	return out
 }
 
@@ -142,7 +146,8 @@ func ExchangeNeighborhood[T any](c *vmpi.Comm, items []T, targets Targets, neigh
 	c.Compute(sendCost)
 	const tag = 201
 	for _, nb := range neighbors {
-		vmpi.Isend(c, parts[nb], nb, tag)
+		// Freshly built per-neighbor buffers: relinquish them, no copy.
+		vmpi.SendOwned(c, parts[nb], nb, tag)
 	}
 	// Deterministic assembly order: self first, then neighbors ascending.
 	out := make([]T, 0, len(items))
@@ -152,6 +157,7 @@ func ExchangeNeighborhood[T any](c *vmpi.Comm, items []T, targets Targets, neigh
 		got := vmpi.Recv[T](c, nb, tag)
 		recvCost += costs.RedistElem * float64(len(got))
 		out = append(out, got...)
+		vmpi.Release(got)
 	}
 	c.Compute(recvCost)
 	return out, true

@@ -71,8 +71,10 @@ func resort[T any](c *vmpi.Comm, vals []T, stride int, indices []Index, nNew int
 	}
 	c.Compute(crossCost(c.Rank(), posParts) + costs.Move*float64(n*stride))
 
-	recvPos := vmpi.Alltoall(c, posParts)
-	recvVal := vmpi.Alltoall(c, valParts)
+	// Both part sets are freshly built per-destination buffers: relinquish
+	// them into the messages without a copy.
+	recvPos := vmpi.AlltoallOwned(c, posParts)
+	recvVal := vmpi.AlltoallOwned(c, valParts)
 
 	out := make([]T, nNew*stride)
 	placed := make([]bool, nNew)
@@ -94,6 +96,8 @@ func resort[T any](c *vmpi.Comm, vals []T, stride int, indices []Index, nNew int
 		}
 	}
 	c.Compute(crossCost(c.Rank(), recvPos) + costs.Move*float64(nNew*stride))
+	vmpi.ReleaseBlocks(recvPos)
+	vmpi.ReleaseBlocks(recvVal)
 	return out
 }
 

@@ -95,7 +95,7 @@ func Reduce[T any](c *Comm, data []T, op func(a, b T) T, root int) []T {
 	for mask := 1; mask < p; mask <<= 1 {
 		if rel&mask != 0 {
 			dst := (rel - mask + root) % p
-			Send(c, acc, dst, tagReduce)
+			SendOwned(c, acc, dst, tagReduce) // acc is our private copy; relinquish it
 			return nil
 		}
 		if src := rel | mask; src < p {
@@ -106,6 +106,7 @@ func Reduce[T any](c *Comm, data []T, op func(a, b T) T, root int) []T {
 			for i := range acc {
 				acc[i] = op(acc[i], part[i])
 			}
+			Release(part)
 		}
 	}
 	return acc
@@ -126,7 +127,10 @@ func Allreduce[T any](c *Comm, data []T, op func(a, b T) T) []T {
 
 // AllreduceVal reduces a single value with op across all ranks.
 func AllreduceVal[T any](c *Comm, v T, op func(a, b T) T) T {
-	return Allreduce(c, []T{v}, op)[0]
+	res := Allreduce(c, []T{v}, op)
+	out := res[0]
+	Release(res)
+	return out
 }
 
 // GatherBlocks collects each rank's (variable-length) slice on root. Root
@@ -199,7 +203,10 @@ func AllgatherBlocks[T any](c *Comm, data []T) [][]T {
 // Allgather collects every rank's slice on every rank, concatenated in rank
 // order.
 func Allgather[T any](c *Comm, data []T) []T {
-	return concat(AllgatherBlocks(c, data))
+	blocks := AllgatherBlocks(c, data)
+	out := concat(blocks)
+	ReleaseBlocks(blocks) // concat copied them; recycle the per-hop buffers
+	return out
 }
 
 // Alltoall exchanges parts[dst] from every rank to every rank dst using the
@@ -216,6 +223,29 @@ func Alltoall[T any](c *Comm, parts [][]T) [][]T {
 		dst := (c.rank + step) % p
 		src := (c.rank - step + p) % p
 		Send(c, parts[dst], dst, tagA2A)
+		recv[src] = Recv[T](c, src, tagA2A)
+	}
+	return recv
+}
+
+// AlltoallOwned is Alltoall with the SendOwned ownership contract applied
+// to every part: the caller relinquishes all of parts' buffers (the self
+// block is passed through to the result without a copy, the others are sent
+// without a copy) and must not touch them afterwards. Parts must be
+// disjoint buffers — never subslices of one shared array, since different
+// receiving ranks would then alias each other's memory. Virtual cost is
+// identical to Alltoall.
+func AlltoallOwned[T any](c *Comm, parts [][]T) [][]T {
+	p := c.Size()
+	if len(parts) != p {
+		panic("vmpi: AlltoallOwned needs one part per rank")
+	}
+	recv := make([][]T, p)
+	recv[c.rank] = parts[c.rank]
+	for step := 1; step < p; step++ {
+		dst := (c.rank + step) % p
+		src := (c.rank - step + p) % p
+		SendOwned(c, parts[dst], dst, tagA2A)
 		recv[src] = Recv[T](c, src, tagA2A)
 	}
 	return recv

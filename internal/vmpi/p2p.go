@@ -26,6 +26,16 @@ func Send[T any](c *Comm, data []T, dst, tag int) {
 	sendRaw(c, copySlice(data), len(data)*sizeOf[T](), dst, tag)
 }
 
+// SendOwned sends data to rank dst, transferring ownership of the buffer
+// into the message instead of deep-copying it. The caller must not read or
+// write data — or any alias of its backing array — after the call; the
+// receiving rank becomes the sole owner. Message size, timing, and virtual
+// cost are identical to Send. Use it for freshly built per-destination
+// buffers that die at the send.
+func SendOwned[T any](c *Comm, data []T, dst, tag int) {
+	sendRaw(c, data, len(data)*sizeOf[T](), dst, tag)
+}
+
 // Recv blocks until a message from rank src with the given tag arrives and
 // returns its payload.
 func Recv[T any](c *Comm, src, tag int) []T {
@@ -134,9 +144,9 @@ func recvRaw(c *Comm, src, tag int) *message {
 	return m
 }
 
-// copySlice deep-copies a payload slice.
+// copySlice deep-copies a payload slice into a (possibly pooled) buffer.
 func copySlice[T any](data []T) []T {
-	out := make([]T, len(data))
+	out := getSlice[T](len(data))
 	copy(out, data)
 	return out
 }

@@ -1,0 +1,104 @@
+package vmpi
+
+import (
+	"reflect"
+	"sync"
+)
+
+// Message-buffer pooling.
+//
+// Every Send deep-copies its payload (distributed-memory semantics), and
+// the collectives forward payloads through intermediate hops, so the
+// messaging layer used to allocate one garbage slice per message. The pool
+// below recycles those buffers through size classes (powers of two), typed
+// per element type. It changes nothing observable: message sizes, ordering,
+// and virtual costs are computed exactly as before — only the host
+// allocation rate drops.
+//
+// Ownership protocol:
+//
+//   - Send/Sendrecv copy into a pooled buffer; the receiver owns the buffer
+//     it gets from Recv and may keep it forever.
+//   - A receiver that is done with a received slice may hand it back with
+//     Release (or ReleaseBlocks); releasing is always optional and must
+//     happen at most once, only by the sole owner.
+//   - SendOwned transfers the caller's buffer into the message with no
+//     copy; the caller must not touch the slice (or any alias of it)
+//     afterwards. Use it for freshly built per-destination buffers.
+
+const (
+	poolMinBits = 5  // smallest pooled class: 32 elements
+	poolMaxBits = 24 // largest pooled class: 16M elements
+)
+
+// typedPool holds one sync.Pool per size class for a single element type.
+// Entries are *[]T stored as any.
+type typedPool struct {
+	classes [poolMaxBits + 1]sync.Pool
+}
+
+// poolRegistry maps reflect.Type (of *T) to *typedPool. Looked up once per
+// Get/Release; sync.Map is contention-free for the read-mostly case.
+var poolRegistry sync.Map
+
+func poolOf[T any]() *typedPool {
+	t := reflect.TypeOf((*T)(nil))
+	if p, ok := poolRegistry.Load(t); ok {
+		return p.(*typedPool)
+	}
+	p, _ := poolRegistry.LoadOrStore(t, &typedPool{})
+	return p.(*typedPool)
+}
+
+// classBits returns the size-class exponent for a capacity, or -1 when the
+// capacity is outside the pooled range.
+func classBits(n int) int {
+	if n < 1<<poolMinBits || n > 1<<poolMaxBits {
+		return -1
+	}
+	b := poolMinBits
+	for 1<<b < n {
+		b++
+	}
+	return b
+}
+
+// getSlice returns a length-n slice, recycling a pooled buffer when one of
+// the right class is available. The contents are unspecified; callers must
+// overwrite all n elements.
+func getSlice[T any](n int) []T {
+	b := classBits(n)
+	if b < 0 {
+		return make([]T, n)
+	}
+	p := poolOf[T]()
+	if v := p.classes[b].Get(); v != nil {
+		return (*v.(*[]T))[:n]
+	}
+	return make([]T, n, 1<<b)
+}
+
+// Release hands a slice back to the message-buffer pool. It is safe to call
+// on any slice (non-poolable capacities are ignored), but the caller must
+// be the sole owner and must not use the slice afterwards. Subslices of
+// shared arrays must never be released.
+func Release[T any](s []T) {
+	c := cap(s)
+	if c == 0 || c&(c-1) != 0 {
+		return // only exact power-of-two capacities belong to the pool
+	}
+	b := classBits(c)
+	if b < 0 {
+		return
+	}
+	full := s[:0:c]
+	poolOf[T]().classes[b].Put(&full)
+}
+
+// ReleaseBlocks releases every block of a received block set (e.g. the
+// result of Alltoall) after the caller has copied out what it needs.
+func ReleaseBlocks[T any](blocks [][]T) {
+	for _, b := range blocks {
+		Release(b)
+	}
+}

@@ -1,0 +1,70 @@
+package vmpi
+
+import "testing"
+
+func TestClassBits(t *testing.T) {
+	cases := []struct{ n, want int }{
+		{0, -1}, {1, -1}, {31, -1},
+		{32, 5}, {33, 6}, {64, 6}, {65, 7},
+		{1 << 24, 24}, {1<<24 + 1, -1},
+	}
+	for _, c := range cases {
+		if got := classBits(c.n); got != c.want {
+			t.Errorf("classBits(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestGetSliceLenCap(t *testing.T) {
+	for _, n := range []int{0, 1, 31, 32, 100, 4096, 1<<24 + 1} {
+		s := getSlice[float64](n)
+		if len(s) != n {
+			t.Fatalf("getSlice(%d) has len %d", n, len(s))
+		}
+	}
+}
+
+func TestReleaseRecycle(t *testing.T) {
+	s := getSlice[int](100) // capacity 128
+	if cap(s) != 128 {
+		t.Fatalf("expected pow2 cap, got %d", cap(s))
+	}
+	for i := range s {
+		s[i] = i
+	}
+	Release(s)
+	// A recycled buffer must come back with the requested length and the
+	// full class capacity, regardless of the length it was released at.
+	r := getSlice[int](70)
+	if len(r) != 70 || cap(r) != 128 {
+		t.Fatalf("recycled slice len=%d cap=%d", len(r), cap(r))
+	}
+}
+
+func TestReleaseIgnoresForeignSlices(t *testing.T) {
+	// Non-power-of-two capacity: must be ignored, not corrupt the pool.
+	backing := make([]int, 100)
+	Release(backing)
+	// Subslice with pow2 cap view cut off: cap(s) is 100-4=96, not pow2.
+	Release(backing[4:10])
+	// Tiny and huge slices are outside the class range.
+	Release(make([]byte, 8))
+}
+
+// TestCopySliceIndependence guards the core distributed-memory invariant:
+// a sent payload never aliases the caller's buffer, pooled or not.
+func TestCopySliceIndependence(t *testing.T) {
+	src := []int{1, 2, 3}
+	dst := copySlice(src)
+	dst[0] = 99
+	if src[0] != 1 {
+		t.Fatal("copySlice aliased its input")
+	}
+	big := make([]int, 64)
+	big[0] = 7
+	c := copySlice(big)
+	c[0] = 8
+	if big[0] != 7 {
+		t.Fatal("pooled copySlice aliased its input")
+	}
+}

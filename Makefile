@@ -1,11 +1,11 @@
 # Developer entry points. `make check` is the local tier-1 gate: build,
-# vet, full tests, and a race-detector pass over the packages that mix
-# goroutines with shared state (the virtual-MPI runtime and the
-# host-parallel FMM kernels).
+# vet, the repo's own static analyzers (cmd/parlint), full tests, a
+# race-detector pass, and the vmpi ownership checker build (-tags
+# vmpidebug).
 
 GO ?= go
 
-.PHONY: all build test race bench bench-json vet check
+.PHONY: all build test race bench bench-json vet lint debugtest check
 
 all: build
 
@@ -16,9 +16,10 @@ test:
 	$(GO) test ./...
 
 # The race detector needs real goroutine interleaving; force a few Ps even
-# on single-core hosts.
+# on single-core hosts. The long drift simulations in paperbench skip
+# themselves under the race detector (see race_on_test.go).
 race:
-	GOMAXPROCS=4 $(GO) test -race ./internal/vmpi/... ./internal/fmm/...
+	GOMAXPROCS=4 $(GO) test -race ./...
 
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' .
@@ -30,4 +31,14 @@ bench-json:
 vet:
 	$(GO) vet ./...
 
-check: build vet test race
+# Repo-specific analyzers: buffer ownership (ownedbuf), hot-path
+# determinism (determinism), SPMD collective symmetry (collsym).
+lint:
+	$(GO) run ./cmd/parlint ./...
+
+# The runtime ownership checker: vmpi tests with use-after-transfer and
+# double-release detection compiled in.
+debugtest:
+	$(GO) test -tags vmpidebug ./internal/vmpi/...
+
+check: build vet lint test debugtest race

@@ -1,0 +1,66 @@
+// Command parlint runs the repository's custom static analyzers (see
+// internal/analysis) over the packages matched by the given `go list`
+// patterns.
+//
+// Usage:
+//
+//	parlint [packages]
+//
+// With no arguments it analyzes ./... . Exit status is 0 when the tree is
+// clean, 1 when diagnostics were reported, and 2 when loading or
+// type-checking failed. Individual findings can be waived with a
+// `//parlint:allow <analyzer> -- reason` comment on or above the line.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/collsym"
+	"repro/internal/analysis/determinism"
+	"repro/internal/analysis/ownedbuf"
+)
+
+var analyzers = []*analysis.Analyzer{
+	collsym.Analyzer,
+	determinism.Analyzer,
+	ownedbuf.Analyzer,
+}
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: parlint [-list] [packages]\n\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "Analyzers:\n")
+		for _, a := range analyzers {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-12s %s\n", a.Name, a.Doc)
+		}
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := analysis.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "parlint: %v\n", err)
+		os.Exit(2)
+	}
+	diags := analysis.RunAnalyzers(pkgs, analyzers)
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+}

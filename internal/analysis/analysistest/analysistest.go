@@ -1,0 +1,186 @@
+// Package analysistest runs an analyzer over small fixture packages and
+// checks its diagnostics against expectations written in the fixtures,
+// mirroring golang.org/x/tools/go/analysis/analysistest on top of the
+// stdlib-only framework in internal/analysis.
+//
+// Fixtures live under <srcRoot>/<importpath>/*.go. Imports are resolved
+// among the fixture directories only, so fixtures depend on stub packages
+// (a stub `vmpi`, a stub `time`, ...) instead of the real ones — the
+// analyzers match packages by name/path base for exactly this reason, and
+// the harness stays hermetic: no go command, no network, no export data.
+//
+// A line expecting diagnostics carries a trailing comment
+//
+//	// want "regexp" ["regexp" ...]
+//
+// Each diagnostic reported on that line must match one expectation and
+// vice versa.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// Run loads the fixture package at srcRoot/pkgPath, applies the analyzer,
+// and reports mismatches between produced diagnostics and want
+// expectations through t.
+func Run(t *testing.T, srcRoot string, a *analysis.Analyzer, pkgPath string) {
+	t.Helper()
+	ld := &loader{root: srcRoot, fset: token.NewFileSet(), pkgs: map[string]*loaded{}}
+	target, err := ld.load(pkgPath)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", pkgPath, err)
+	}
+	diags := analysis.RunAnalyzers([]*analysis.Package{{
+		ImportPath: pkgPath,
+		Dir:        filepath.Join(srcRoot, pkgPath),
+		Fset:       ld.fset,
+		Files:      target.files,
+		Pkg:        target.pkg,
+		Info:       target.info,
+	}}, []*analysis.Analyzer{a})
+
+	wants := collectWants(t, ld.fset, target.files)
+	for _, d := range diags {
+		key := fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)
+		matched := false
+		for _, w := range wants[key] {
+			if !w.used && w.re.MatchString(d.Message) {
+				w.used = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.used {
+				t.Errorf("%s: expected diagnostic matching %q, got none", key, w.re)
+			}
+		}
+	}
+}
+
+type loaded struct {
+	pkg   *types.Package
+	files []*ast.File
+	info  *types.Info
+}
+
+type loader struct {
+	root string
+	fset *token.FileSet
+	pkgs map[string]*loaded
+}
+
+func (l *loader) load(path string) (*loaded, error) {
+	if p, ok := l.pkgs[path]; ok {
+		if p == nil {
+			return nil, fmt.Errorf("import cycle through %q", path)
+		}
+		return p, nil
+	}
+	l.pkgs[path] = nil // cycle marker
+	dir := filepath.Join(l.root, path)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("no fixture files in %s", dir)
+	}
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := analysis.NewInfo()
+	conf := types.Config{Importer: importerFunc(func(p string) (*types.Package, error) {
+		if p == "unsafe" {
+			return types.Unsafe, nil
+		}
+		dep, err := l.load(p)
+		if err != nil {
+			return nil, err
+		}
+		return dep.pkg, nil
+	})}
+	pkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	res := &loaded{pkg: pkg, files: files, info: info}
+	l.pkgs[path] = res
+	return res, nil
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+type want struct {
+	re   *regexp.Regexp
+	used bool
+}
+
+var wantRe = regexp.MustCompile(`//\s*want\s+(.*)$`)
+var quoteRe = regexp.MustCompile("`([^`]*)`|\"((?:[^\"\\\\]|\\\\.)*)\"")
+
+// collectWants gathers want expectations keyed by "file:line".
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) map[string][]*want {
+	t.Helper()
+	out := map[string][]*want{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+				qs := quoteRe.FindAllStringSubmatch(m[1], -1)
+				if len(qs) == 0 {
+					t.Fatalf("%s: malformed want comment %q", key, c.Text)
+				}
+				for _, q := range qs {
+					expr := q[1]
+					if expr == "" {
+						expr = q[2]
+					}
+					re, err := regexp.Compile(expr)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", key, expr, err)
+					}
+					out[key] = append(out[key], &want{re: re})
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,182 @@
+// Package collsym enforces SPMD collective symmetry: every rank of a
+// communicator must execute the same sequence of vmpi collectives (see the
+// discipline note in internal/vmpi/collectives.go). A collective call
+// lexically inside a branch whose condition depends on the calling rank —
+// `if c.Rank() == 0 { vmpi.Barrier(c) }` — is the classic deadlock /
+// corruption hazard: some ranks enter the collective and the rest never
+// do, and with vmpi's tag-based matching the stragglers can instead pair
+// with a later collective's messages.
+//
+// Rank dependence is recognized syntactically: a condition that calls
+// Comm.Rank() / Comm.WorldRank(), or mentions a local variable assigned
+// directly from such a call anywhere in the same function. Rank-dependent
+// point-to-point communication is deliberately not flagged — asymmetric
+// sends and receives are the normal SPMD idiom.
+//
+// The check is lexical, so rank-dependent early returns followed by a
+// collective (`if c.Rank() != 0 { return }; vmpi.Barrier(c)`) are not
+// caught; the vmpi deadlock detector remains the runtime backstop for
+// those.
+package collsym
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "collsym",
+	Doc: "reports vmpi collective calls inside branches conditioned on the " +
+		"rank, which break SPMD collective symmetry (deadlock/corruption hazard)",
+	Run: run,
+}
+
+// collectives are the vmpi package-level operations every rank must enter
+// symmetrically.
+var collectives = map[string]bool{
+	"Barrier": true, "Bcast": true, "Reduce": true, "Allreduce": true,
+	"AllreduceVal": true, "Gather": true, "GatherBlocks": true,
+	"Allgather": true, "AllgatherBlocks": true, "ScatterBlocks": true,
+	"Alltoall": true, "AlltoallOwned": true, "Scan": true, "Exscan": true,
+}
+
+// collectiveMethods are Comm methods with collective semantics.
+var collectiveMethods = map[string]bool{"Split": true, "Dup": true}
+
+func run(pass *analysis.Pass) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				checkFunc(pass, fd.Body)
+			}
+		}
+	}
+}
+
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	info := pass.Info
+
+	// Pass 1: local variables assigned directly from a rank call, e.g.
+	// `me := c.Rank()`.
+	rankVars := map[types.Object]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			if !isRankCall(info, ast.Unparen(rhs)) {
+				continue
+			}
+			if id, ok := ast.Unparen(as.Lhs[i]).(*ast.Ident); ok {
+				if obj := info.Defs[id]; obj != nil {
+					rankVars[obj] = true
+				} else if obj := info.Uses[id]; obj != nil {
+					rankVars[obj] = true
+				}
+			}
+		}
+		return true
+	})
+
+	rankDependent := func(cond ast.Expr) bool {
+		found := false
+		ast.Inspect(cond, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if isRankCall(info, n) {
+					found = true
+				}
+			case *ast.Ident:
+				if obj := info.Uses[n]; obj != nil && rankVars[obj] {
+					found = true
+				}
+			}
+			return !found
+		})
+		return found
+	}
+
+	// Pass 2: extents of rank-conditional regions. The whole statement is
+	// covered — a collective in a short-circuit condition is conditional
+	// too.
+	var regions []struct{ lo, hi token.Pos }
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.IfStmt:
+			if rankDependent(n.Cond) {
+				regions = append(regions, struct{ lo, hi token.Pos }{n.Pos(), n.End()})
+			}
+		case *ast.SwitchStmt:
+			dep := n.Tag != nil && rankDependent(n.Tag)
+			if !dep {
+				for _, cc := range n.Body.List {
+					for _, e := range cc.(*ast.CaseClause).List {
+						if rankDependent(e) {
+							dep = true
+						}
+					}
+				}
+			}
+			if dep {
+				regions = append(regions, struct{ lo, hi token.Pos }{n.Pos(), n.End()})
+			}
+		case *ast.ForStmt:
+			if n.Cond != nil && rankDependent(n.Cond) {
+				regions = append(regions, struct{ lo, hi token.Pos }{n.Pos(), n.End()})
+			}
+		}
+		return true
+	})
+	if len(regions) == 0 {
+		return
+	}
+	inRegion := func(p token.Pos) bool {
+		for _, r := range regions {
+			if r.lo <= p && p < r.hi {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Pass 3: collective calls inside those regions.
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !inRegion(call.Pos()) {
+			return true
+		}
+		fn := analysis.CalleeFunc(info, call)
+		if fn == nil || !analysis.PkgIs(fn.Pkg(), "vmpi") {
+			return true
+		}
+		recv := fn.Type().(*types.Signature).Recv()
+		switch {
+		case recv == nil && collectives[fn.Name()]:
+			pass.Reportf(call.Pos(), "collective vmpi.%s inside a rank-dependent branch: every rank must call collectives in the same order (SPMD symmetry)", fn.Name())
+		case recv != nil && collectiveMethods[fn.Name()]:
+			pass.Reportf(call.Pos(), "collective Comm.%s inside a rank-dependent branch: every rank must call collectives in the same order (SPMD symmetry)", fn.Name())
+		}
+		return true
+	})
+}
+
+// isRankCall reports whether e is a call of Comm.Rank or Comm.WorldRank
+// (any receiver whose method is defined in package vmpi).
+func isRankCall(info *types.Info, e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fn := analysis.CalleeFunc(info, call)
+	if fn == nil {
+		return false
+	}
+	if fn.Name() != "Rank" && fn.Name() != "WorldRank" {
+		return false
+	}
+	return fn.Type().(*types.Signature).Recv() != nil && analysis.PkgIs(fn.Pkg(), "vmpi")
+}

@@ -1,0 +1,12 @@
+package collsym_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/collsym"
+)
+
+func TestCollsym(t *testing.T) {
+	analysistest.Run(t, "testdata/src", collsym.Analyzer, "c")
+}

@@ -1,0 +1,28 @@
+// Package vmpi is a fixture stub of the real messaging layer
+// (repro/internal/vmpi): just enough surface for the collsym fixtures.
+package vmpi
+
+type Comm struct{}
+
+func (c *Comm) Rank() int      { return 0 }
+func (c *Comm) Size() int      { return 1 }
+func (c *Comm) WorldRank() int { return 0 }
+
+func (c *Comm) Split(color, key int) *Comm { return c }
+func (c *Comm) Dup() *Comm                 { return c }
+
+func Send[T any](c *Comm, data []T, dst, tag int)      {}
+func SendOwned[T any](c *Comm, data []T, dst, tag int) {}
+func Recv[T any](c *Comm, src, tag int) []T            { return nil }
+
+func Barrier(c *Comm)                                    {}
+func Bcast[T any](c *Comm, data []T, root int) []T       { return data }
+func Reduce(c *Comm, vals []float64, root int) []float64 { return nil }
+func Allreduce(c *Comm, vals []float64) []float64        { return vals }
+func AllreduceVal(c *Comm, v float64) float64            { return v }
+func Gather[T any](c *Comm, data []T, root int) []T      { return nil }
+func Allgather[T any](c *Comm, data []T) []T             { return data }
+func Alltoall[T any](c *Comm, parts [][]T) [][]T         { return parts }
+func AlltoallOwned[T any](c *Comm, parts [][]T) [][]T    { return parts }
+func Scan(c *Comm, v float64) float64                    { return v }
+func Exscan(c *Comm, v float64) float64                  { return v }

@@ -1,0 +1,188 @@
+// Package determinism enforces the schedule-independence contract of the
+// compute hot paths (see internal/hostpar's package comment): results must
+// be bit-identical at any GOMAXPROCS, on any host, on every run.
+//
+// Two scopes are checked:
+//
+//   - Kernel closures: function literals passed to hostpar.For /
+//     hostpar.ForTiles, in any package. Inside them the analyzer reports
+//     every nondeterminism source — map iteration, wall-clock reads,
+//     math/rand, sync/atomic, GOMAXPROCS / NumCPU reads — and any use of
+//     the vmpi messaging layer, which is bound to the rank goroutine and
+//     must never observe host concurrency.
+//   - Hot packages: the FMM and P2NFFT solver packages as a whole (their
+//     kernels feed virtual-time charges and physics that the paper's
+//     figures depend on). There the analyzer reports map iteration,
+//     wall-clock reads, math/rand, sync/atomic, and branching on
+//     GOMAXPROCS / NumCPU.
+//
+// Iterating a map only to collect keys or values into a slice (a single
+// append statement) is accepted: order-dependent work then happens after
+// an explicit sort, as in the solvers' sortedKeys idiom. Test files are
+// exempt — the contract binds production kernels, while tests legitimately
+// use math/rand for fixtures.
+package determinism
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "determinism",
+	Doc: "reports nondeterminism sources (map range, time.Now, math/rand, " +
+		"sync/atomic, GOMAXPROCS branching) in hostpar kernel closures and " +
+		"the FMM/P2NFFT hot paths",
+	Run: run,
+}
+
+// hotPackages are checked in their entirety (package name or import-path
+// base).
+var hotPackages = []string{"fmm", "pnfft"}
+
+func run(pass *analysis.Pass) {
+	hot := false
+	for _, name := range hotPackages {
+		if analysis.PkgIs(pass.Pkg, name) {
+			hot = true
+		}
+	}
+	for _, file := range pass.Files {
+		if pass.IsTestFile(file.Pos()) {
+			continue
+		}
+		checkFile(pass, file, hot)
+	}
+}
+
+type ranges []struct{ lo, hi token.Pos }
+
+func (r ranges) contains(p token.Pos) bool {
+	for _, iv := range r {
+		if iv.lo <= p && p < iv.hi {
+			return true
+		}
+	}
+	return false
+}
+
+func checkFile(pass *analysis.Pass, file *ast.File, hot bool) {
+	info := pass.Info
+
+	// Pre-pass: the extents of kernel closures (function literals passed to
+	// hostpar.For / hostpar.ForTiles, including nested literals, which the
+	// positional check covers for free) and of branch conditions.
+	var kernels, conds ranges
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			fn := analysis.CalleeFunc(info, n)
+			if fn != nil && analysis.PkgIs(fn.Pkg(), "hostpar") &&
+				(fn.Name() == "For" || fn.Name() == "ForTiles") && len(n.Args) > 0 {
+				if lit, ok := n.Args[len(n.Args)-1].(*ast.FuncLit); ok {
+					kernels = append(kernels, struct{ lo, hi token.Pos }{lit.Pos(), lit.End()})
+				}
+			}
+		case *ast.IfStmt:
+			conds = append(conds, struct{ lo, hi token.Pos }{n.Cond.Pos(), n.Cond.End()})
+		case *ast.SwitchStmt:
+			if n.Tag != nil {
+				conds = append(conds, struct{ lo, hi token.Pos }{n.Tag.Pos(), n.Tag.End()})
+			}
+		case *ast.ForStmt:
+			if n.Cond != nil {
+				conds = append(conds, struct{ lo, hi token.Pos }{n.Cond.Pos(), n.Cond.End()})
+			}
+		}
+		return true
+	})
+
+	where := func(p token.Pos) (inScope, inKernel bool) {
+		k := kernels.contains(p)
+		return hot || k, k
+	}
+
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			inScope, inKernel := where(n.Pos())
+			if !inScope {
+				return true
+			}
+			if tv, ok := info.Types[n.X]; ok {
+				if _, isMap := tv.Type.Underlying().(*types.Map); isMap && !isCollectOnly(info, n.Body) {
+					ctx := "in a hot path"
+					if inKernel {
+						ctx = "in a hostpar kernel closure"
+					}
+					pass.Reportf(n.Pos(), "map iteration order is nondeterministic %s; collect keys and sort (sortedKeys idiom), or iterate a slice", ctx)
+				}
+			}
+		case *ast.CallExpr:
+			inScope, inKernel := where(n.Pos())
+			if !inScope {
+				return true
+			}
+			fn := analysis.CalleeFunc(info, n)
+			if fn == nil {
+				return true
+			}
+			switch {
+			case pkgFunc(fn, "time", "Now") || pkgFunc(fn, "time", "Since"):
+				pass.Reportf(n.Pos(), "time.%s reads the wall clock; hot-path results must not depend on real time", fn.Name())
+			case pkgFunc(fn, "runtime", "GOMAXPROCS") || pkgFunc(fn, "runtime", "NumCPU"):
+				if inKernel {
+					pass.Reportf(n.Pos(), "runtime.%s inside a hostpar kernel closure makes the kernel host-dependent", fn.Name())
+				} else if conds.contains(n.Pos()) {
+					pass.Reportf(n.Pos(), "branching on runtime.%s makes the hot path depend on the host core count", fn.Name())
+				}
+			case inKernel && analysis.PkgIs(fn.Pkg(), "vmpi"):
+				pass.Reportf(n.Pos(), "vmpi call inside a hostpar kernel closure: communicators are bound to the rank goroutine; charge virtual cost outside the parallel section")
+			}
+		case *ast.SelectorExpr:
+			inScope, _ := where(n.Pos())
+			if !inScope {
+				return true
+			}
+			if obj := info.Uses[n.Sel]; obj != nil && obj.Pkg() != nil {
+				if analysis.PkgIs(obj.Pkg(), "rand") {
+					pass.Reportf(n.Pos(), "math/rand in a hot path: randomness must come from seeded generators outside the kernels")
+				} else if analysis.PkgIs(obj.Pkg(), "atomic") {
+					pass.Reportf(n.Pos(), "sync/atomic in a hot path: racing accumulation is schedule-dependent; reduce per-tile partials in tile order instead")
+				}
+			}
+		}
+		return true
+	})
+}
+
+// pkgFunc reports whether fn is the package-level function pkg.name.
+func pkgFunc(fn *types.Func, pkg, name string) bool {
+	return fn.Name() == name && fn.Type().(*types.Signature).Recv() == nil && analysis.PkgIs(fn.Pkg(), pkg)
+}
+
+// isCollectOnly reports whether a map-range body only appends the
+// iteration variables to a slice — the collect-then-sort idiom, whose
+// result is order-independent up to the subsequent sort.
+func isCollectOnly(info *types.Info, body *ast.BlockStmt) bool {
+	if len(body.List) != 1 {
+		return false
+	}
+	as, ok := body.List[0].(*ast.AssignStmt)
+	if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return false
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}

@@ -1,0 +1,16 @@
+package determinism_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/determinism"
+)
+
+func TestKernelClosures(t *testing.T) {
+	analysistest.Run(t, "testdata/src", determinism.Analyzer, "b")
+}
+
+func TestHotPackages(t *testing.T) {
+	analysistest.Run(t, "testdata/src", determinism.Analyzer, "fmmhot")
+}

@@ -1,0 +1,61 @@
+// Package b holds kernel-closure cases for the determinism analyzer: b is
+// not a hot package, so only code inside hostpar.For / ForTiles closures
+// is checked.
+package b
+
+import (
+	"hostpar"
+	"math/rand"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"vmpi"
+)
+
+// kernelViolations: every nondeterminism source inside a kernel closure is
+// reported.
+func kernelViolations(c *vmpi.Comm, data []float64, weights map[int]float64) {
+	var sum int64
+	hostpar.For(len(data), 64, func(lo, hi int) {
+		for k, w := range weights { // want `map iteration order is nondeterministic in a hostpar kernel closure`
+			data[lo] += float64(k) * w
+		}
+		_ = time.Now()                  // want `time.Now reads the wall clock`
+		data[lo] += rand.Float64()      // want `math/rand in a hot path`
+		atomic.AddInt64(&sum, 1)        // want `sync/atomic in a hot path`
+		_ = runtime.GOMAXPROCS(0)       // want `runtime.GOMAXPROCS inside a hostpar kernel closure`
+		_ = runtime.NumCPU()            // want `runtime.NumCPU inside a hostpar kernel closure`
+		c.Compute(1.0)                  // want `vmpi call inside a hostpar kernel closure`
+		vmpi.Send(c, data[lo:hi], 0, 1) // want `vmpi call inside a hostpar kernel closure`
+	})
+}
+
+// forTilesViolation: ForTiles closures are kernels too.
+func forTilesViolation(data []float64) {
+	hostpar.ForTiles(len(data), 64, func(t, lo, hi int) {
+		_ = time.Since(time.Now()) // want `time.Now reads the wall clock` `time.Since reads the wall clock`
+	})
+}
+
+// okOutsideKernel: the same constructs outside a kernel closure are fine
+// in a non-hot package (negative case).
+func okOutsideKernel(c *vmpi.Comm, data []float64, weights map[int]float64) {
+	for k, w := range weights {
+		data[0] += float64(k) * w
+	}
+	_ = time.Now()
+	_ = rand.Float64()
+	if runtime.GOMAXPROCS(0) > 1 {
+		c.Compute(1.0)
+	}
+}
+
+// okKernel: a pure tile kernel passes (negative case).
+func okKernel(data []float64) {
+	hostpar.For(len(data), 64, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			data[i] *= 2
+		}
+	})
+}

@@ -1,0 +1,39 @@
+// Package fmm (fixture) exercises the hot-package scope of the
+// determinism analyzer: matching is by package name, so this stands in
+// for repro/internal/fmm.
+package fmm
+
+import (
+	"math/rand"
+	"runtime"
+	"time"
+)
+
+// hotViolations: nondeterminism sources anywhere in a hot package are
+// reported.
+func hotViolations(m map[uint64][]float64, out []float64) {
+	for k, v := range m { // want `map iteration order is nondeterministic in a hot path`
+		out[int(k)%len(out)] += v[0]
+	}
+	_ = time.Now()            // want `time.Now reads the wall clock`
+	_ = rand.Intn(4)          // want `math/rand in a hot path`
+	if runtime.NumCPU() > 2 { // want `branching on runtime.NumCPU`
+		out[0] = 1
+	}
+}
+
+// sortedKeys: the collect-then-sort idiom is accepted (negative case).
+func sortedKeys(m map[uint64][]float64) []uint64 {
+	out := make([]uint64, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// okSizing: reading GOMAXPROCS outside a branch condition (e.g. for a
+// scratch-buffer size hint) is not flagged in hot packages (negative
+// case).
+func okSizing() int {
+	return runtime.GOMAXPROCS(0) * 4
+}

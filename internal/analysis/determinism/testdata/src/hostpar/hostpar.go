@@ -1,0 +1,11 @@
+// Package hostpar is a fixture stub of the real host-parallelism layer
+// (repro/internal/hostpar).
+package hostpar
+
+func For(n, grain int, fn func(lo, hi int)) {
+	fn(0, n)
+}
+
+func ForTiles(n, grain int, fn func(t, lo, hi int)) {
+	fn(0, 0, n)
+}

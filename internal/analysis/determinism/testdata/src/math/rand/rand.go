@@ -1,0 +1,6 @@
+// Package rand is a fixture stub of math/rand.
+package rand
+
+func Intn(n int) int   { return 0 }
+func Float64() float64 { return 0 }
+func Int63() int64     { return 0 }

@@ -1,0 +1,6 @@
+// Package runtime is a fixture stub of the standard library's runtime
+// package.
+package runtime
+
+func GOMAXPROCS(n int) int { return 1 }
+func NumCPU() int          { return 1 }

@@ -1,0 +1,154 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+)
+
+// Package is one loaded, parsed, and type-checked package ready for
+// analysis.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Pkg        *types.Package
+	Info       *types.Info
+}
+
+// listEntry is the subset of `go list -json` output the loader consumes.
+type listEntry struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	Export     string
+	GoFiles    []string
+	ImportMap  map[string]string
+	Standard   bool
+	DepOnly    bool
+	ForTest    string
+}
+
+// Load enumerates, parses, and type-checks the packages matched by the
+// given `go list` patterns, evaluated in dir. Test variants are loaded in
+// place of their plain packages, so _test.go files are analyzed too.
+//
+// Dependencies (including the standard library) are imported from compiler
+// export data produced by `go list -export`, so only the analyzed packages
+// themselves are type-checked from source. This keeps the driver on the
+// standard library alone: no golang.org/x/tools dependency.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	args := append([]string{
+		"list", "-test", "-deps", "-export",
+		"-json=ImportPath,Dir,Name,Export,GoFiles,ImportMap,Standard,DepOnly,ForTest",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+
+	var entries []*listEntry
+	exports := map[string]string{} // listed ImportPath (incl. test-variant brackets) -> export data file
+	variants := map[string]bool{}  // plain paths that have a test variant among the targets
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var e listEntry
+		if err := dec.Decode(&e); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		entries = append(entries, &e)
+		if e.Export != "" {
+			exports[e.ImportPath] = e.Export
+		}
+		if !e.DepOnly && e.ForTest != "" && !strings.HasSuffix(e.ImportPath, ".test") {
+			variants[e.ForTest] = true
+		}
+	}
+
+	fset := token.NewFileSet()
+	sizes := types.SizesFor("gc", runtime.GOARCH)
+	var pkgs []*Package
+	for _, e := range entries {
+		if e.Standard || e.DepOnly || len(e.GoFiles) == 0 {
+			continue
+		}
+		// Skip synthesized test mains and plain packages shadowed by their
+		// test variant (the variant's GoFiles are a superset).
+		if strings.HasSuffix(e.ImportPath, ".test") {
+			continue
+		}
+		if e.ForTest == "" && variants[e.ImportPath] {
+			continue
+		}
+		files, err := parseFiles(fset, e.Dir, e.GoFiles)
+		if err != nil {
+			return nil, err
+		}
+		checkPath := e.ImportPath
+		if i := strings.IndexByte(checkPath, ' '); i >= 0 {
+			checkPath = checkPath[:i] // "pkg [pkg.test]" type-checks as "pkg"
+		}
+		imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+			if mapped, ok := e.ImportMap[path]; ok {
+				path = mapped
+			}
+			f, ok := exports[path]
+			if !ok {
+				return nil, fmt.Errorf("no export data for %q (imported by %s)", path, e.ImportPath)
+			}
+			return os.Open(f)
+		})
+		info := NewInfo()
+		conf := types.Config{Importer: imp, Sizes: sizes}
+		tpkg, err := conf.Check(checkPath, fset, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("type-checking %s: %v", e.ImportPath, err)
+		}
+		pkgs = append(pkgs, &Package{
+			ImportPath: e.ImportPath,
+			Dir:        e.Dir,
+			Fset:       fset,
+			Files:      files,
+			Pkg:        tpkg,
+			Info:       info,
+		})
+	}
+	return pkgs, nil
+}
+
+// parseFiles parses the named files of one package, resolving relative
+// names against dir. Generated absolute paths (test mains in the build
+// cache) are accepted as-is.
+func parseFiles(fset *token.FileSet, dir string, names []string) ([]*ast.File, error) {
+	var files []*ast.File
+	for _, name := range names {
+		p := name
+		if !filepath.IsAbs(p) {
+			p = filepath.Join(dir, name)
+		}
+		f, err := parser.ParseFile(fset, p, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}

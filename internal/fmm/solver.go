@@ -374,13 +374,16 @@ func (s *Solver) exchangeGhosts(e *Engine, ranges []keyRange, keys []uint64, pos
 	p := c.Size()
 	parts := make([][]ghostRec, p)
 	var dsts []int
+	dest := make([]bool, p)
 	lo := 0
 	for lo < len(keys) {
 		hi := lo
 		for hi < len(keys) && keys[hi] == keys[lo] {
 			hi++
 		}
-		dest := map[int]bool{}
+		for i := range dest {
+			dest[i] = false
+		}
 		for _, nb := range zorder.Neighbors3(keys[lo], s.Level, e.Periodic) {
 			blo, bhi := nb, nb
 			dsts = owners(ranges, blo, bhi, dsts[:0])
@@ -390,18 +393,18 @@ func (s *Solver) exchangeGhosts(e *Engine, ranges []keyRange, keys []uint64, pos
 				}
 			}
 		}
-		for d := range dest {
+		for d, send := range dest {
+			if !send {
+				continue
+			}
 			for i := lo; i < hi; i++ {
 				parts[d] = append(parts[d], ghostRec{pos[3*i], pos[3*i+1], pos[3*i+2], q[i]})
 			}
 		}
 		lo = hi
 	}
-	// Each destination part is deterministic: boxes are visited in
-	// ascending key order and a box's particles are appended to a given
-	// part at most once, so map iteration over the dest set cannot change
-	// any single part's content or order. The parts are freshly built and
-	// disjoint, so they are relinquished into the messages without a copy.
+	// The parts are freshly built and disjoint, so they are relinquished
+	// into the messages without a copy.
 	recv := vmpi.AlltoallOwned(c, parts)
 	var gpos []float64
 	var gq []float64

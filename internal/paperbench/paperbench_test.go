@@ -101,6 +101,9 @@ func TestFig7Shape(t *testing.T) {
 }
 
 func TestFig8Shape(t *testing.T) {
+	if raceEnabled {
+		t.Skip("drift simulation exceeds the test timeout under the race detector; Fig6/Fig7 cover the same code paths")
+	}
 	cfg := testConfig()
 	// Drive drift much faster than the paper's 1000 steps: thermal initial
 	// velocities and enough steps that a sizable particle fraction leaves
@@ -155,6 +158,9 @@ func TestFig8Shape(t *testing.T) {
 }
 
 func TestFig9SwitchedShape(t *testing.T) {
+	if raceEnabled {
+		t.Skip("drift simulation exceeds the test timeout under the race detector; Fig6/Fig7 cover the same code paths")
+	}
 	cfg := testConfig()
 	// The paper's Fig. 9 simulations run 1000 steps, so the particles have
 	// drifted well away from the initial grid distribution; emulate the

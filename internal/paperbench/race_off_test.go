@@ -1,0 +1,5 @@
+//go:build !race
+
+package paperbench
+
+const raceEnabled = false

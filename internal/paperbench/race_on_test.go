@@ -1,0 +1,9 @@
+//go:build race
+
+package paperbench
+
+// raceEnabled gates the long figure simulations: under the race detector
+// they run roughly an order of magnitude slower and blow the test timeout
+// without exercising any additional interleavings beyond what the short
+// figures already cover.
+const raceEnabled = true

@@ -1,0 +1,131 @@
+//go:build vmpidebug
+
+package vmpi
+
+// Tests for the vmpidebug runtime ownership checker (debug_on.go). The
+// file is tag-gated with the checker itself, so the deliberate protocol
+// violations below are invisible to the default build and to the static
+// ownedbuf analyzer, which both see only the tag-free file set.
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func mustPanic(t *testing.T, substr string, f func()) {
+	t.Helper()
+	defer func() {
+		p := recover()
+		if p == nil {
+			t.Fatalf("expected panic containing %q, got none", substr)
+		}
+		if msg := fmt.Sprint(p); !strings.Contains(msg, substr) {
+			t.Fatalf("panic %q does not contain %q", msg, substr)
+		}
+	}()
+	f()
+}
+
+func TestDebugEnabled(t *testing.T) {
+	if !DebugEnabled() {
+		t.Fatal("built with -tags vmpidebug but DebugEnabled() is false")
+	}
+}
+
+func TestDebugDoubleReleasePanics(t *testing.T) {
+	buf := make([]int, 64)
+	Release(buf)
+	mustPanic(t, "second Release", func() { Release(buf) })
+}
+
+func TestDebugUseAfterSendOwnedPanics(t *testing.T) {
+	mustPanic(t, "use of a buffer after ownership was transferred", func() {
+		Run(Config{Ranks: 2}, func(c *Comm) {
+			if c.Rank() == 0 {
+				buf := make([]float64, 64)
+				SendOwned(c, buf, 1, 1)
+				Send(c, buf, 1, 2) // the bug under test: buf was relinquished
+			} else {
+				Release(Recv[float64](c, 0, 1))
+				Release(Recv[float64](c, 0, 2))
+			}
+		})
+	})
+}
+
+func TestDebugReleaseAfterTransferPanics(t *testing.T) {
+	mustPanic(t, "Release of a buffer after ownership was transferred", func() {
+		Run(Config{Ranks: 2}, func(c *Comm) {
+			if c.Rank() == 0 {
+				buf := make([]float64, 64)
+				SendOwned(c, buf, 1, 1)
+				Release(buf) // the bug under test: the receiver owns buf now
+			} else {
+				Release(Recv[float64](c, 0, 1))
+			}
+		})
+	})
+}
+
+func TestDebugDoubleTransferPanics(t *testing.T) {
+	mustPanic(t, "SendOwned of a buffer after ownership was transferred", func() {
+		Run(Config{Ranks: 2}, func(c *Comm) {
+			if c.Rank() == 0 {
+				buf := make([]float64, 64)
+				SendOwned(c, buf, 1, 1)
+				SendOwned(c, buf, 1, 2) // the bug under test
+			} else {
+				Release(Recv[float64](c, 0, 1))
+				Release(Recv[float64](c, 0, 2))
+			}
+		})
+	})
+}
+
+// TestDebugHappyPath: the full protocol — build, transfer, receive, use,
+// release, recycle — runs clean under the checker.
+func TestDebugHappyPath(t *testing.T) {
+	Run(Config{Ranks: 2}, func(c *Comm) {
+		buf := getSlice[float64](64)
+		for i := range buf {
+			buf[i] = float64(c.Rank())
+		}
+		dst := 1 - c.Rank()
+		SendOwned(c, buf, dst, 3)
+		got := Recv[float64](c, dst, 3)
+		if got[0] != float64(dst) {
+			panic("wrong payload")
+		}
+		Release(got)
+		// A released buffer may be reissued by the pool and used freely.
+		again := getSlice[float64](64)
+		again[0] = 1
+		Release(again)
+	})
+}
+
+// TestDebugPoisonOnRelease: released buffers are filled with 0xDB so stale
+// reads surface as corruption, not plausible data.
+func TestDebugPoisonOnRelease(t *testing.T) {
+	buf := make([]byte, 64)
+	buf[0] = 7
+	Release(buf)
+	if buf[0] != 0xDB {
+		t.Fatalf("released buffer not poisoned: got %#x, want 0xdb", buf[0])
+	}
+}
+
+// TestDebugPanicNamesUserSite: the panic message points at the offending
+// caller, not at vmpi internals.
+func TestDebugPanicNamesUserSite(t *testing.T) {
+	buf := make([]int, 64)
+	Release(buf)
+	defer func() {
+		msg := fmt.Sprint(recover())
+		if !strings.Contains(msg, "debug_checker_test.go") {
+			t.Fatalf("panic should name this test file: %q", msg)
+		}
+	}()
+	Release(buf)
+}

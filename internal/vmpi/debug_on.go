@@ -1,0 +1,167 @@
+//go:build vmpidebug
+
+package vmpi
+
+// Runtime ownership checker, the dynamic backstop behind the static
+// ownedbuf analyzer (cmd/parlint). Built with -tags vmpidebug, the
+// messaging layer tracks the backing array of every buffer that changes
+// hands through the ownership protocol (see pool.go) and panics, naming
+// the offending call sites, on:
+//
+//   - sending a buffer (owned or copied) after its ownership was
+//     transferred by SendOwned / AlltoallOwned or after it was released;
+//   - transferring a buffer twice, or transferring a released buffer;
+//   - releasing a buffer twice, or releasing a transferred buffer.
+//
+// Released buffers are additionally poisoned with 0xDB bytes so stale
+// reads surface as corrupted data instead of silently reading recycled
+// memory. Tracking is keyed by the backing array's address; the tracked
+// state keeps the buffer reachable, so an address is never reused while an
+// entry for it exists (no false positives from GC address reuse).
+//
+// Direct element reads and writes cannot be intercepted in Go, so plain
+// use-after-transfer is caught when the buffer re-enters the messaging
+// layer (or, for released buffers, by the poison); the static analyzer
+// covers the rest at compile time.
+
+import (
+	"fmt"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"unsafe"
+)
+
+// DebugEnabled reports whether the vmpidebug runtime ownership checker is
+// compiled in.
+func DebugEnabled() bool { return true }
+
+const (
+	dbgTransferred = iota
+	dbgReleased
+)
+
+// dbgState records why a backing array is currently off-limits. pin keeps
+// the array reachable so its address cannot be recycled for an unrelated
+// allocation while the entry exists.
+type dbgState struct {
+	kind int
+	site string
+	pin  any
+}
+
+var (
+	dbgMu   sync.Mutex
+	dbgBufs = map[unsafe.Pointer]*dbgState{}
+)
+
+func (s *dbgState) verb() string {
+	if s.kind == dbgTransferred {
+		return "ownership was transferred"
+	}
+	return "it was released"
+}
+
+// dbgCallSite returns the first caller frame outside the vmpi
+// implementation files, i.e. the user call that entered the messaging
+// layer (vmpi's own tests live in *_test.go files and are reported too).
+func dbgCallSite() string {
+	pc := make([]uintptr, 32)
+	n := runtime.Callers(2, pc)
+	frames := runtime.CallersFrames(pc[:n])
+	for {
+		f, more := frames.Next()
+		switch filepath.Base(f.File) {
+		case "debug_on.go", "p2p.go", "pool.go", "collectives.go", "vmpi.go":
+		default:
+			return fmt.Sprintf("%s:%d", f.File, f.Line)
+		}
+		if !more {
+			return "(unknown)"
+		}
+	}
+}
+
+func dbgKey[T any](s []T) unsafe.Pointer {
+	if cap(s) == 0 {
+		return nil
+	}
+	return unsafe.Pointer(unsafe.SliceData(s[:cap(s)]))
+}
+
+// debugTransfer records a SendOwned/AlltoallOwned ownership transfer.
+func debugTransfer[T any](s []T) {
+	k := dbgKey(s)
+	if k == nil {
+		return
+	}
+	dbgMu.Lock()
+	defer dbgMu.Unlock()
+	if st := dbgBufs[k]; st != nil {
+		panic(fmt.Sprintf("vmpi: SendOwned of a buffer after %s at %s (new transfer at %s)",
+			st.verb(), st.site, dbgCallSite()))
+	}
+	dbgBufs[k] = &dbgState{kind: dbgTransferred, site: dbgCallSite(), pin: s}
+}
+
+// debugRecv marks a delivered payload as owned by the receiving rank.
+func debugRecv[T any](s []T) {
+	k := dbgKey(s)
+	if k == nil {
+		return
+	}
+	dbgMu.Lock()
+	delete(dbgBufs, k)
+	dbgMu.Unlock()
+}
+
+// debugGet marks a pooled buffer as reissued by getSlice.
+func debugGet[T any](s []T) {
+	k := dbgKey(s)
+	if k == nil {
+		return
+	}
+	dbgMu.Lock()
+	delete(dbgBufs, k)
+	dbgMu.Unlock()
+}
+
+// debugRelease checks and records a Release that will enter the pool, and
+// poisons the buffer contents.
+func debugRelease[T any](s []T) {
+	k := dbgKey(s)
+	if k == nil {
+		return
+	}
+	dbgMu.Lock()
+	defer dbgMu.Unlock()
+	if st := dbgBufs[k]; st != nil {
+		if st.kind == dbgReleased {
+			panic(fmt.Sprintf("vmpi: second Release of a buffer (already released at %s; second release at %s)",
+				st.site, dbgCallSite()))
+		}
+		panic(fmt.Sprintf("vmpi: Release of a buffer after %s at %s (release at %s)",
+			st.verb(), st.site, dbgCallSite()))
+	}
+	full := s[:cap(s)]
+	bytes := unsafe.Slice((*byte)(unsafe.Pointer(unsafe.SliceData(full))), cap(s)*sizeOf[T]())
+	for i := range bytes {
+		bytes[i] = 0xDB
+	}
+	dbgBufs[k] = &dbgState{kind: dbgReleased, site: dbgCallSite(), pin: full}
+}
+
+// debugUse checks a buffer that re-enters the messaging layer as a payload
+// source (every copying send funnels through copySlice).
+func debugUse[T any](s []T) {
+	k := dbgKey(s)
+	if k == nil {
+		return
+	}
+	dbgMu.Lock()
+	defer dbgMu.Unlock()
+	if st := dbgBufs[k]; st != nil {
+		panic(fmt.Sprintf("vmpi: use of a buffer after %s at %s (use at %s)",
+			st.verb(), st.site, dbgCallSite()))
+	}
+}

@@ -33,6 +33,7 @@ func Send[T any](c *Comm, data []T, dst, tag int) {
 // cost are identical to Send. Use it for freshly built per-destination
 // buffers that die at the send.
 func SendOwned[T any](c *Comm, data []T, dst, tag int) {
+	debugTransfer(data)
 	sendRaw(c, data, len(data)*sizeOf[T](), dst, tag)
 }
 
@@ -44,6 +45,7 @@ func Recv[T any](c *Comm, src, tag int) []T {
 	if !ok {
 		panic(fmt.Sprintf("vmpi: Recv type mismatch: got %T from rank %d tag %d", m.payload, src, tag))
 	}
+	debugRecv(data)
 	return data
 }
 
@@ -146,6 +148,7 @@ func recvRaw(c *Comm, src, tag int) *message {
 
 // copySlice deep-copies a payload slice into a (possibly pooled) buffer.
 func copySlice[T any](data []T) []T {
+	debugUse(data)
 	out := getSlice[T](len(data))
 	copy(out, data)
 	return out

@@ -73,7 +73,9 @@ func getSlice[T any](n int) []T {
 	}
 	p := poolOf[T]()
 	if v := p.classes[b].Get(); v != nil {
-		return (*v.(*[]T))[:n]
+		s := (*v.(*[]T))[:n]
+		debugGet(s)
+		return s
 	}
 	return make([]T, n, 1<<b)
 }
@@ -92,6 +94,7 @@ func Release[T any](s []T) {
 		return
 	}
 	full := s[:0:c]
+	debugRelease(full)
 	poolOf[T]().classes[b].Put(&full)
 }
 

@@ -46,6 +46,7 @@ func TestReleaseIgnoresForeignSlices(t *testing.T) {
 	backing := make([]int, 100)
 	Release(backing)
 	// Subslice with pow2 cap view cut off: cap(s) is 100-4=96, not pow2.
+	//parlint:allow ownedbuf -- deliberately re-releasing a foreign slice the pool must ignore
 	Release(backing[4:10])
 	// Tiny and huge slices are outside the class range.
 	Release(make([]byte, 8))

@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-json vet lint debugtest check
+.PHONY: all build test race bench bench-json vet lint debugtest golden check
 
 all: build
 
@@ -41,4 +41,16 @@ lint:
 debugtest:
 	$(GO) test -tags vmpidebug ./internal/vmpi/...
 
-check: build vet lint test debugtest race
+# Regenerates the paper figures with the canonical invocation (see
+# EXPERIMENTS.md) and byte-diffs them against the checked-in baseline.
+# Any divergence — a changed virtual time anywhere in Figures 6-9 — fails.
+# To accept an intentional change: make golden-update, then review the diff.
+golden:
+	$(GO) run ./cmd/paperbench -fig all -particles 6000 -ranks 8 -ranks-list 2,4,8,16 > paperbench_output.got.txt
+	diff -u paperbench_output.txt paperbench_output.got.txt
+	rm -f paperbench_output.got.txt
+
+golden-update:
+	$(GO) run ./cmd/paperbench -fig all -particles 6000 -ranks 8 -ranks-list 2,4,8,16 > paperbench_output.txt
+
+check: build vet lint test debugtest race golden

@@ -35,13 +35,15 @@ var Analyzer = &analysis.Analyzer{
 	Name: "determinism",
 	Doc: "reports nondeterminism sources (map range, time.Now, math/rand, " +
 		"sync/atomic, GOMAXPROCS branching) in hostpar kernel closures and " +
-		"the FMM/P2NFFT hot paths",
+		"the FMM/P2NFFT/coupling hot paths",
 	Run: run,
 }
 
 // hotPackages are checked in their entirety (package name or import-path
-// base).
-var hotPackages = []string{"fmm", "pnfft"}
+// base). The coupling pipeline sits on the hot path of every solver run
+// (exchange strategy selection, restore, resort-index creation), so it is
+// held to the same determinism bar as the solvers themselves.
+var hotPackages = []string{"fmm", "pnfft", "coupling"}
 
 func run(pass *analysis.Pass) {
 	hot := false

@@ -14,3 +14,7 @@ func TestKernelClosures(t *testing.T) {
 func TestHotPackages(t *testing.T) {
 	analysistest.Run(t, "testdata/src", determinism.Analyzer, "fmmhot")
 }
+
+func TestCouplingHotPackage(t *testing.T) {
+	analysistest.Run(t, "testdata/src", determinism.Analyzer, "couplinghot")
+}

@@ -1,0 +1,28 @@
+// Package coupling (fixture) exercises the hot-package scope of the
+// determinism analyzer for the solver-agnostic run pipeline: matching is
+// by package name, so this stands in for repro/internal/coupling.
+package coupling
+
+import (
+	"math/rand"
+	"time"
+)
+
+// pipelineViolations: the pipeline decides exchange strategies and
+// assembles output on every solver run, so nondeterminism sources are
+// reported package-wide.
+func pipelineViolations(origins map[int]int, out []float64) {
+	for r, pos := range origins { // want `map iteration order is nondeterministic in a hot path`
+		out[pos%len(out)] += float64(r)
+	}
+	_ = time.Now()   // want `time.Now reads the wall clock`
+	_ = rand.Intn(4) // want `math/rand in a hot path`
+}
+
+// assembleOutput: slice-ordered assembly is the accepted idiom (negative
+// case).
+func assembleOutput(origins []int, out []float64) {
+	for i, pos := range origins {
+		out[pos%len(out)] = float64(i)
+	}
+}

@@ -53,6 +53,48 @@ type Output struct {
 	Indices []redist.Index
 }
 
+// Exchange strategy names reported in RunStats.Strategy: the FMM's two
+// parallel sorts and the P2NFFT's two redistribution backends (§III).
+const (
+	StrategyPartition    = "partition"
+	StrategyMerge        = "merge"
+	StrategyAlltoall     = "alltoall"
+	StrategyNeighborhood = "neighborhood"
+)
+
+// RunStats is the coupling pipeline's instrumentation of one solver run:
+// which redistribution strategy actually ran and what the particles did.
+// All fields are identical on every rank except the element counts, which
+// are per-rank.
+type RunStats struct {
+	// Strategy is the exchange strategy that ran in the sort phase (one of
+	// the Strategy* names).
+	Strategy string
+	// FastPath reports that the §III-B movement heuristic selected the
+	// steady-state strategy (merge sort / neighborhood exchange).
+	FastPath bool
+	// Fallback reports that a neighborhood exchange found an element
+	// targeting a rank outside the neighbor set and fell back to the
+	// collective backend (in which case Strategy is StrategyAlltoall).
+	Fallback bool
+	// Moved and Kept count the received records that crossed a process
+	// boundary vs. stayed local; Ghosts counts received duplicates without
+	// an origin (P2NFFT ghost particles).
+	Moved, Kept, Ghosts int
+	// Resorted reports whether the run returned the changed order (method
+	// B succeeded); CapacityFallback that method B was requested but some
+	// process's arrays were too small, so the original order was restored.
+	Resorted         bool
+	CapacityFallback bool
+}
+
+// StatsSource is optionally implemented by solvers that expose the
+// coupling pipeline's per-run instrumentation.
+type StatsSource interface {
+	// LastRunStats returns the statistics of the previous Run.
+	LastRunStats() RunStats
+}
+
 // Solver is a long-range interaction solver bound to a communicator and a
 // particle system box.
 type Solver interface {

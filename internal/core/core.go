@@ -211,10 +211,41 @@ func (h *FCS) Run(n *int, capacity int, pos, q, pot, field []float64) error {
 // and must be used to adapt additional particle data (fcs_get_resort_availability).
 func (h *FCS) ResortAvailable() bool { return h.lastResorted }
 
+// LastRunStats returns the coupling pipeline's instrumentation of the
+// previous Run — which redistribution strategy actually ran, whether the
+// movement heuristic's fast path was taken, whether a neighborhood
+// exchange fell back — when the solver exposes it. The second return value
+// is false before the first Run or for solvers without instrumentation.
+func (h *FCS) LastRunStats() (api.RunStats, bool) {
+	if src, ok := h.solver.(api.StatsSource); ok {
+		return src.LastRunStats(), true
+	}
+	return api.RunStats{}, false
+}
+
 // ResortIndices exposes the resort indices of the previous Run (one per
 // original local particle), mainly for tests and diagnostics.
 func (h *FCS) ResortIndices() []redist.Index {
 	return h.lastIndices
+}
+
+// validateResort checks the resort arguments before any communication:
+// the stride must be positive and the data must hold exactly stride values
+// per original local particle of the previous Run. Catching both here
+// returns a clean error instead of corrupting data or panicking deep
+// inside the redist exchange.
+func (h *FCS) validateResort(dataLen, stride int) error {
+	if !h.lastResorted {
+		return fmt.Errorf("core: no resort available (method A or capacity fallback)")
+	}
+	if stride <= 0 {
+		return fmt.Errorf("core: resort stride %d must be positive", stride)
+	}
+	if dataLen != stride*h.lastNOrig {
+		return fmt.Errorf("core: resort data length %d != stride %d * %d original particles",
+			dataLen, stride, h.lastNOrig)
+	}
+	return nil
 }
 
 // ResortFloats adapts additional per-particle float64 data (stride values
@@ -222,8 +253,8 @@ func (h *FCS) ResortIndices() []redist.Index {
 // changed particle order and distribution (fcs_resort_floats). It must be
 // called collectively. The returned slice has lastN*stride entries.
 func (h *FCS) ResortFloats(data []float64, stride int) ([]float64, error) {
-	if !h.lastResorted {
-		return nil, fmt.Errorf("core: no resort available (method A or capacity fallback)")
+	if err := h.validateResort(len(data), stride); err != nil {
+		return nil, err
 	}
 	var out []float64
 	vmpi.Barrier(h.comm) // isolate the resort time from prior imbalance
@@ -235,8 +266,8 @@ func (h *FCS) ResortFloats(data []float64, stride int) ([]float64, error) {
 
 // ResortInts is ResortFloats for int64 data (fcs_resort_ints).
 func (h *FCS) ResortInts(data []int64, stride int) ([]int64, error) {
-	if !h.lastResorted {
-		return nil, fmt.Errorf("core: no resort available (method A or capacity fallback)")
+	if err := h.validateResort(len(data), stride); err != nil {
+		return nil, err
 	}
 	var out []int64
 	vmpi.Barrier(h.comm) // isolate the resort time from prior imbalance

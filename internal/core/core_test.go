@@ -153,6 +153,58 @@ func TestResortWithoutAvailabilityFails(t *testing.T) {
 	})
 }
 
+// TestResortValidatesArguments checks that bad resort arguments fail with a
+// clean error before any communication: a non-positive stride, and data
+// whose length is not stride × (original local count). Both used to panic
+// deep inside the redist exchange.
+func TestResortValidatesArguments(t *testing.T) {
+	s := particle.SilicaMelt(100, 8, true, 5)
+	vmpi.Run(vmpi.Config{Ranks: 2}, func(c *vmpi.Comm) {
+		l := particle.Distribute(c, s, particle.DistRandom, 7)
+		h, _ := Init("p2nfft", c)
+		defer h.Destroy()
+		if err := h.SetCommon(s.Box); err != nil {
+			t.Errorf("set common: %v", err)
+		}
+		h.SetResortEnabled(true) // method B
+		if err := h.Tune(l.N, l.ActivePos(), l.ActiveQ()); err != nil {
+			t.Errorf("tune: %v", err)
+		}
+		nOrig := l.N
+		n := l.N
+		if err := h.Run(&n, l.Cap, l.Pos, l.Q, l.Pot, l.Field); err != nil {
+			t.Errorf("run: %v", err)
+		}
+		if !h.ResortAvailable() {
+			t.Fatal("expected resort to be available")
+		}
+		// The validation is rank-local (it fails before any collective), so
+		// every rank sees the same error without deadlocking.
+		if _, err := h.ResortFloats(make([]float64, 0), 0); err == nil {
+			t.Error("ResortFloats must reject stride 0")
+		}
+		if _, err := h.ResortFloats(make([]float64, 3*nOrig), -3); err == nil {
+			t.Error("ResortFloats must reject a negative stride")
+		}
+		if _, err := h.ResortFloats(make([]float64, 3*nOrig+1), 3); err == nil {
+			t.Error("ResortFloats must reject data not matching stride*N")
+		}
+		if _, err := h.ResortInts(make([]int64, 0), 0); err == nil {
+			t.Error("ResortInts must reject stride 0")
+		}
+		if _, err := h.ResortInts(make([]int64, 2*nOrig-1), 2); err == nil {
+			t.Error("ResortInts must reject data not matching stride*N")
+		}
+		// Valid arguments still work after the rejected calls.
+		if _, err := h.ResortFloats(make([]float64, 3*nOrig), 3); err != nil {
+			t.Errorf("valid ResortFloats failed: %v", err)
+		}
+		if _, err := h.ResortInts(make([]int64, 2*nOrig), 2); err != nil {
+			t.Errorf("valid ResortInts failed: %v", err)
+		}
+	})
+}
+
 func TestAccuracyKnobChangesTuning(t *testing.T) {
 	s := particle.SilicaMelt(200, 8, true, 9)
 	vmpi.Run(vmpi.Config{Ranks: 1}, func(c *vmpi.Comm) {

@@ -1,11 +1,11 @@
 package fmm
 
 import (
-	"fmt"
 	"math"
 
 	"repro/internal/api"
 	"repro/internal/costs"
+	"repro/internal/coupling"
 	"repro/internal/particle"
 	"repro/internal/psort"
 	"repro/internal/redist"
@@ -37,10 +37,10 @@ type Solver struct {
 	Level int
 	// accuracy is the requested relative accuracy.
 	accuracy float64
-	// lastSorted reports whether the previous Run returned the changed
-	// order, so the next input is almost sorted and the movement heuristic
-	// applies.
-	lastSorted bool
+	// pipe is the solver-agnostic run pipeline (internal/coupling): it owns
+	// the movement heuristic, the sort-phase timing, the method A/B
+	// delivery tails, and the steady-state tracking.
+	pipe *coupling.Pipeline[pRec]
 	// Per-call scratch reused across Run invocations (the engine only
 	// reads these during compute, so the buffers are free again when it
 	// returns).
@@ -64,7 +64,9 @@ func New(c *vmpi.Comm, box particle.Box, accuracy float64) *Solver {
 	if !box.Orthorhombic() {
 		panic("fmm: box must be orthorhombic")
 	}
-	return &Solver{comm: c, box: box, tab: NewTables(orderFor(accuracy)), accuracy: accuracy}
+	s := &Solver{comm: c, box: box, tab: NewTables(orderFor(accuracy)), accuracy: accuracy}
+	s.pipe = coupling.New(c, method{s})
+	return s
 }
 
 // NewSolver adapts New to the api.Factory signature.
@@ -111,7 +113,7 @@ func (s *Solver) Tune(in Input) error {
 		level = 7
 	}
 	s.Level = level
-	s.lastSorted = false
+	s.pipe.Reset()
 	return nil
 }
 
@@ -128,18 +130,30 @@ type pRec struct {
 	Q       float64
 }
 
-// Run implements api.Solver.
+// Run implements api.Solver by delegating to the coupling pipeline; the
+// solver-specific hooks live on the method adapter below.
 func (s *Solver) Run(in Input) (api.Output, error) {
 	if s.Level == 0 {
 		if err := s.Tune(in); err != nil {
 			return api.Output{}, err
 		}
 	}
-	c := s.comm
-	t0 := c.Time()
-	defer func() { c.AddPhase(api.PhaseTotal, c.Time()-t0) }()
+	return s.pipe.Run(in)
+}
 
-	// Build records with origin numbering.
+// LastRunStats implements api.StatsSource.
+func (s *Solver) LastRunStats() api.RunStats { return s.pipe.LastStats() }
+
+// method adapts the solver to the coupling pipeline's solver-specific
+// hooks (coupling.Method): record building, the §III-B merge-sort
+// threshold, the partition/merge parallel-sort strategy pair, and the FMM
+// compute kernels.
+type method struct{ *Solver }
+
+// Decompose builds records with origin numbering and Morton keys.
+func (m method) Decompose(in api.Input) []pRec {
+	s := m.Solver
+	c := s.comm
 	recs := make([]pRec, in.N)
 	probe := &Engine{Tab: s.tab, Box: s.box, Level: s.Level,
 		Periodic: s.box.Periodic[0] && s.box.Periodic[1] && s.box.Periodic[2]}
@@ -152,75 +166,37 @@ func (s *Solver) Run(in Input) (api.Output, error) {
 		}
 	}
 	c.Compute(costs.CellAssign * float64(in.N))
-
-	// Sort particles into boxes: the movement heuristic of §III-B selects
-	// the merge-based sort when the global maximum movement is below the
-	// per-process cube side — only meaningful when the input is already in
-	// solver order (method B steady state).
-	useMerge := false
-	if in.MaxMove >= 0 && s.lastSorted {
-		maxMove := vmpi.AllreduceVal(c, in.MaxMove, vmpi.Max[float64])
-		cubeSide := math.Cbrt(s.box.Volume() / float64(c.Size()))
-		useMerge = maxMove < cubeSide
-	}
-	key := func(r pRec) uint64 { return r.Key }
-	vmpi.Barrier(c) // synchronize so the sort phase measures redistribution, not prior imbalance
-	c.Phase(api.PhaseSort, func() {
-		if useMerge {
-			recs = psort.SortMerge(c, recs, key)
-		} else {
-			recs = psort.SortPartition(c, recs, key)
-		}
-	})
-
-	// Compute potentials and fields for the owned records.
-	pot, field := s.compute(recs)
-
-	if !in.Resort {
-		out := s.restore(in, recs, pot, field)
-		s.lastSorted = false
-		return out, nil
-	}
-
-	// Method B: check the capacity contract collectively.
-	fits := 1
-	if len(recs) > in.Cap {
-		fits = 0
-	}
-	if vmpi.AllreduceVal(c, fits, vmpi.Min[int]) == 0 {
-		// At least one process cannot store the changed distribution:
-		// restore the original order instead (§III-B).
-		out := s.restore(in, recs, pot, field)
-		s.lastSorted = false
-		return out, nil
-	}
-
-	var indices []redist.Index
-	vmpi.Barrier(c) // isolate the resort-index creation time from compute imbalance
-	c.Phase(api.PhaseResortCreate, func() {
-		origins := make([]redist.Index, len(recs))
-		for i, r := range recs {
-			origins[i] = r.Origin
-		}
-		indices = redist.InvertIndices(c, origins, in.N)
-	})
-	nNew := len(recs)
-	out := api.Output{
-		N:        nNew,
-		Pos:      make([]float64, 3*nNew),
-		Q:        make([]float64, nNew),
-		Pot:      pot,
-		Field:    field,
-		Resorted: true,
-		Indices:  indices,
-	}
-	for i, r := range recs {
-		out.Pos[3*i], out.Pos[3*i+1], out.Pos[3*i+2] = r.X, r.Y, r.Z
-		out.Q[i] = r.Q
-	}
-	s.lastSorted = true
-	return out, nil
+	return recs
 }
+
+// MoveThreshold returns the side length of a per-process cube of the
+// system volume: below it, the merge-based sort replaces the
+// partition-based sort (§III-B).
+func (m method) MoveThreshold() float64 {
+	return math.Cbrt(m.box.Volume() / float64(m.comm.Size()))
+}
+
+// Exchange sorts the particles into boxes with the selected parallel sort.
+func (m method) Exchange(recs []pRec, fast bool) ([]pRec, coupling.ExchangeInfo) {
+	key := func(r pRec) uint64 { return r.Key }
+	if fast {
+		return psort.SortMerge(m.comm, recs, key), coupling.ExchangeInfo{Strategy: api.StrategyMerge}
+	}
+	return psort.SortPartition(m.comm, recs, key), coupling.ExchangeInfo{Strategy: api.StrategyPartition}
+}
+
+// Compute runs the FMM kernels; every received record is owned (the FMM
+// creates no ghost duplicates during redistribution).
+func (m method) Compute(recv []pRec) (own []pRec, pot, field []float64) {
+	pot, field = m.compute(recv)
+	return recv, pot, field
+}
+
+// Origin returns the record's origin index.
+func (method) Origin(r pRec) redist.Index { return r.Origin }
+
+// PosQ returns the record's position and charge.
+func (method) PosQ(r pRec) (x, y, z, q float64) { return r.X, r.Y, r.Z, r.Q }
 
 // compute runs the FMM proper on the sorted records and returns potentials
 // and fields in record order.
@@ -418,46 +394,10 @@ func (s *Solver) exchangeGhosts(e *Engine, ranges []keyRange, keys []uint64, pos
 	e.AddGhosts(gpos, gq)
 }
 
-// restore implements method A: results are sent back to each particle's
-// initial process and stored at its initial position (§III-A, Fig. 4).
-func (s *Solver) restore(in Input, recs []pRec, pot, field []float64) api.Output {
-	c := s.comm
-	type res struct {
-		Origin     redist.Index
-		Pot        float64
-		Fx, Fy, Fz float64
-	}
-	out := api.Output{
-		N:     in.N,
-		Pos:   in.Pos,
-		Q:     in.Q,
-		Pot:   make([]float64, in.N),
-		Field: make([]float64, 3*in.N),
-	}
-	vmpi.Barrier(c) // isolate the restore time from compute imbalance
-	c.Phase(api.PhaseRestore, func() {
-		results := make([]res, len(recs))
-		for i, r := range recs {
-			results[i] = res{Origin: r.Origin, Pot: pot[i],
-				Fx: field[3*i], Fy: field[3*i+1], Fz: field[3*i+2]}
-		}
-		back := redist.Exchange(c, results, redist.ToRank(func(i int) int {
-			return results[i].Origin.Rank()
-		}))
-		if len(back) != in.N {
-			panic(fmt.Sprintf("fmm: restore received %d results for %d particles", len(back), in.N))
-		}
-		for _, r := range back {
-			i := r.Origin.Pos()
-			out.Pot[i] = r.Pot
-			out.Field[3*i] = r.Fx
-			out.Field[3*i+1] = r.Fy
-			out.Field[3*i+2] = r.Fz
-		}
-		c.Compute(costs.Move * float64(in.N))
-	})
-	return out
-}
-
-// Compile-time check: Solver satisfies the coupling library's interface.
-var _ api.Solver = (*Solver)(nil)
+// Compile-time checks: Solver satisfies the coupling library's interface
+// and exposes the pipeline's run statistics.
+var (
+	_ api.Solver            = (*Solver)(nil)
+	_ api.StatsSource       = (*Solver)(nil)
+	_ coupling.Method[pRec] = method{}
+)

@@ -186,6 +186,13 @@ func (s *Sim) updateAccelerations() {
 // StepCount returns the number of completed time steps.
 func (s *Sim) StepCount() int { return s.step }
 
+// LastRunStats exposes the coupling pipeline's instrumentation of the most
+// recent solver run (which redistribution strategy ran, whether the fast
+// path applied, whether a neighborhood exchange or the capacity contract
+// fell back). The second return value is false before the first run or for
+// solvers without instrumentation.
+func (s *Sim) LastRunStats() (api.RunStats, bool) { return s.fcs.LastRunStats() }
+
 // Energies returns the global kinetic and potential energy (collective),
 // including the short-range contribution when configured.
 func (s *Sim) Energies() (kinetic, potential float64) {

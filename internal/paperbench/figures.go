@@ -70,7 +70,7 @@ func Fig7(cfg Config) []Fig7Series {
 	var out []Fig7Series
 	for _, solver := range Solvers() {
 		for _, method := range []string{"A", "B"} {
-			stats, _ := runMD(cfg, solver, particle.DistRandom, method == "B", false)
+			stats, _, _ := runMD(cfg, solver, particle.DistRandom, method == "B", false)
 			ser := Fig7Series{Solver: solver, Method: method}
 			for _, st := range stats {
 				ser.Sort = append(ser.Sort, st.Sort)
@@ -149,7 +149,7 @@ func Fig8(cfg Config) []Fig8Series {
 	var out []Fig8Series
 	for _, solver := range Solvers() {
 		for _, method := range []string{"A", "B"} {
-			stats, _ := runMD(cfg, solver, particle.DistGrid, method == "B", false)
+			stats, _, _ := runMD(cfg, solver, particle.DistGrid, method == "B", false)
 			ser := Fig8Series{Solver: solver, Method: method}
 			for i, st := range stats {
 				if i == 0 {
@@ -221,7 +221,7 @@ func Fig9(cfg Config, solver string, rankList []int) []Fig9Point {
 		c.Ranks = p
 		pt := Fig9Point{Ranks: p}
 		for _, variant := range []string{"A", "B", "Bmv"} {
-			stats, _ := runMD(c, solver, particle.DistGrid, variant != "A", variant == "Bmv")
+			stats, _, _ := runMD(c, solver, particle.DistGrid, variant != "A", variant == "Bmv")
 			sum := 0.0
 			for _, st := range stats {
 				sum += st.Total

@@ -127,10 +127,12 @@ func (a stepDelta) minus(b stepDelta) stepDelta {
 }
 
 // rankResult is one rank's contribution: its step series plus a digest of
-// its final local particle state.
+// its final local particle state and the coupling pipeline's per-run
+// instrumentation.
 type rankResult struct {
-	deltas []stepDelta
-	digest [sha256.Size]byte
+	deltas   []stepDelta
+	digest   [sha256.Size]byte
+	runStats []api.RunStats
 }
 
 // reduceSteps max-reduces per-rank step series into StepStats.
@@ -188,11 +190,23 @@ func stateDigest(l *particle.Local) [sha256.Size]byte {
 	return out
 }
 
+// runStatsFromValues extracts the per-step run statistics captured on rank
+// 0. The strategy decisions are collective (identical on every rank), so one
+// rank's view suffices; only the Moved/Kept/Ghosts element counts are
+// rank-local.
+func runStatsFromValues(values []any) []api.RunStats {
+	if len(values) == 0 {
+		return nil
+	}
+	return values[0].(rankResult).runStats
+}
+
 // runMD runs an MD simulation and returns the per-step phase breakdown.
 // Index 0 is the initial interaction computation (Fig. 3 line 5); indices
 // 1..Steps are the time steps. The second return value digests the final
-// particle state over all ranks.
-func runMD(cfg Config, solver string, dist particle.Dist, resort, track bool) ([]StepStat, string) {
+// particle state over all ranks; the third is rank 0's per-step coupling
+// instrumentation, aligned with the phase breakdown.
+func runMD(cfg Config, solver string, dist particle.Dist, resort, track bool) ([]StepStat, string, []api.RunStats) {
 	s := particle.SilicaMelt(cfg.Particles, cfg.side(), true, cfg.Seed)
 	if cfg.Thermal > 0 {
 		particle.Thermalize(s, cfg.Thermal, cfg.Seed+2)
@@ -216,6 +230,12 @@ func runMD(cfg Config, solver string, dist particle.Dist, resort, track bool) ([
 		sim.TrackMovement = track
 
 		var deltas []stepDelta
+		var runStats []api.RunStats
+		capture := func() {
+			if rs, ok := sim.LastRunStats(); ok {
+				runStats = append(runStats, rs)
+			}
+		}
 		prev := phaseSnapshot(c)
 		if err := sim.Init(); err != nil {
 			panic(err)
@@ -223,6 +243,7 @@ func runMD(cfg Config, solver string, dist particle.Dist, resort, track bool) ([
 		cur := phaseSnapshot(c)
 		deltas = append(deltas, cur.minus(prev))
 		prev = cur
+		capture()
 		for i := 0; i < cfg.Steps; i++ {
 			if err := sim.Step(); err != nil {
 				panic(err)
@@ -230,10 +251,11 @@ func runMD(cfg Config, solver string, dist particle.Dist, resort, track bool) ([
 			cur = phaseSnapshot(c)
 			deltas = append(deltas, cur.minus(prev))
 			prev = cur
+			capture()
 		}
-		c.SetResult(rankResult{deltas: deltas, digest: stateDigest(l)})
+		c.SetResult(rankResult{deltas: deltas, digest: stateDigest(l), runStats: runStats})
 	})
-	return reduceSteps(st.Values), combineDigests(st.Values)
+	return reduceSteps(st.Values), combineDigests(st.Values), runStatsFromValues(st.Values)
 }
 
 // runOnce performs a single solver run (no MD) and returns its phase
@@ -283,8 +305,18 @@ func RunSingle(cfg Config, solver string, dist particle.Dist) StepStat {
 // RunSimulation exposes the MD-loop measurement (Figs. 7–9) for benchmarks:
 // it returns the per-step phase breakdown, index 0 being the initial solve.
 func RunSimulation(cfg Config, solver string, dist particle.Dist, resort, track bool) []StepStat {
-	stats, _ := runMD(cfg, solver, dist, resort, track)
+	stats, _, _ := runMD(cfg, solver, dist, resort, track)
 	return stats
+}
+
+// RunSimulationStats is RunSimulation plus rank 0's per-step coupling
+// instrumentation (api.RunStats): which exchange strategy each solver run
+// actually used, whether the movement heuristic's fast path applied, and
+// whether a neighborhood exchange or the method B capacity contract fell
+// back. Entry i describes the solver run of step stat i.
+func RunSimulationStats(cfg Config, solver string, dist particle.Dist, resort, track bool) ([]StepStat, []api.RunStats) {
+	stats, _, rs := runMD(cfg, solver, dist, resort, track)
+	return stats, rs
 }
 
 // RunSimulationDigest is RunSimulation plus a hex digest of the final
@@ -293,5 +325,6 @@ func RunSimulation(cfg Config, solver string, dist particle.Dist, resort, track 
 // to assert that host-level worker-pool parallelism leaves both the virtual
 // timings and the physics bit-identical.
 func RunSimulationDigest(cfg Config, solver string, dist particle.Dist, resort, track bool) ([]StepStat, string) {
-	return runMD(cfg, solver, dist, resort, track)
+	stats, digest, _ := runMD(cfg, solver, dist, resort, track)
+	return stats, digest
 }

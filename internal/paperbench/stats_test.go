@@ -1,0 +1,81 @@
+package paperbench
+
+import (
+	"testing"
+
+	"repro/internal/api"
+	"repro/internal/particle"
+)
+
+// TestFig9TorusSteadyStateNeighborhood pins down the §III-B claim behind
+// Fig. 9 (right): in the torus configuration with method B and movement
+// tracking, the first solver run redistributes with the general all-to-all
+// exchange, and every following (steady-state) run takes the neighborhood
+// path — the fallback to the collective backend never triggers, because the
+// per-step movement stays far below the subdomain margin.
+func TestFig9TorusSteadyStateNeighborhood(t *testing.T) {
+	cfg := testConfig()
+	cfg.Steps = 5
+	cfg.Dt = 0.025
+	cfg.Thermal = 2.5
+	cfg.Machine = Juqueen()
+	_, rs := RunSimulationStats(cfg, "p2nfft", particle.DistGrid, true, true)
+	if len(rs) != cfg.Steps+1 {
+		t.Fatalf("expected %d per-run stats, got %d", cfg.Steps+1, len(rs))
+	}
+	init := rs[0]
+	if init.Strategy != api.StrategyAlltoall || init.FastPath {
+		t.Errorf("initial run: strategy %q fast %v, want general all-to-all", init.Strategy, init.FastPath)
+	}
+	if !init.Resorted {
+		t.Error("initial run: method B should return the changed order")
+	}
+	for i, st := range rs[1:] {
+		if st.Strategy != api.StrategyNeighborhood || !st.FastPath || st.Fallback {
+			t.Errorf("step %d: stats %+v, want fast neighborhood exchange without fallback", i+1, st)
+		}
+		if !st.Resorted || st.CapacityFallback {
+			t.Errorf("step %d: stats %+v, want successful method B", i+1, st)
+		}
+	}
+}
+
+// TestFig9SwitchedSteadyStateMergeSort is the FMM counterpart: steady-state
+// runs use the merge-based parallel sort instead of the general partition
+// sort.
+func TestFig9SwitchedSteadyStateMergeSort(t *testing.T) {
+	cfg := testConfig()
+	cfg.Steps = 3
+	cfg.Dt = 0.025
+	cfg.Thermal = 2.5
+	_, rs := RunSimulationStats(cfg, "fmm", particle.DistGrid, true, true)
+	if len(rs) != cfg.Steps+1 {
+		t.Fatalf("expected %d per-run stats, got %d", cfg.Steps+1, len(rs))
+	}
+	if rs[0].Strategy != api.StrategyPartition || rs[0].FastPath {
+		t.Errorf("initial run: stats %+v, want general partition sort", rs[0])
+	}
+	for i, st := range rs[1:] {
+		if st.Strategy != api.StrategyMerge || !st.FastPath {
+			t.Errorf("step %d: stats %+v, want fast merge sort", i+1, st)
+		}
+	}
+}
+
+// TestRunStatsElementCounts sanity-checks the per-rank element counters on
+// a steady-state run: the counts must cover every received record, and in
+// steady state most particles stay local.
+func TestRunStatsElementCounts(t *testing.T) {
+	cfg := testConfig()
+	cfg.Steps = 2
+	_, rs := RunSimulationStats(cfg, "fmm", particle.DistGrid, true, true)
+	for i, st := range rs {
+		if st.Moved+st.Kept == 0 {
+			t.Errorf("run %d: no elements counted (stats %+v)", i, st)
+		}
+	}
+	last := rs[len(rs)-1]
+	if last.Kept < last.Moved {
+		t.Errorf("steady state: kept %d should dominate moved %d", last.Kept, last.Moved)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"repro/internal/api"
 	"repro/internal/cells"
 	"repro/internal/costs"
+	"repro/internal/coupling"
 	"repro/internal/fft"
 	"repro/internal/hostpar"
 	"repro/internal/particle"
@@ -27,8 +28,8 @@ const (
 // at subdomain boundaries for the linked-cell near field. Both
 // redistribution methods of §III are supported, and with a known limited
 // particle movement the all-to-all redistribution is replaced by
-// neighborhood communication with non-blocking point-to-point messages
-// (§III-B).
+// neighborhood communication with point-to-point messages within the
+// Cartesian neighbor set (§III-B).
 type Solver struct {
 	comm *vmpi.Comm
 	cart *vmpi.Cart
@@ -43,9 +44,15 @@ type Solver struct {
 	Mesh  int
 	Order int
 
-	slab       *fft.Slab
-	slabOwner  []int // mesh x-plane -> owning rank
-	lastSorted bool
+	slab      *fft.Slab
+	slabOwner []int // mesh x-plane -> owning rank
+	// pipe is the solver-agnostic run pipeline (internal/coupling): it owns
+	// the movement heuristic, the sort-phase timing, the method A/B
+	// delivery tails, and the steady-state tracking.
+	pipe *coupling.Pipeline[pRec]
+	// targets holds the per-item target ranks between Decompose and
+	// Exchange within one pipeline run.
+	targets []int
 }
 
 // Input aliases api.Input.
@@ -69,7 +76,9 @@ func New(c *vmpi.Comm, box particle.Box, accuracy float64) *Solver {
 	if accuracy <= 0 || accuracy >= 1 {
 		accuracy = 1e-3
 	}
-	return &Solver{comm: c, cart: cart, dims: dims, box: box, accuracy: accuracy}
+	s := &Solver{comm: c, cart: cart, dims: dims, box: box, accuracy: accuracy}
+	s.pipe = coupling.New(c, method{s})
+	return s
 }
 
 // NewSolver adapts New to the api.Factory signature.
@@ -143,7 +152,7 @@ func (s *Solver) Tune(in Input) error {
 			s.slabOwner[x] = r
 		}
 	}
-	s.lastSorted = false
+	s.pipe.Reset()
 	return nil
 }
 
@@ -168,48 +177,72 @@ type pRec struct {
 	X, Y, Z, Q float64
 }
 
-// Run implements api.Solver.
+// Run implements api.Solver by delegating to the coupling pipeline; the
+// solver-specific hooks live on the method adapter below.
 func (s *Solver) Run(in Input) (api.Output, error) {
 	if s.slab == nil {
 		if err := s.Tune(in); err != nil {
 			return api.Output{}, err
 		}
 	}
-	c := s.comm
-	t0 := c.Time()
-	defer func() { c.AddPhase(api.PhaseTotal, c.Time()-t0) }()
+	return s.pipe.Run(in)
+}
 
-	// Build the redistribution item list: one primary record per particle
-	// plus explicit ghost copies for neighbor subdomains within the cutoff.
-	items, targets := s.buildItems(in)
+// LastRunStats implements api.StatsSource.
+func (s *Solver) LastRunStats() api.RunStats { return s.pipe.LastStats() }
 
-	// Choose the backend: neighborhood communication when the movement
-	// bound restricts redistribution to direct neighbors (§III-B).
-	useNbr := false
-	if in.MaxMove >= 0 && s.lastSorted {
-		maxMove := vmpi.AllreduceVal(c, in.MaxMove, vmpi.Max[float64])
-		minSub := math.Inf(1)
-		L := s.box.Lengths()
-		for d, n := range s.dims {
-			if side := L[d] / float64(n); side < minSub {
-				minSub = side
-			}
+// method adapts the solver to the coupling pipeline's solver-specific
+// hooks (coupling.Method): item building with ghost duplication, the
+// §III-B neighborhood threshold, the all-to-all/neighborhood exchange
+// strategy pair, and the P2NFFT compute kernels.
+type method struct{ *Solver }
+
+// Decompose builds the redistribution item list: one primary record per
+// particle plus explicit ghost copies for neighbor subdomains within the
+// cutoff. The per-item target ranks are retained for Exchange.
+func (m method) Decompose(in api.Input) []pRec {
+	items, targets := m.buildItems(in)
+	m.Solver.targets = targets
+	return items
+}
+
+// MoveThreshold returns the subdomain margin below which redistribution is
+// restricted to direct Cartesian neighbors (§III-B).
+func (m method) MoveThreshold() float64 {
+	s := m.Solver
+	minSub := math.Inf(1)
+	L := s.box.Lengths()
+	for d, n := range s.dims {
+		if side := L[d] / float64(n); side < minSub {
+			minSub = side
 		}
-		useNbr = maxMove < minSub-s.RCut
 	}
-	var recv []pRec
-	vmpi.Barrier(c) // synchronize so the sort phase measures redistribution, not prior imbalance
-	c.Phase(api.PhaseSort, func() {
-		tf := redist.ToRank(func(i int) int { return targets[i] })
-		if useNbr {
-			recv, _ = redist.ExchangeNeighborhood(c, items, tf, s.cart.Neighbors(1))
-		} else {
-			recv = redist.Exchange(c, items, tf)
-		}
-	})
+	return minSub - s.RCut
+}
 
-	// Separate owned particles from ghosts, keeping arrival order.
-	var own []pRec
+// Exchange redistributes the items with the collective all-to-all backend,
+// or — on the fast path — with neighborhood point-to-point communication,
+// reporting whether the neighborhood exchange had to fall back.
+func (m method) Exchange(items []pRec, fast bool) ([]pRec, coupling.ExchangeInfo) {
+	s := m.Solver
+	targets := s.targets
+	s.targets = nil
+	tf := redist.ToRank(func(i int) int { return targets[i] })
+	if fast {
+		recv, used := redist.ExchangeNeighborhood(s.comm, items, tf, s.cart.Neighbors(1))
+		if !used {
+			return recv, coupling.ExchangeInfo{Strategy: api.StrategyAlltoall, Fallback: true}
+		}
+		return recv, coupling.ExchangeInfo{Strategy: api.StrategyNeighborhood}
+	}
+	return redist.Exchange(s.comm, items, tf), coupling.ExchangeInfo{Strategy: api.StrategyAlltoall}
+}
+
+// Compute separates owned particles from ghosts (keeping arrival order)
+// and runs the near-field, far-field, and correction kernels.
+func (m method) Compute(recv []pRec) (own []pRec, pot, field []float64) {
+	s := m.Solver
+	c := s.comm
 	var ghosts []pRec
 	for _, r := range recv {
 		if r.Origin.Valid() {
@@ -220,53 +253,19 @@ func (s *Solver) Run(in Input) (api.Output, error) {
 	}
 	c.Compute(costs.Move * float64(len(recv)))
 
-	pot := make([]float64, len(own))
-	field := make([]float64, 3*len(own))
+	pot = make([]float64, len(own))
+	field = make([]float64, 3*len(own))
 	c.Phase(api.PhaseNear, func() { s.nearField(own, ghosts, pot, field) })
 	c.Phase(api.PhaseFar, func() { s.farField(own, pot, field) })
 	s.corrections(own, pot)
-
-	if !in.Resort {
-		out := s.restore(in, own, pot, field)
-		s.lastSorted = false
-		return out, nil
-	}
-
-	fits := 1
-	if len(own) > in.Cap {
-		fits = 0
-	}
-	if vmpi.AllreduceVal(c, fits, vmpi.Min[int]) == 0 {
-		out := s.restore(in, own, pot, field)
-		s.lastSorted = false
-		return out, nil
-	}
-
-	var indices []redist.Index
-	vmpi.Barrier(c) // isolate the resort-index creation time from compute imbalance
-	c.Phase(api.PhaseResortCreate, func() {
-		origins := make([]redist.Index, len(own))
-		for i, r := range own {
-			origins[i] = r.Origin
-		}
-		indices = redist.InvertIndices(c, origins, in.N)
-	})
-	out := api.Output{
-		N:        len(own),
-		Pos:      make([]float64, 3*len(own)),
-		Q:        make([]float64, len(own)),
-		Pot:      pot,
-		Field:    field,
-		Resorted: true,
-		Indices:  indices,
-	}
-	for i, r := range own {
-		out.Pos[3*i], out.Pos[3*i+1], out.Pos[3*i+2] = r.X, r.Y, r.Z
-		out.Q[i] = r.Q
-	}
-	s.lastSorted = true
-	return out, nil
+	return own, pot, field
 }
+
+// Origin returns the record's origin index (redist.Invalid for ghosts).
+func (method) Origin(r pRec) redist.Index { return r.Origin }
+
+// PosQ returns the record's position and charge.
+func (method) PosQ(r pRec) (x, y, z, q float64) { return r.X, r.Y, r.Z, r.Q }
 
 // buildItems creates the redistribution items: each particle goes to its
 // owner rank; copies within RCut of a subdomain boundary additionally go to
@@ -701,48 +700,10 @@ func (s *Solver) corrections(own []pRec, pot []float64) {
 	}
 }
 
-// restore implements method A: results travel back to each particle's
-// initial process and position via the fine-grained redistribution
-// operation with a distribution function that extracts the target process
-// from the index value (paper §III-A).
-func (s *Solver) restore(in Input, own []pRec, pot, field []float64) api.Output {
-	c := s.comm
-	type res struct {
-		Origin     redist.Index
-		Pot        float64
-		Fx, Fy, Fz float64
-	}
-	out := api.Output{
-		N:     in.N,
-		Pos:   in.Pos,
-		Q:     in.Q,
-		Pot:   make([]float64, in.N),
-		Field: make([]float64, 3*in.N),
-	}
-	vmpi.Barrier(c) // isolate the restore time from compute imbalance
-	c.Phase(api.PhaseRestore, func() {
-		results := make([]res, len(own))
-		for i, r := range own {
-			results[i] = res{Origin: r.Origin, Pot: pot[i],
-				Fx: field[3*i], Fy: field[3*i+1], Fz: field[3*i+2]}
-		}
-		back := redist.Exchange(c, results, redist.ToRank(func(i int) int {
-			return results[i].Origin.Rank()
-		}))
-		if len(back) != in.N {
-			panic(fmt.Sprintf("pnfft: restore received %d results for %d particles", len(back), in.N))
-		}
-		for _, r := range back {
-			i := r.Origin.Pos()
-			out.Pot[i] = r.Pot
-			out.Field[3*i] = r.Fx
-			out.Field[3*i+1] = r.Fy
-			out.Field[3*i+2] = r.Fz
-		}
-		c.Compute(costs.Move * float64(in.N))
-	})
-	return out
-}
-
-// Compile-time check: Solver satisfies the coupling library's interface.
-var _ api.Solver = (*Solver)(nil)
+// Compile-time checks: Solver satisfies the coupling library's interface
+// and exposes the pipeline's run statistics.
+var (
+	_ api.Solver            = (*Solver)(nil)
+	_ api.StatsSource       = (*Solver)(nil)
+	_ coupling.Method[pRec] = method{}
+)

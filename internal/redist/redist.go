@@ -9,10 +9,13 @@
 // optimization:
 //
 //   - Exchange uses a collective all-to-all.
-//   - ExchangeNeighborhood uses non-blocking point-to-point messages with a
-//     fixed neighbor set. If any element targets a rank outside the
-//     neighborhood, all ranks transparently fall back to the collective
-//     backend (the fallback decision is itself collective).
+//   - ExchangeNeighborhood uses blocking eager point-to-point messages
+//     (vmpi.SendOwned/Recv) with a fixed neighbor set, which must be
+//     symmetric across ranks: every rank sends to and receives from exactly
+//     its neighbors, so an asymmetric set would deadlock the paired
+//     receives. If any element targets a rank outside the neighborhood, all
+//     ranks transparently fall back to the collective backend (the fallback
+//     decision is itself collective).
 //
 // Resort indices are 64-bit values packing a target process rank (high 32
 // bits) and a target position on that process (low 32 bits), exactly as

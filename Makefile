@@ -45,8 +45,12 @@ debugtest:
 # EXPERIMENTS.md) and byte-diffs them against the checked-in baseline.
 # Any divergence — a changed virtual time anywhere in Figures 6-9 — fails.
 # To accept an intentional change: make golden-update, then review the diff.
+# The same invocation exports the canonical observability run (the Fig. 9
+# torus steady state) as a Chrome trace timeline and a metrics dump; the
+# export notices go to stderr, so stdout stays byte-stable.
 golden:
-	$(GO) run ./cmd/paperbench -fig all -particles 6000 -ranks 8 -ranks-list 2,4,8,16 > paperbench_output.got.txt
+	$(GO) run ./cmd/paperbench -fig all -particles 6000 -ranks 8 -ranks-list 2,4,8,16 \
+		-trace-out obs_trace.json -metrics-out obs_metrics.txt > paperbench_output.got.txt
 	diff -u paperbench_output.txt paperbench_output.got.txt
 	rm -f paperbench_output.got.txt
 

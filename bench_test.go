@@ -26,6 +26,16 @@ func benchConfig() paperbench.Config {
 	return cfg
 }
 
+// benchRun executes one benchmark configuration, failing the benchmark on a
+// config error.
+func benchRun(b *testing.B, cfg paperbench.Config) paperbench.Result {
+	res, err := paperbench.Run(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res
+}
+
 // BenchmarkFig6 measures one solver run per (solver, initial distribution)
 // configuration of Figure 6 under method A and reports the virtual total,
 // sort, and restore times.
@@ -34,9 +44,11 @@ func BenchmarkFig6(b *testing.B) {
 		for _, dist := range []particle.Dist{particle.DistSingle, particle.DistRandom, particle.DistGrid} {
 			b.Run(solver+"/"+dist.String(), func(b *testing.B) {
 				cfg := benchConfig()
+				cfg.Steps = 0 // one solver run, no MD loop
+				cfg.Solver, cfg.Dist = solver, dist
 				var st paperbench.StepStat
 				for i := 0; i < b.N; i++ {
-					st = paperbench.RunSingle(cfg, solver, dist)
+					st = benchRun(b, cfg).Steps[0]
 				}
 				b.ReportMetric(st.Total, "vsec/total")
 				b.ReportMetric(st.Sort, "vsec/sort")
@@ -55,9 +67,11 @@ func BenchmarkFig7(b *testing.B) {
 			b.Run(solver+"/method"+method, func(b *testing.B) {
 				cfg := benchConfig()
 				cfg.Steps = 4
+				cfg.Solver, cfg.Dist = solver, particle.DistRandom
+				cfg.Resort = method == "B"
 				var stats []paperbench.StepStat
 				for i := 0; i < b.N; i++ {
-					stats = paperbench.RunSimulation(cfg, solver, particle.DistRandom, method == "B", false)
+					stats = benchRun(b, cfg).Steps
 				}
 				last := stats[len(stats)-1]
 				b.ReportMetric(last.Total, "vsec/step-total")
@@ -78,9 +92,11 @@ func BenchmarkFig8(b *testing.B) {
 				cfg := benchConfig()
 				cfg.Steps = 12
 				cfg.Thermal = 2.5
+				cfg.Solver, cfg.Dist = solver, particle.DistGrid
+				cfg.Resort = method == "B"
 				var stats []paperbench.StepStat
 				for i := 0; i < b.N; i++ {
-					stats = paperbench.RunSimulation(cfg, solver, particle.DistGrid, method == "B", false)
+					stats = benchRun(b, cfg).Steps
 				}
 				last := stats[len(stats)-1]
 				redist := last.Sort + last.Restore + last.Resort
@@ -120,9 +136,11 @@ func BenchmarkHostParallelism(b *testing.B) {
 				defer runtime.GOMAXPROCS(orig)
 				cfg := benchConfig()
 				cfg.Steps = 4
+				cfg.Solver, cfg.Dist = solver, particle.DistRandom
+				cfg.Resort = true
 				var stats []paperbench.StepStat
 				for i := 0; i < b.N; i++ {
-					stats = paperbench.RunSimulation(cfg, solver, particle.DistRandom, true, false)
+					stats = benchRun(b, cfg).Steps
 				}
 				b.ReportMetric(stats[len(stats)-1].Total, "vsec/step-total")
 			})
@@ -144,9 +162,11 @@ func benchFig9(b *testing.B, solver string, machine paperbench.Machine) {
 			cfg.Steps = 4
 			cfg.Thermal = 2.5
 			cfg.Machine = machine
+			cfg.Solver, cfg.Dist = solver, particle.DistGrid
+			cfg.Resort, cfg.TrackMovement = variant.resort, variant.track
 			var total float64
 			for i := 0; i < b.N; i++ {
-				stats := paperbench.RunSimulation(cfg, solver, particle.DistGrid, variant.resort, variant.track)
+				stats := benchRun(b, cfg).Steps
 				total = 0
 				for _, st := range stats {
 					total += st.Total

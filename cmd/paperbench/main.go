@@ -10,12 +10,21 @@
 //	paperbench -fig 9l -ranks-list 2,4,8,16
 //	paperbench -fig all
 //	paperbench -bench-json BENCH_1.json
+//	paperbench -bench-json BENCH_2.json -bench-baseline BENCH_1.json
+//	paperbench -fig all -trace-out trace.json -metrics-out metrics.txt
 //
 // With -bench-json, instead of printing tables the command runs all
 // figures and writes a JSON report pairing every figure's virtual-second
 // metrics with the host wall-clock time spent producing it (see
 // internal/benchjson). Virtual seconds are deterministic; wall-clock is
-// the host-performance regression baseline.
+// the host-performance regression baseline. Adding -bench-baseline prints
+// a delta report against a previously written JSON file.
+//
+// -trace-out and -metrics-out additionally run the canonical
+// observability configuration (paperbench.ObsConfig: the Fig. 9 torus
+// steady state with message tracing) and export its event log as a Chrome
+// trace-event JSON timeline and a Prometheus-style metrics dump. Both
+// notices go to stderr, so figure output on stdout stays byte-stable.
 package main
 
 import (
@@ -26,6 +35,7 @@ import (
 	"strings"
 
 	"repro/internal/benchjson"
+	"repro/internal/obs"
 	"repro/internal/paperbench"
 )
 
@@ -42,6 +52,9 @@ func main() {
 		rankListF = flag.String("ranks-list", "2,4,8", "rank counts for figure 9 sweeps")
 		benchJSON = flag.String("bench-json", "", "write a wall-clock + virtual-seconds benchmark report for all figures to this file and exit")
 		stepScale = flag.Float64("step-scale", 1, "scale factor on the per-figure default step counts in -bench-json mode")
+		benchBase = flag.String("bench-baseline", "", "with -bench-json: print a delta report against this baseline benchmark JSON")
+		traceOut  = flag.String("trace-out", "", "write a Chrome trace-event JSON of the canonical observability run to this file")
+		metricOut = flag.String("metrics-out", "", "write a Prometheus-style metrics dump of the canonical observability run to this file")
 	)
 	flag.Parse()
 
@@ -74,6 +87,11 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *benchBase != "" && *benchJSON == "" {
+		fmt.Fprintln(os.Stderr, "paperbench: -bench-baseline requires -bench-json")
+		os.Exit(2)
+	}
+
 	if *benchJSON != "" {
 		rep := benchjson.Collect(base, rankList, *stepScale)
 		if err := benchjson.WriteFile(rep, *benchJSON); err != nil {
@@ -85,6 +103,15 @@ func main() {
 			wall += f.WallSeconds
 		}
 		fmt.Printf("wrote %s: %d figures, %.2fs wall clock total\n", *benchJSON, len(rep.Figures), wall)
+		if *benchBase != "" {
+			baseRep, err := benchjson.ReadFile(*benchBase)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "paperbench: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Print(benchjson.Diff(baseRep, rep).Format())
+		}
+		writeObsExports(*traceOut, *metricOut)
 		return
 	}
 
@@ -120,9 +147,46 @@ func main() {
 		for _, f := range []string{"6", "7", "8", "9l", "9r"} {
 			run(f)
 		}
+	} else {
+		run(*fig)
+	}
+	writeObsExports(*traceOut, *metricOut)
+}
+
+// writeObsExports runs the canonical observability configuration once and
+// exports its event log. All notices go to stderr: stdout carries only the
+// figure tables, which the golden check diffs byte-for-byte.
+func writeObsExports(traceOut, metricsOut string) {
+	if traceOut == "" && metricsOut == "" {
 		return
 	}
-	run(*fig)
+	res, err := paperbench.Run(paperbench.ObsConfig())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "paperbench: observability run: %v\n", err)
+		os.Exit(1)
+	}
+	write := func(path, what string, export func(f *os.File) error) {
+		if path == "" {
+			return
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "paperbench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := export(f); err == nil {
+			err = f.Close()
+		} else {
+			f.Close()
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "paperbench: writing %s: %v\n", path, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "paperbench: wrote %s to %s\n", what, path)
+	}
+	write(traceOut, "Chrome trace", func(f *os.File) error { return obs.WriteChromeTrace(f, res.Events) })
+	write(metricsOut, "metrics dump", func(f *os.File) error { return obs.WriteMetrics(f, res.Events) })
 }
 
 func parseInts(s string) ([]int, error) {

@@ -102,16 +102,15 @@ func main() {
 
 	st := vmpi.Run(vmpi.Config{Ranks: *ranks, Model: model, ComputeScale: scale, Trace: *trace}, func(c *vmpi.Comm) {
 		l := particle.Distribute(c, s, dist, *seed+1)
-		h, err := core.Init(*solver, c)
+		h, err := core.Init(*solver, c,
+			core.WithBox(s.Box),
+			core.WithAccuracy(*accuracy),
+			core.WithResort(resort),
+		)
 		if err != nil {
 			panic(err)
 		}
 		defer h.Destroy()
-		if err := h.SetCommon(s.Box); err != nil {
-			panic(err)
-		}
-		h.SetAccuracy(*accuracy)
-		h.SetResortEnabled(resort)
 		sim := mdsim.New(c, h, l, *dt)
 		sim.TrackMovement = track
 		if err := sim.Init(); err != nil {

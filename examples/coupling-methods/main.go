@@ -28,16 +28,15 @@ func run(system *particle.System, solver string, resort bool) phases {
 	const ranks = 8
 	st := vmpi.Run(vmpi.Config{Ranks: ranks}, func(c *vmpi.Comm) {
 		local := particle.Distribute(c, system, particle.DistRandom, 7)
-		handle, err := core.Init(solver, c)
+		handle, err := core.Init(solver, c,
+			core.WithBox(system.Box),
+			core.WithAccuracy(1e-3),
+			core.WithResort(resort),
+		)
 		if err != nil {
 			log.Fatal(err)
 		}
 		defer handle.Destroy()
-		if err := handle.SetCommon(system.Box); err != nil {
-			log.Fatal(err)
-		}
-		handle.SetAccuracy(1e-3)
-		handle.SetResortEnabled(resort)
 		sim := mdsim.New(c, handle, local, 0.01)
 
 		var ph phases

@@ -35,16 +35,15 @@ func main() {
 
 	st := vmpi.Run(vmpi.Config{Ranks: ranks}, func(c *vmpi.Comm) {
 		local := particle.Distribute(c, system, particle.DistGrid, 7)
-		handle, err := core.Init("p2nfft", c)
+		handle, err := core.Init("p2nfft", c,
+			core.WithBox(system.Box),
+			core.WithAccuracy(1e-3),
+			core.WithResort(true), // method B
+		)
 		if err != nil {
 			log.Fatal(err)
 		}
 		defer handle.Destroy()
-		if err := handle.SetCommon(system.Box); err != nil {
-			log.Fatal(err)
-		}
-		handle.SetAccuracy(1e-3)
-		handle.SetResortEnabled(true) // method B
 
 		sim := mdsim.New(c, handle, local, dt)
 		if err := sim.Init(); err != nil {

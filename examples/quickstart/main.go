@@ -24,19 +24,17 @@ func main() {
 		// Each rank takes its share (here: a uniformly random distribution).
 		local := particle.Distribute(c, system, particle.DistRandom, 7)
 
-		// fcs_init: create a solver instance; "fmm" and "p2nfft" are
-		// available.
-		handle, err := core.Init("p2nfft", c)
+		// fcs_init: create a solver instance ("fmm" and "p2nfft" are
+		// available), configured with functional options — the box
+		// (fcs_set_common) and the requested accuracy are validated here.
+		handle, err := core.Init("p2nfft", c,
+			core.WithBox(system.Box),
+			core.WithAccuracy(1e-3),
+		)
 		if err != nil {
 			log.Fatal(err)
 		}
 		defer handle.Destroy()
-
-		// fcs_set_common: periodicity and box shape.
-		if err := handle.SetCommon(system.Box); err != nil {
-			log.Fatal(err)
-		}
-		handle.SetAccuracy(1e-3)
 
 		// fcs_tune: optional tuning with the current particles.
 		if err := handle.Tune(local.N, local.ActivePos(), local.ActiveQ()); err != nil {

@@ -36,16 +36,15 @@ func main() {
 			age[i] = float64(ids[i]) * 0.5
 		}
 
-		handle, err := core.Init("fmm", c)
+		handle, err := core.Init("fmm", c,
+			core.WithBox(system.Box),
+			core.WithAccuracy(1e-2),
+			core.WithResort(true),
+		)
 		if err != nil {
 			log.Fatal(err)
 		}
 		defer handle.Destroy()
-		if err := handle.SetCommon(system.Box); err != nil {
-			log.Fatal(err)
-		}
-		handle.SetAccuracy(1e-2)
-		handle.SetResortEnabled(true)
 		if err := handle.Tune(local.N, local.ActivePos(), local.ActiveQ()); err != nil {
 			log.Fatal(err)
 		}

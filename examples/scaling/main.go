@@ -54,16 +54,15 @@ func run(system *particle.System, ranks, steps int, resort, track bool,
 	model netmodel.Model, scale float64) float64 {
 	st := vmpi.Run(vmpi.Config{Ranks: ranks, Model: model, ComputeScale: scale}, func(c *vmpi.Comm) {
 		local := particle.Distribute(c, system, particle.DistRandom, 7)
-		handle, err := core.Init("p2nfft", c)
+		handle, err := core.Init("p2nfft", c,
+			core.WithBox(system.Box),
+			core.WithAccuracy(1e-3),
+			core.WithResort(resort),
+		)
 		if err != nil {
 			log.Fatal(err)
 		}
 		defer handle.Destroy()
-		if err := handle.SetCommon(system.Box); err != nil {
-			log.Fatal(err)
-		}
-		handle.SetAccuracy(1e-3)
-		handle.SetResortEnabled(resort)
 		sim := mdsim.New(c, handle, local, 0.01)
 		sim.TrackMovement = track
 		if err := sim.Init(); err != nil {

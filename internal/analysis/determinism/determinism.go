@@ -42,8 +42,12 @@ var Analyzer = &analysis.Analyzer{
 // hotPackages are checked in their entirety (package name or import-path
 // base). The coupling pipeline sits on the hot path of every solver run
 // (exchange strategy selection, restore, resort-index creation), so it is
-// held to the same determinism bar as the solvers themselves.
-var hotPackages = []string{"fmm", "pnfft", "coupling"}
+// held to the same determinism bar as the solvers themselves. The obs
+// package's views and exporters must be pure functions of the event
+// stream — any nondeterminism there would break the byte-identical golden
+// exports (wall-clock stamps enter events only via the injected vmpi
+// clock, which the exporters exclude).
+var hotPackages = []string{"fmm", "pnfft", "coupling", "obs"}
 
 func run(pass *analysis.Pass) {
 	hot := false

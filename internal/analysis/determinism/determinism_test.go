@@ -18,3 +18,7 @@ func TestHotPackages(t *testing.T) {
 func TestCouplingHotPackage(t *testing.T) {
 	analysistest.Run(t, "testdata/src", determinism.Analyzer, "couplinghot")
 }
+
+func TestObsHotPackage(t *testing.T) {
+	analysistest.Run(t, "testdata/src", determinism.Analyzer, "obshot")
+}

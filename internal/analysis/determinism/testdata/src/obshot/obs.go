@@ -1,0 +1,33 @@
+// Package obs (fixture) exercises the hot-package scope of the
+// determinism analyzer for the observability layer: matching is by
+// package name, so this stands in for repro/internal/obs. Views and
+// exporters must be pure functions of the event stream, or the golden
+// trace/metrics exports stop being byte-identical across runs.
+package obs
+
+import (
+	"sort"
+	"time"
+)
+
+// exporterViolations: summarizing events through an unordered map walk
+// (beyond the single-append collect idiom) or stamping export rows with
+// the wall clock makes the output schedule-dependent.
+func exporterViolations(byPhase map[string]int64, out []string) {
+	for name, v := range byPhase { // want `map iteration order is nondeterministic in a hot path`
+		out = append(out, name)
+		_ = v
+	}
+	_ = time.Now() // want `time.Now reads the wall clock`
+}
+
+// collectThenSort is the accepted idiom (negative case): a single append
+// collects the keys, an explicit sort fixes the order.
+func collectThenSort(byPhase map[string]int64) []string {
+	var names []string
+	for name := range byPhase {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,5 @@
+// Package sort is a fixture stub of the standard library's sort package.
+package sort
+
+func Strings(x []string)                    {}
+func Slice(x any, less func(i, j int) bool) {}

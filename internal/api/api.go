@@ -5,6 +5,9 @@
 package api
 
 import (
+	"strings"
+
+	"repro/internal/obs"
 	"repro/internal/particle"
 	"repro/internal/redist"
 	"repro/internal/vmpi"
@@ -86,6 +89,63 @@ type RunStats struct {
 	// process's arrays were too small, so the original order was restored.
 	Resorted         bool
 	CapacityFallback bool
+}
+
+// Counter names the coupling pipeline emits into the observability stream
+// during each run. RunStats is derived from these events (RunStatsFromEvents)
+// rather than hand-maintained.
+const (
+	// CounterStrategyPrefix prefixes the strategy counter: the full name is
+	// CounterStrategyPrefix + the Strategy* name that ran in the sort phase.
+	CounterStrategyPrefix = "coupling/strategy/"
+	// CounterFastPath marks that the §III-B movement heuristic selected the
+	// steady-state strategy.
+	CounterFastPath = "coupling/fast-path"
+	// CounterFallback marks a neighborhood exchange falling back to the
+	// collective backend.
+	CounterFallback = "coupling/fallback"
+	// CounterMoved/CounterKept/CounterGhosts count the received records per
+	// rank (crossed a boundary / stayed local / origin-less duplicates).
+	CounterMoved  = "coupling/moved"
+	CounterKept   = "coupling/kept"
+	CounterGhosts = "coupling/ghosts"
+	// CounterResorted marks a run that returned the changed order (method B
+	// succeeded); CounterCapacityFallback one where method B was requested
+	// but the capacity contract forced a restore.
+	CounterResorted         = "coupling/resorted"
+	CounterCapacityFallback = "coupling/capacity-fallback"
+)
+
+// RunStatsFromEvents derives one rank's RunStats from the slice of its
+// observability events covering a single pipeline run (typically
+// Comm.Obs().Since(mark)). Events with unrelated names are ignored, so the
+// slice may include solver and runtime events.
+func RunStatsFromEvents(events []obs.Event) RunStats {
+	var rs RunStats
+	for _, e := range events {
+		if e.Kind != obs.KindCounter {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(e.Name, CounterStrategyPrefix):
+			rs.Strategy = strings.TrimPrefix(e.Name, CounterStrategyPrefix)
+		case e.Name == CounterFastPath:
+			rs.FastPath = true
+		case e.Name == CounterFallback:
+			rs.Fallback = true
+		case e.Name == CounterMoved:
+			rs.Moved += int(e.Value)
+		case e.Name == CounterKept:
+			rs.Kept += int(e.Value)
+		case e.Name == CounterGhosts:
+			rs.Ghosts += int(e.Value)
+		case e.Name == CounterResorted:
+			rs.Resorted = true
+		case e.Name == CounterCapacityFallback:
+			rs.CapacityFallback = true
+		}
+	}
+	return rs
 }
 
 // StatsSource is optionally implemented by solvers that expose the

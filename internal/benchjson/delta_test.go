@@ -1,0 +1,100 @@
+package benchjson
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func sampleReport() *Report {
+	return &Report{
+		Schema:    Schema,
+		CreatedAt: "2026-01-01T00:00:00Z",
+		Host:      Host{GoVersion: "go1.24", GOOS: "linux", GOARCH: "amd64", NumCPU: 8, GOMAXPROCS: 8},
+		Figures: []Figure{
+			{Name: "fig6", WallSeconds: 2.0, Metrics: []Metric{
+				{Name: "fmm/random/total", VSec: 1.5},
+				{Name: "fmm/random/sort", VSec: 0.5},
+			}},
+			{Name: "fig7", WallSeconds: 4.0, Metrics: []Metric{
+				{Name: "fmm/A/step1/total", VSec: 2.5},
+			}},
+		},
+	}
+}
+
+func TestReadFileRoundTrip(t *testing.T) {
+	rep := sampleReport()
+	path := filepath.Join(t.TempDir(), "base.json")
+	if err := WriteFile(rep, path); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	back, err := ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	if back.Schema != Schema || len(back.Figures) != 2 {
+		t.Errorf("round trip lost content: %+v", back)
+	}
+}
+
+func TestReadFileRejectsWrongSchema(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(path, []byte(`{"schema":"other/v9"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFile(path); err == nil {
+		t.Error("expected schema mismatch error")
+	}
+}
+
+func TestDiffIdentical(t *testing.T) {
+	d := Diff(sampleReport(), sampleReport())
+	if len(d.VSec) != 0 || len(d.Missing) != 0 || len(d.Added) != 0 {
+		t.Errorf("identical reports should have no differences: %+v", d)
+	}
+	if d.Compared != 3 {
+		t.Errorf("compared %d metrics, want 3", d.Compared)
+	}
+	text := d.Format()
+	if !strings.Contains(text, "all identical") {
+		t.Errorf("format should report identical vsec:\n%s", text)
+	}
+	if !strings.Contains(text, "fig6") || !strings.Contains(text, "total") {
+		t.Errorf("format missing wall-clock table:\n%s", text)
+	}
+}
+
+func TestDiffDetectsChanges(t *testing.T) {
+	base := sampleReport()
+	cur := sampleReport()
+	cur.Figures[0].WallSeconds = 1.0                        // wall-clock improved
+	cur.Figures[0].Metrics[1].VSec = 0.75                   // vsec changed
+	cur.Figures[1].Metrics = append(cur.Figures[1].Metrics, // new metric
+		Metric{Name: "fmm/A/step2/total", VSec: 2.0})
+	d := Diff(base, cur)
+	if len(d.VSec) != 1 || d.VSec[0].Name != "fmm/random/sort" || d.VSec[0].Cur != 0.75 {
+		t.Errorf("vsec change not detected: %+v", d.VSec)
+	}
+	if len(d.Added) != 1 || d.Added[0] != "fig7/fmm/A/step2/total" {
+		t.Errorf("added metric not detected: %v", d.Added)
+	}
+	text := d.Format()
+	if !strings.Contains(text, "1 CHANGED") || !strings.Contains(text, "fmm/random/sort") {
+		t.Errorf("format missing change report:\n%s", text)
+	}
+	if !strings.Contains(text, "0.50x") {
+		t.Errorf("format missing wall ratio:\n%s", text)
+	}
+}
+
+func TestDiffMissingFigure(t *testing.T) {
+	base := sampleReport()
+	cur := sampleReport()
+	cur.Figures = cur.Figures[:1] // fig7 dropped
+	d := Diff(base, cur)
+	if len(d.Missing) != 1 || d.Missing[0] != "fig7/fmm/A/step1/total" {
+		t.Errorf("missing figure not detected: %v", d.Missing)
+	}
+}

@@ -26,6 +26,7 @@ import (
 
 	"repro/internal/api"
 	"repro/internal/fmm"
+	"repro/internal/obs"
 	"repro/internal/particle"
 	"repro/internal/pnfft"
 	"repro/internal/redist"
@@ -66,6 +67,10 @@ type FCS struct {
 	resortEnabled bool
 	maxMove       float64
 
+	// recorder, when set (WithRecorder), receives a replay of the rank's
+	// observability events after every Tune/Run/resort call.
+	recorder obs.Recorder
+
 	// State of the last Run, backing the resort API.
 	lastResorted bool
 	lastIndices  []redist.Index
@@ -74,19 +79,28 @@ type FCS struct {
 }
 
 // Init creates a new solver instance of the named method on the
-// communicator (fcs_init). Every rank of the communicator must call it.
-func Init(method string, comm *vmpi.Comm) (*FCS, error) {
+// communicator (fcs_init), configured by functional options (WithBox,
+// WithAccuracy, WithResort, WithMaxMove, WithRecorder). Options are
+// validated eagerly: Init returns the first option error. Every rank of
+// the communicator must call it identically.
+func Init(method string, comm *vmpi.Comm, opts ...Option) (*FCS, error) {
 	f, ok := registry[method]
 	if !ok {
-		return nil, fmt.Errorf("core: unknown solver method %q (have %v)", method, Methods())
+		return nil, fmt.Errorf("core: %w %q (have %v)", ErrUnknownMethod, method, Methods())
 	}
-	return &FCS{
+	h := &FCS{
 		comm:     comm,
 		method:   method,
 		factory:  f,
 		accuracy: 1e-3,
 		maxMove:  -1,
-	}, nil
+	}
+	for _, opt := range opts {
+		if err := opt(h); err != nil {
+			return nil, err
+		}
+	}
+	return h, nil
 }
 
 // Method returns the solver method name.
@@ -98,19 +112,19 @@ func (h *FCS) Comm() *vmpi.Comm { return h.comm }
 // SetCommon sets the properties of the particle system: periodicity and the
 // shape of the system box (fcs_set_common). Must be called identically by
 // all ranks before Tune or Run.
+//
+// Deprecated: pass WithBox to Init instead. The setter remains for one
+// release as a thin wrapper and will then be removed.
 func (h *FCS) SetCommon(box particle.Box) error {
-	if !box.Orthorhombic() {
-		return fmt.Errorf("core: solvers require an orthorhombic box")
-	}
-	h.box = box
-	h.boxSet = true
-	h.solver = nil
-	h.tuned = false
-	return nil
+	return WithBox(box)(h)
 }
 
 // SetAccuracy sets the requested relative accuracy for subsequent tuning
-// (a solver-specific parameter in ScaFaCoS terms).
+// (a solver-specific parameter in ScaFaCoS terms). Values outside (0, 1)
+// are silently ignored (historical behavior; WithAccuracy validates).
+//
+// Deprecated: pass WithAccuracy to Init instead. The setter remains for
+// one release as a thin wrapper and will then be removed.
 func (h *FCS) SetAccuracy(eps float64) {
 	if eps > 0 && eps < 1 {
 		h.accuracy = eps
@@ -122,6 +136,9 @@ func (h *FCS) SetAccuracy(eps float64) {
 // SetResortEnabled switches between method A (false, default) and method B
 // (true): whether solver runs may return the changed particle order and
 // distribution together with resort indices.
+//
+// Deprecated: pass WithResort to Init instead. The setter remains for one
+// release as a thin wrapper and will then be removed.
 func (h *FCS) SetResortEnabled(on bool) { h.resortEnabled = on }
 
 // ResortEnabled reports the current method selection.
@@ -136,12 +153,28 @@ func (h *FCS) SetMaxParticleMove(d float64) { h.maxMove = d }
 
 func (h *FCS) ensureSolver() error {
 	if !h.boxSet {
-		return fmt.Errorf("core: SetCommon must be called before Tune/Run")
+		return fmt.Errorf("core: %w: the box must be set (WithBox/SetCommon) before Tune/Run", ErrNotConfigured)
 	}
 	if h.solver == nil {
 		h.solver = h.factory(h.comm, h.box, h.accuracy)
 	}
 	return nil
+}
+
+// observe marks the rank's event stream and returns a replay function:
+// when a recorder is attached (WithRecorder), the deferred replay forwards
+// every event recorded during the enclosing call into it.
+func (h *FCS) observe() func() {
+	if h.recorder == nil {
+		return func() {}
+	}
+	buf := h.comm.Obs()
+	mark := buf.Len()
+	return func() {
+		for _, e := range buf.Since(mark) {
+			h.recorder.Record(e)
+		}
+	}
 }
 
 // Tune performs the optional tuning step (fcs_tune) with the current local
@@ -151,6 +184,7 @@ func (h *FCS) Tune(n int, pos, q []float64) error {
 	if err := h.ensureSolver(); err != nil {
 		return err
 	}
+	defer h.observe()()
 	in := api.Input{N: n, Cap: n, Pos: pos, Q: q, MaxMove: -1}
 	if err := h.solver.Tune(in); err != nil {
 		return err
@@ -173,11 +207,12 @@ func (h *FCS) Run(n *int, capacity int, pos, q, pot, field []float64) error {
 		return err
 	}
 	if *n > capacity {
-		return fmt.Errorf("core: local count %d exceeds capacity %d", *n, capacity)
+		return fmt.Errorf("core: %w: local count %d exceeds capacity %d", ErrCapacityTooSmall, *n, capacity)
 	}
 	if len(pos) < 3*capacity || len(q) < capacity || len(pot) < capacity || len(field) < 3*capacity {
-		return fmt.Errorf("core: array lengths below capacity %d", capacity)
+		return fmt.Errorf("core: %w: array lengths below capacity %d", ErrBadLength, capacity)
 	}
+	defer h.observe()()
 	in := api.Input{
 		N: *n, Cap: capacity,
 		Pos: pos[:3**n], Q: q[:*n],
@@ -195,7 +230,7 @@ func (h *FCS) Run(n *int, capacity int, pos, q, pot, field []float64) error {
 	h.lastNNew = out.N
 	if out.Resorted {
 		if out.N > capacity {
-			return fmt.Errorf("core: solver returned %d particles beyond capacity %d", out.N, capacity)
+			return fmt.Errorf("core: %w: solver returned %d particles beyond capacity %d", ErrCapacityTooSmall, out.N, capacity)
 		}
 		copy(pos, out.Pos[:3*out.N])
 		copy(q, out.Q[:out.N])
@@ -236,14 +271,14 @@ func (h *FCS) ResortIndices() []redist.Index {
 // inside the redist exchange.
 func (h *FCS) validateResort(dataLen, stride int) error {
 	if !h.lastResorted {
-		return fmt.Errorf("core: no resort available (method A or capacity fallback)")
+		return fmt.Errorf("core: %w (method A or capacity fallback)", ErrResortUnavailable)
 	}
 	if stride <= 0 {
-		return fmt.Errorf("core: resort stride %d must be positive", stride)
+		return fmt.Errorf("core: %w: stride %d must be positive", ErrBadStride, stride)
 	}
 	if dataLen != stride*h.lastNOrig {
-		return fmt.Errorf("core: resort data length %d != stride %d * %d original particles",
-			dataLen, stride, h.lastNOrig)
+		return fmt.Errorf("core: %w: resort data length %d != stride %d * %d original particles",
+			ErrBadLength, dataLen, stride, h.lastNOrig)
 	}
 	return nil
 }
@@ -256,6 +291,7 @@ func (h *FCS) ResortFloats(data []float64, stride int) ([]float64, error) {
 	if err := h.validateResort(len(data), stride); err != nil {
 		return nil, err
 	}
+	defer h.observe()()
 	var out []float64
 	vmpi.Barrier(h.comm) // isolate the resort time from prior imbalance
 	h.comm.Phase(api.PhaseResort, func() {
@@ -269,6 +305,7 @@ func (h *FCS) ResortInts(data []int64, stride int) ([]int64, error) {
 	if err := h.validateResort(len(data), stride); err != nil {
 		return nil, err
 	}
+	defer h.observe()()
 	var out []int64
 	vmpi.Barrier(h.comm) // isolate the resort time from prior imbalance
 	h.comm.Phase(api.PhaseResort, func() {

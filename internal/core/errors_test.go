@@ -1,0 +1,83 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/particle"
+	"repro/internal/vmpi"
+)
+
+// TestSentinelErrors pins the errors.Is surface: every handle error wraps
+// the matching typed sentinel, so applications can switch on error classes.
+func TestSentinelErrors(t *testing.T) {
+	s := particle.SilicaMelt(60, 10, true, 5)
+	vmpi.Run(vmpi.Config{Ranks: 1}, func(c *vmpi.Comm) {
+		if _, err := Init("p3m", c); !errors.Is(err, ErrUnknownMethod) {
+			t.Errorf("Init(p3m) error = %v, want ErrUnknownMethod", err)
+		}
+
+		h, err := Init("fmm", c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 0
+		if err := h.Run(&n, 0, nil, nil, nil, nil); !errors.Is(err, ErrNotConfigured) {
+			t.Errorf("Run before box error = %v, want ErrNotConfigured", err)
+		}
+
+		box := particle.NewCubicBox(10, true)
+		box.Base[0][1] = 1 // shear
+		if err := h.SetCommon(box); !errors.Is(err, ErrBadBox) {
+			t.Errorf("SetCommon(skewed) error = %v, want ErrBadBox", err)
+		}
+
+		if err := h.SetCommon(s.Box); err != nil {
+			t.Fatal(err)
+		}
+		l := particle.Distribute(c, s, particle.DistRandom, 7)
+		n = l.N
+		if err := h.Run(&n, l.N-1, l.Pos, l.Q, l.Pot, l.Field); !errors.Is(err, ErrCapacityTooSmall) {
+			t.Errorf("Run over capacity error = %v, want ErrCapacityTooSmall", err)
+		}
+		if err := h.Run(&n, l.Cap, l.Pos[:3], l.Q, l.Pot, l.Field); !errors.Is(err, ErrBadLength) {
+			t.Errorf("Run short arrays error = %v, want ErrBadLength", err)
+		}
+
+		// Method A run: the resort surface must report unavailability.
+		if err := h.Run(&n, l.Cap, l.Pos, l.Q, l.Pot, l.Field); err != nil {
+			t.Fatalf("run: %v", err)
+		}
+		if _, err := h.ResortFloats(make([]float64, n), 1); !errors.Is(err, ErrResortUnavailable) {
+			t.Errorf("resort after method A error = %v, want ErrResortUnavailable", err)
+		}
+	})
+}
+
+// TestResortArgumentSentinels covers the stride/length sentinels on a
+// successful method B run.
+func TestResortArgumentSentinels(t *testing.T) {
+	s := particle.SilicaMelt(120, 10, true, 5)
+	vmpi.Run(vmpi.Config{Ranks: 2}, func(c *vmpi.Comm) {
+		l := particle.Distribute(c, s, particle.DistRandom, 7)
+		h, err := Init("fmm", c, WithBox(s.Box), WithResort(true))
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := l.N
+		if err := h.Run(&n, l.Cap, l.Pos, l.Q, l.Pot, l.Field); err != nil {
+			t.Errorf("run: %v", err)
+			return
+		}
+		if !h.ResortAvailable() {
+			t.Error("method B run should make the resort available")
+			return
+		}
+		if _, err := h.ResortFloats(make([]float64, l.N), 0); !errors.Is(err, ErrBadStride) {
+			t.Errorf("stride 0 error = %v, want ErrBadStride", err)
+		}
+		if _, err := h.ResortFloats(make([]float64, l.N+1), 1); !errors.Is(err, ErrBadLength) {
+			t.Errorf("wrong length error = %v, want ErrBadLength", err)
+		}
+	})
+}

@@ -1,0 +1,75 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/obs"
+	"repro/internal/particle"
+)
+
+// Option configures an FCS handle at Init. Options are applied in order
+// and validated eagerly: Init fails with the first option error instead of
+// deferring misconfiguration to Tune/Run. The old Set* methods remain as
+// thin deprecated wrappers for one release.
+type Option func(*FCS) error
+
+// WithBox sets the particle system box (periodicity and shape), replacing
+// a separate SetCommon call. The box must be orthorhombic.
+func WithBox(box particle.Box) Option {
+	return func(h *FCS) error {
+		if !box.Orthorhombic() {
+			return fmt.Errorf("core: %w", ErrBadBox)
+		}
+		h.box = box
+		h.boxSet = true
+		h.solver = nil
+		h.tuned = false
+		return nil
+	}
+}
+
+// WithAccuracy sets the requested relative accuracy for tuning. Unlike the
+// deprecated SetAccuracy (which silently ignores out-of-range values), the
+// option validates eagerly: Init fails with ErrBadAccuracy outside (0, 1).
+func WithAccuracy(eps float64) Option {
+	return func(h *FCS) error {
+		if eps <= 0 || eps >= 1 {
+			return fmt.Errorf("core: %w: got %g", ErrBadAccuracy, eps)
+		}
+		h.accuracy = eps
+		h.solver = nil
+		h.tuned = false
+		return nil
+	}
+}
+
+// WithResort selects redistribution method B (true): solver runs may
+// return the changed particle order and distribution together with resort
+// indices. False (the default) is method A.
+func WithResort(on bool) Option {
+	return func(h *FCS) error {
+		h.resortEnabled = on
+		return nil
+	}
+}
+
+// WithMaxMove sets the application's bound on the maximum particle
+// displacement before the first Run (paper §III-B). A negative value means
+// unknown. Later runs update the bound with SetMaxParticleMove.
+func WithMaxMove(d float64) Option {
+	return func(h *FCS) error {
+		h.maxMove = d
+		return nil
+	}
+}
+
+// WithRecorder attaches an observability recorder to the handle: after
+// every Tune, Run, and resort call, the events the calling rank's runtime
+// recorded during that call are replayed into r. This gives applications a
+// per-handle event tap without touching the vmpi configuration.
+func WithRecorder(r obs.Recorder) Option {
+	return func(h *FCS) error {
+		h.recorder = r
+		return nil
+	}
+}

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/particle"
+	"repro/internal/vmpi"
+)
+
+func TestInitWithOptions(t *testing.T) {
+	s := particle.SilicaMelt(120, 10, true, 5)
+	vmpi.Run(vmpi.Config{Ranks: 2}, func(c *vmpi.Comm) {
+		l := particle.Distribute(c, s, particle.DistRandom, 7)
+		h, err := Init("p2nfft", c,
+			WithBox(s.Box),
+			WithAccuracy(1e-3),
+			WithResort(true),
+			WithMaxMove(-1),
+		)
+		if err != nil {
+			t.Errorf("init with options: %v", err)
+			return
+		}
+		defer h.Destroy()
+		if !h.ResortEnabled() {
+			t.Error("WithResort(true) not applied")
+		}
+		if err := h.Tune(l.N, l.ActivePos(), l.ActiveQ()); err != nil {
+			t.Errorf("tune: %v", err)
+			return
+		}
+		n := l.N
+		if err := h.Run(&n, l.Cap, l.Pos, l.Q, l.Pot, l.Field); err != nil {
+			t.Errorf("run: %v", err)
+		}
+	})
+}
+
+func TestInitOptionErrorsEagerly(t *testing.T) {
+	vmpi.Run(vmpi.Config{Ranks: 1}, func(c *vmpi.Comm) {
+		if _, err := Init("fmm", c, WithAccuracy(2)); !errors.Is(err, ErrBadAccuracy) {
+			t.Errorf("WithAccuracy(2) error = %v, want ErrBadAccuracy", err)
+		}
+		box := particle.NewCubicBox(10, true)
+		box.Base[0][1] = 1 // shear
+		if _, err := Init("fmm", c, WithBox(box)); !errors.Is(err, ErrBadBox) {
+			t.Errorf("WithBox(skewed) error = %v, want ErrBadBox", err)
+		}
+	})
+}
+
+func TestDeprecatedSettersMatchOptions(t *testing.T) {
+	vmpi.Run(vmpi.Config{Ranks: 1}, func(c *vmpi.Comm) {
+		box := particle.NewCubicBox(10, true)
+		ho, err := Init("fmm", c, WithBox(box), WithAccuracy(1e-4), WithResort(true))
+		if err != nil {
+			t.Fatalf("init: %v", err)
+		}
+		hs, err := Init("fmm", c)
+		if err != nil {
+			t.Fatalf("init: %v", err)
+		}
+		if err := hs.SetCommon(box); err != nil {
+			t.Fatalf("SetCommon: %v", err)
+		}
+		hs.SetAccuracy(1e-4)
+		hs.SetResortEnabled(true)
+		if ho.accuracy != hs.accuracy || ho.boxSet != hs.boxSet || ho.resortEnabled != hs.resortEnabled {
+			t.Error("options and deprecated setters configure differently")
+		}
+		// The historical silent-ignore semantics of SetAccuracy survive.
+		hs.SetAccuracy(5)
+		if hs.accuracy != 1e-4 {
+			t.Errorf("SetAccuracy(5) changed accuracy to %g", hs.accuracy)
+		}
+	})
+}
+
+func TestWithRecorderTapsEvents(t *testing.T) {
+	s := particle.SilicaMelt(120, 10, true, 5)
+	st := vmpi.Run(vmpi.Config{Ranks: 2}, func(c *vmpi.Comm) {
+		l := particle.Distribute(c, s, particle.DistRandom, 7)
+		rec := obs.NewBuffer(c.WorldRank())
+		h, err := Init("fmm", c, WithBox(s.Box), WithRecorder(rec))
+		if err != nil {
+			t.Errorf("init: %v", err)
+			return
+		}
+		defer h.Destroy()
+		if err := h.Tune(l.N, l.ActivePos(), l.ActiveQ()); err != nil {
+			t.Errorf("tune: %v", err)
+			return
+		}
+		afterTune := rec.Len()
+		n := l.N
+		if err := h.Run(&n, l.Cap, l.Pos, l.Q, l.Pot, l.Field); err != nil {
+			t.Errorf("run: %v", err)
+			return
+		}
+		c.SetResult([2]int{afterTune, rec.Len()})
+	})
+	for r, v := range st.Values {
+		counts := v.([2]int)
+		if counts[1] <= counts[0] {
+			t.Errorf("rank %d: recorder saw no Run events (tune=%d, after run=%d)",
+				r, counts[0], counts[1])
+		}
+	}
+}

@@ -123,6 +123,11 @@ func (p *Pipeline[T]) Run(in api.Input) (api.Output, error) {
 	c := p.c
 	t0 := c.Time()
 	defer func() { c.AddPhase(api.PhaseTotal, c.Time()-t0) }()
+	// The run's instrumentation is event-sourced: the pipeline emits
+	// counters into the observability stream as things happen, and the
+	// RunStats of the run are derived back from the events at delivery
+	// (api.RunStatsFromEvents) — the stream is the single source of truth.
+	mark := c.Obs().Len()
 
 	// Decompose: build records with origin numbering.
 	recs := p.m.Decompose(in)
@@ -141,16 +146,32 @@ func (p *Pipeline[T]) Run(in api.Input) (api.Output, error) {
 	c.Phase(api.PhaseSort, func() {
 		recv, info = p.m.Exchange(recs, fast)
 	})
-	stats := api.RunStats{Strategy: info.Strategy, FastPath: fast, Fallback: info.Fallback}
+	c.Counter(api.CounterStrategyPrefix+info.Strategy, 1)
+	if fast {
+		c.Counter(api.CounterFastPath, 1)
+	}
+	if info.Fallback {
+		c.Counter(api.CounterFallback, 1)
+	}
+	var moved, kept, ghosts int
 	for _, r := range recv {
 		switch o := p.m.Origin(r); {
 		case !o.Valid():
-			stats.Ghosts++
+			ghosts++
 		case o.Rank() == c.Rank():
-			stats.Kept++
+			kept++
 		default:
-			stats.Moved++
+			moved++
 		}
+	}
+	if moved > 0 {
+		c.Counter(api.CounterMoved, float64(moved))
+	}
+	if kept > 0 {
+		c.Counter(api.CounterKept, float64(kept))
+	}
+	if ghosts > 0 {
+		c.Counter(api.CounterGhosts, float64(ghosts))
 	}
 
 	// Compute: potentials and fields for the owned records.
@@ -160,7 +181,7 @@ func (p *Pipeline[T]) Run(in api.Input) (api.Output, error) {
 	if !in.Resort {
 		out := p.restore(in, own, pot, field)
 		p.lastSorted = false
-		p.last = stats
+		p.last = api.RunStatsFromEvents(c.Obs().Since(mark))
 		return out, nil
 	}
 
@@ -172,10 +193,10 @@ func (p *Pipeline[T]) Run(in api.Input) (api.Output, error) {
 	if vmpi.AllreduceVal(c, fits, vmpi.Min[int]) == 0 {
 		// At least one process cannot store the changed distribution:
 		// restore the original order instead (§III-B).
+		c.Counter(api.CounterCapacityFallback, 1)
 		out := p.restore(in, own, pot, field)
 		p.lastSorted = false
-		stats.CapacityFallback = true
-		p.last = stats
+		p.last = api.RunStatsFromEvents(c.Obs().Since(mark))
 		return out, nil
 	}
 
@@ -204,8 +225,8 @@ func (p *Pipeline[T]) Run(in api.Input) (api.Output, error) {
 		out.Q[i] = q
 	}
 	p.lastSorted = true
-	stats.Resorted = true
-	p.last = stats
+	c.Counter(api.CounterResorted, 1)
+	p.last = api.RunStatsFromEvents(c.Obs().Since(mark))
 	return out, nil
 }
 

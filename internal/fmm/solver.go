@@ -166,6 +166,7 @@ func (m method) Decompose(in api.Input) []pRec {
 		}
 	}
 	c.Compute(costs.CellAssign * float64(in.N))
+	c.Gauge("fmm/records", float64(len(recs)))
 	return recs
 }
 

@@ -1,0 +1,208 @@
+package obs
+
+import "sort"
+
+// Log is the merged per-rank event record of a finished run: one
+// append-ordered event slice per world rank. All summaries (comm matrix,
+// active pairs, per-phase totals, counters) are pure views over it.
+type Log struct {
+	ByRank [][]Event
+}
+
+// NewLog assembles a log from the per-rank buffers.
+func NewLog(bufs []*Buffer) *Log {
+	l := &Log{ByRank: make([][]Event, len(bufs))}
+	for i, b := range bufs {
+		if b != nil {
+			l.ByRank[i] = b.Events()
+		}
+	}
+	return l
+}
+
+// Ranks returns the number of ranks in the log.
+func (l *Log) Ranks() int { return len(l.ByRank) }
+
+// Filter returns the events (across all ranks, in rank order) for which
+// keep returns true.
+func (l *Log) Filter(keep func(Event) bool) []Event {
+	var out []Event
+	for _, evs := range l.ByRank {
+		for _, e := range evs {
+			if keep(e) {
+				out = append(out, e)
+			}
+		}
+	}
+	return out
+}
+
+// Sends returns the KindSend events of the given phase across all ranks;
+// an empty phase selects every phase.
+func (l *Log) Sends(phase string) []Event {
+	return l.Filter(func(e Event) bool {
+		return e.Kind == KindSend && (phase == "" || e.Name == phase)
+	})
+}
+
+// CommMatrix returns the dense bytes matrix m[src][dst] accumulated from
+// the send events of the given phase ("" for all phases).
+func (l *Log) CommMatrix(phase string) [][]int64 {
+	p := l.Ranks()
+	m := make([][]int64, p)
+	for i := range m {
+		m[i] = make([]int64, p)
+	}
+	for _, e := range l.Sends(phase) {
+		if e.Rank < p && e.Peer < p {
+			m[e.Rank][e.Peer] += int64(e.Bytes)
+		}
+	}
+	return m
+}
+
+// ActivePairs returns the number of ordered (src, dst) pairs with src != dst
+// that exchanged at least one byte during the given phase ("" for all).
+func (l *Log) ActivePairs(phase string) int {
+	m := l.CommMatrix(phase)
+	n := 0
+	for src, row := range m {
+		for dst, b := range row {
+			if src != dst && b > 0 {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// MessageCount returns the number of send events in the given phase ("" for
+// all phases).
+func (l *Log) MessageCount(phase string) int { return len(l.Sends(phase)) }
+
+// TotalBytes returns the bytes sent during the given phase ("" for all).
+func (l *Log) TotalBytes(phase string) int64 {
+	var total int64
+	for _, e := range l.Sends(phase) {
+		total += int64(e.Bytes)
+	}
+	return total
+}
+
+// PhaseAgg is one row of a per-phase aggregation, keyed by phase name.
+type PhaseAgg struct {
+	Phase    string
+	Bytes    int64
+	Messages int64
+	Seconds  float64 // summed phase-span seconds across ranks
+}
+
+// PhaseSummary aggregates the stream per phase name: bytes and message
+// counts from send events, virtual seconds from phase-end spans. Rows are
+// sorted by phase name (collect-then-sort keeps the view deterministic).
+func (l *Log) PhaseSummary() []PhaseAgg {
+	idx := map[string]int{}
+	var rows []PhaseAgg
+	row := func(name string) *PhaseAgg {
+		if i, ok := idx[name]; ok {
+			return &rows[i]
+		}
+		idx[name] = len(rows)
+		rows = append(rows, PhaseAgg{Phase: name})
+		return &rows[len(rows)-1]
+	}
+	for _, evs := range l.ByRank {
+		for _, e := range evs {
+			switch e.Kind {
+			case KindSend:
+				r := row(e.Name)
+				r.Bytes += int64(e.Bytes)
+				r.Messages++
+			case KindPhaseEnd:
+				row(e.Name).Seconds += e.Dur()
+			}
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Phase < rows[j].Phase })
+	return rows
+}
+
+// PhaseBytes returns the total bytes sent per phase name.
+func (l *Log) PhaseBytes() map[string]int64 {
+	out := map[string]int64{}
+	for _, r := range l.PhaseSummary() {
+		if r.Bytes > 0 {
+			out[r.Phase] = r.Bytes
+		}
+	}
+	return out
+}
+
+// PhaseMessages returns the number of messages sent per phase name.
+func (l *Log) PhaseMessages() map[string]int64 {
+	out := map[string]int64{}
+	for _, r := range l.PhaseSummary() {
+		if r.Messages > 0 {
+			out[r.Phase] = r.Messages
+		}
+	}
+	return out
+}
+
+// CounterRow is one named counter total, summed across all ranks.
+type CounterRow struct {
+	Name  string
+	Value float64
+}
+
+// Counters sums KindCounter events by name across all ranks, sorted by
+// name.
+func (l *Log) Counters() []CounterRow {
+	idx := map[string]int{}
+	var rows []CounterRow
+	for _, evs := range l.ByRank {
+		for _, e := range evs {
+			if e.Kind != KindCounter {
+				continue
+			}
+			if i, ok := idx[e.Name]; ok {
+				rows[i].Value += e.Value
+			} else {
+				idx[e.Name] = len(rows)
+				rows = append(rows, CounterRow{Name: e.Name, Value: e.Value})
+			}
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Name < rows[j].Name })
+	return rows
+}
+
+// Counter returns the cross-rank sum of the named counter.
+func (l *Log) Counter(name string) float64 {
+	var total float64
+	for _, evs := range l.ByRank {
+		for _, e := range evs {
+			if e.Kind == KindCounter && e.Name == name {
+				total += e.Value
+			}
+		}
+	}
+	return total
+}
+
+// PhaseNames returns the sorted distinct phase names appearing in
+// phase-end events.
+func (l *Log) PhaseNames() []string {
+	seen := map[string]bool{}
+	var names []string
+	for _, evs := range l.ByRank {
+		for _, e := range evs {
+			if e.Kind == KindPhaseEnd && !seen[e.Name] {
+				seen[e.Name] = true
+				names = append(names, e.Name)
+			}
+		}
+	}
+	sort.Strings(names)
+	return names
+}

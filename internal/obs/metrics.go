@@ -1,0 +1,74 @@
+package obs
+
+import (
+	"bytes"
+	"io"
+	"strconv"
+)
+
+// WriteMetrics writes the log as a Prometheus-style text metrics dump:
+// per-phase communication volume and footprint, per-phase virtual seconds,
+// cross-rank counter totals, and the nonzero comm-matrix entries of each
+// phase. All series are emitted in sorted order so the dump is
+// byte-deterministic for a deterministic run.
+func WriteMetrics(w io.Writer, l *Log) error {
+	var buf bytes.Buffer
+	num := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+	buf.WriteString("# HELP repro_ranks Number of ranks in the run.\n# TYPE repro_ranks gauge\n")
+	buf.WriteString("repro_ranks " + strconv.Itoa(l.Ranks()) + "\n")
+
+	rows := l.PhaseSummary()
+	buf.WriteString("# HELP repro_phase_bytes_total Bytes sent during the phase (all ranks).\n# TYPE repro_phase_bytes_total counter\n")
+	for _, r := range rows {
+		if r.Bytes > 0 {
+			buf.WriteString("repro_phase_bytes_total{phase=" + strconv.Quote(r.Phase) + "} " + strconv.FormatInt(r.Bytes, 10) + "\n")
+		}
+	}
+	buf.WriteString("# HELP repro_phase_messages_total Messages sent during the phase (all ranks).\n# TYPE repro_phase_messages_total counter\n")
+	for _, r := range rows {
+		if r.Messages > 0 {
+			buf.WriteString("repro_phase_messages_total{phase=" + strconv.Quote(r.Phase) + "} " + strconv.FormatInt(r.Messages, 10) + "\n")
+		}
+	}
+	buf.WriteString("# HELP repro_phase_seconds_total Virtual seconds spent in the phase, summed over ranks.\n# TYPE repro_phase_seconds_total counter\n")
+	for _, r := range rows {
+		if r.Seconds > 0 {
+			buf.WriteString("repro_phase_seconds_total{phase=" + strconv.Quote(r.Phase) + "} " + num(r.Seconds) + "\n")
+		}
+	}
+	buf.WriteString("# HELP repro_phase_active_pairs Ordered (src,dst) pairs that exchanged bytes in the phase.\n# TYPE repro_phase_active_pairs gauge\n")
+	for _, r := range rows {
+		if r.Messages > 0 {
+			buf.WriteString("repro_phase_active_pairs{phase=" + strconv.Quote(r.Phase) + "} " + strconv.Itoa(l.ActivePairs(r.Phase)) + "\n")
+		}
+	}
+
+	counters := l.Counters()
+	if len(counters) > 0 {
+		buf.WriteString("# HELP repro_counter_total Named counters summed across ranks.\n# TYPE repro_counter_total counter\n")
+		for _, c := range counters {
+			buf.WriteString("repro_counter_total{name=" + strconv.Quote(c.Name) + "} " + num(c.Value) + "\n")
+		}
+	}
+
+	buf.WriteString("# HELP repro_comm_matrix_bytes Nonzero per-phase comm-matrix entries.\n# TYPE repro_comm_matrix_bytes gauge\n")
+	for _, r := range rows {
+		if r.Messages == 0 {
+			continue
+		}
+		m := l.CommMatrix(r.Phase)
+		for src, row := range m {
+			for dst, b := range row {
+				if b > 0 {
+					buf.WriteString("repro_comm_matrix_bytes{phase=" + strconv.Quote(r.Phase) +
+						",src=\"" + strconv.Itoa(src) + "\",dst=\"" + strconv.Itoa(dst) + "\"} " +
+						strconv.FormatInt(b, 10) + "\n")
+				}
+			}
+		}
+	}
+
+	_, err := w.Write(buf.Bytes())
+	return err
+}

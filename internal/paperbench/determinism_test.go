@@ -36,8 +36,13 @@ func TestHostParallelismDeterminism(t *testing.T) {
 	}
 	run := func(procs int, solver string, resort bool) result {
 		runtime.GOMAXPROCS(procs)
-		stats, digest := RunSimulationDigest(cfg, solver, particle.DistGrid, resort, false)
-		return result{stats, digest}
+		c := cfg
+		c.Solver, c.Dist, c.Resort = solver, particle.DistGrid, resort
+		res, err := Run(c)
+		if err != nil {
+			panic(err)
+		}
+		return result{res.Steps, res.Digest}
 	}
 
 	for _, solver := range Solvers() {

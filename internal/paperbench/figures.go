@@ -8,6 +8,16 @@ import (
 	"repro/internal/particle"
 )
 
+// mustRun executes Run for a figure-internal configuration, where an error
+// can only mean a bug in the figure code itself.
+func mustRun(cfg Config) Result {
+	res, err := Run(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
 // --- Figure 6: influence of the initial particle distribution -----------
 
 // Fig6Row is one bar group of Fig. 6: a solver under one initial
@@ -27,7 +37,11 @@ func Fig6(cfg Config) []Fig6Row {
 	var rows []Fig6Row
 	for _, solver := range Solvers() {
 		for _, dist := range []particle.Dist{particle.DistSingle, particle.DistRandom, particle.DistGrid} {
-			st := runOnce(cfg, solver, dist)
+			c := cfg
+			c.Solver, c.Dist = solver, dist
+			c.Steps, c.Thermal = 0, 0 // one solver run, paper's v0 = 0
+			c.Resort, c.TrackMovement = false, false
+			st := mustRun(c).Steps[0]
 			rows = append(rows, Fig6Row{
 				Solver: solver, Dist: dist,
 				Total: st.Total, Sort: st.Sort, Restor: st.Restore,
@@ -70,7 +84,10 @@ func Fig7(cfg Config) []Fig7Series {
 	var out []Fig7Series
 	for _, solver := range Solvers() {
 		for _, method := range []string{"A", "B"} {
-			stats, _, _ := runMD(cfg, solver, particle.DistRandom, method == "B", false)
+			c := cfg
+			c.Solver, c.Dist = solver, particle.DistRandom
+			c.Resort, c.TrackMovement = method == "B", false
+			stats := mustRun(c).Steps
 			ser := Fig7Series{Solver: solver, Method: method}
 			for _, st := range stats {
 				ser.Sort = append(ser.Sort, st.Sort)
@@ -149,7 +166,10 @@ func Fig8(cfg Config) []Fig8Series {
 	var out []Fig8Series
 	for _, solver := range Solvers() {
 		for _, method := range []string{"A", "B"} {
-			stats, _, _ := runMD(cfg, solver, particle.DistGrid, method == "B", false)
+			c := cfg
+			c.Solver, c.Dist = solver, particle.DistGrid
+			c.Resort, c.TrackMovement = method == "B", false
+			stats := mustRun(c).Steps
 			ser := Fig8Series{Solver: solver, Method: method}
 			for i, st := range stats {
 				if i == 0 {
@@ -221,7 +241,10 @@ func Fig9(cfg Config, solver string, rankList []int) []Fig9Point {
 		c.Ranks = p
 		pt := Fig9Point{Ranks: p}
 		for _, variant := range []string{"A", "B", "Bmv"} {
-			stats, _, _ := runMD(c, solver, particle.DistGrid, variant != "A", variant == "Bmv")
+			cc := c
+			cc.Solver, cc.Dist = solver, particle.DistGrid
+			cc.Resort, cc.TrackMovement = variant != "A", variant == "Bmv"
+			stats := mustRun(cc).Steps
 			sum := 0.0
 			for _, st := range stats {
 				sum += st.Total

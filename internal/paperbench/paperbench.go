@@ -16,6 +16,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/mdsim"
 	"repro/internal/netmodel"
+	"repro/internal/obs"
 	"repro/internal/particle"
 	"repro/internal/vmpi"
 )
@@ -72,6 +73,17 @@ type Config struct {
 	// compress the same distribution drift into fewer steps for
 	// scaled-down runs (0 reproduces the paper's v0 = 0).
 	Thermal float64
+	// Solver selects the solver method ("fmm" or "p2nfft").
+	Solver string
+	// Dist is the initial particle distribution.
+	Dist particle.Dist
+	// Resort selects redistribution method B; TrackMovement additionally
+	// feeds the integrator's maximum-movement bound to the solver (§III-B).
+	Resort        bool
+	TrackMovement bool
+	// Trace records every point-to-point message into the run's event log
+	// (Result.Events), enabling comm-matrix and timeline exports.
+	Trace bool
 }
 
 // DefaultConfig returns a laptop-scale configuration that reproduces the
@@ -201,12 +213,61 @@ func runStatsFromValues(values []any) []api.RunStats {
 	return values[0].(rankResult).runStats
 }
 
-// runMD runs an MD simulation and returns the per-step phase breakdown.
-// Index 0 is the initial interaction computation (Fig. 3 line 5); indices
-// 1..Steps are the time steps. The second return value digests the final
-// particle state over all ranks; the third is rank 0's per-step coupling
-// instrumentation, aligned with the phase breakdown.
-func runMD(cfg Config, solver string, dist particle.Dist, resort, track bool) ([]StepStat, string, []api.RunStats) {
+// Result carries everything a single benchmark run produces.
+type Result struct {
+	// Steps is the per-step phase breakdown, max-reduced over ranks. Index
+	// 0 is the initial interaction computation (Fig. 3 line 5); indices
+	// 1..Steps are the MD time steps.
+	Steps []StepStat
+	// RunStats is rank 0's per-step coupling instrumentation, derived from
+	// the observability event stream (api.RunStatsFromEvents): which
+	// exchange strategy each solver run actually used, whether the movement
+	// heuristic's fast path applied, and whether a neighborhood exchange or
+	// the method B capacity contract fell back. Entry i describes the
+	// solver run behind Steps[i].
+	RunStats []api.RunStats
+	// Digest is a hex digest of the final particle state (positions,
+	// charges, potentials, fields, velocities, and accelerations of every
+	// rank, in rank order). The determinism tests use it to assert that
+	// host-level worker-pool parallelism leaves the physics bit-identical.
+	Digest string
+	// Events is the run's complete observability log: phase spans,
+	// collectives, counters, and — when Config.Trace is set — every
+	// point-to-point message. Exporters (obs.WriteChromeTrace,
+	// obs.WriteMetrics) consume it directly.
+	Events *obs.Log
+}
+
+// RunMarker names the gauge event Run emits on every rank immediately
+// before each solver run (the initial solve and each MD step), so event-log
+// consumers can slice a run's timeline per step. Its value is the step
+// index, 0 being the initial solve.
+const RunMarker = "paperbench/run"
+
+// Run executes the benchmark described by cfg. It is the single entry
+// point behind Figures 6–9, the wall-clock benchmarks, and the
+// observability exports: Steps == 0 measures exactly one solver run (the
+// Fig. 6 configuration), Steps > 0 runs the MD loop of Figs. 7–9.
+func Run(cfg Config) (Result, error) {
+	if cfg.Particles <= 0 {
+		return Result{}, fmt.Errorf("paperbench: particle count %d must be positive", cfg.Particles)
+	}
+	if cfg.Ranks <= 0 {
+		return Result{}, fmt.Errorf("paperbench: rank count %d must be positive", cfg.Ranks)
+	}
+	if cfg.Machine.Model == nil {
+		return Result{}, fmt.Errorf("paperbench: config has no machine model")
+	}
+	known := false
+	for _, m := range core.Methods() {
+		if m == cfg.Solver {
+			known = true
+		}
+	}
+	if !known {
+		return Result{}, fmt.Errorf("paperbench: %w %q (have %v)", core.ErrUnknownMethod, cfg.Solver, core.Methods())
+	}
+
 	s := particle.SilicaMelt(cfg.Particles, cfg.side(), true, cfg.Seed)
 	if cfg.Thermal > 0 {
 		particle.Thermalize(s, cfg.Thermal, cfg.Seed+2)
@@ -215,19 +276,19 @@ func runMD(cfg Config, solver string, dist particle.Dist, resort, track bool) ([
 		Ranks:        cfg.Ranks,
 		Model:        cfg.Machine.Model(cfg.Ranks),
 		ComputeScale: cfg.Machine.ComputeScale,
+		Trace:        cfg.Trace,
 	}, func(c *vmpi.Comm) {
-		l := particle.Distribute(c, s, dist, cfg.Seed+1)
-		h, err := core.Init(solver, c)
+		l := particle.Distribute(c, s, cfg.Dist, cfg.Seed+1)
+		h, err := core.Init(cfg.Solver, c,
+			core.WithBox(s.Box),
+			core.WithAccuracy(cfg.Accuracy),
+			core.WithResort(cfg.Resort),
+		)
 		if err != nil {
 			panic(err)
 		}
-		if err := h.SetCommon(s.Box); err != nil {
-			panic(err)
-		}
-		h.SetAccuracy(cfg.Accuracy)
-		h.SetResortEnabled(resort)
 		sim := mdsim.New(c, h, l, cfg.Dt)
-		sim.TrackMovement = track
+		sim.TrackMovement = cfg.TrackMovement
 
 		var deltas []stepDelta
 		var runStats []api.RunStats
@@ -237,6 +298,7 @@ func runMD(cfg Config, solver string, dist particle.Dist, resort, track bool) ([
 			}
 		}
 		prev := phaseSnapshot(c)
+		c.Gauge(RunMarker, 0)
 		if err := sim.Init(); err != nil {
 			panic(err)
 		}
@@ -245,6 +307,7 @@ func runMD(cfg Config, solver string, dist particle.Dist, resort, track bool) ([
 		prev = cur
 		capture()
 		for i := 0; i < cfg.Steps; i++ {
+			c.Gauge(RunMarker, float64(i+1))
 			if err := sim.Step(); err != nil {
 				panic(err)
 			}
@@ -255,38 +318,50 @@ func runMD(cfg Config, solver string, dist particle.Dist, resort, track bool) ([
 		}
 		c.SetResult(rankResult{deltas: deltas, digest: stateDigest(l), runStats: runStats})
 	})
-	return reduceSteps(st.Values), combineDigests(st.Values), runStatsFromValues(st.Values)
+	return Result{
+		Steps:    reduceSteps(st.Values),
+		RunStats: runStatsFromValues(st.Values),
+		Digest:   combineDigests(st.Values),
+		Events:   st.Events,
+	}, nil
 }
 
-// runOnce performs a single solver run (no MD) and returns its phase
-// breakdown — the Fig. 6 measurement.
-func runOnce(cfg Config, solver string, dist particle.Dist) StepStat {
-	s := particle.SilicaMelt(cfg.Particles, cfg.side(), true, cfg.Seed)
-	st := vmpi.Run(vmpi.Config{
-		Ranks:        cfg.Ranks,
-		Model:        cfg.Machine.Model(cfg.Ranks),
-		ComputeScale: cfg.Machine.ComputeScale,
-	}, func(c *vmpi.Comm) {
-		l := particle.Distribute(c, s, dist, cfg.Seed+1)
-		h, err := core.Init(solver, c)
-		if err != nil {
-			panic(err)
+// ObsConfig returns the canonical observability run: the Fig. 9 torus
+// steady state (p2nfft on the Juqueen-like machine, process-grid
+// distribution, method B with movement tracking) with message tracing
+// enabled. The golden trace/metrics exports and the determinism tests all
+// derive from this one configuration.
+func ObsConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Ranks = 16
+	cfg.Steps = 5
+	cfg.Dt = 0.025
+	cfg.Thermal = 2.5
+	cfg.Machine = Juqueen()
+	cfg.Solver = "p2nfft"
+	cfg.Dist = particle.DistGrid
+	cfg.Resort = true
+	cfg.TrackMovement = true
+	cfg.Trace = true
+	return cfg
+}
+
+// LastRunLog slices out each rank's events after its final RunMarker gauge
+// — the steady-state tail of a Run (the last solver run), where the
+// movement heuristic has settled and method B's exchange footprint is at
+// its neighborhood minimum.
+func LastRunLog(l *obs.Log) *obs.Log {
+	out := &obs.Log{ByRank: make([][]obs.Event, len(l.ByRank))}
+	for r, evs := range l.ByRank {
+		start := 0
+		for i, e := range evs {
+			if e.Kind == obs.KindGauge && e.Name == RunMarker {
+				start = i + 1
+			}
 		}
-		if err := h.SetCommon(s.Box); err != nil {
-			panic(err)
-		}
-		h.SetAccuracy(cfg.Accuracy)
-		if err := h.Tune(l.N, l.ActivePos(), l.ActiveQ()); err != nil {
-			panic(err)
-		}
-		prev := phaseSnapshot(c)
-		n := l.N
-		if err := h.Run(&n, l.Cap, l.Pos, l.Q, l.Pot, l.Field); err != nil {
-			panic(err)
-		}
-		c.SetResult(rankResult{deltas: []stepDelta{phaseSnapshot(c).minus(prev)}})
-	})
-	return reduceSteps(st.Values)[0]
+		out.ByRank[r] = evs[start:]
+	}
+	return out
 }
 
 // Solvers lists the two solver methods in presentation order.
@@ -295,36 +370,4 @@ func Solvers() []string { return []string{"fmm", "p2nfft"} }
 // fmtSeconds renders a virtual time like the paper's log axes.
 func fmtSeconds(v float64) string {
 	return fmt.Sprintf("%10.3e", v)
-}
-
-// RunSingle exposes the Fig. 6 measurement (one solver run) for benchmarks.
-func RunSingle(cfg Config, solver string, dist particle.Dist) StepStat {
-	return runOnce(cfg, solver, dist)
-}
-
-// RunSimulation exposes the MD-loop measurement (Figs. 7–9) for benchmarks:
-// it returns the per-step phase breakdown, index 0 being the initial solve.
-func RunSimulation(cfg Config, solver string, dist particle.Dist, resort, track bool) []StepStat {
-	stats, _, _ := runMD(cfg, solver, dist, resort, track)
-	return stats
-}
-
-// RunSimulationStats is RunSimulation plus rank 0's per-step coupling
-// instrumentation (api.RunStats): which exchange strategy each solver run
-// actually used, whether the movement heuristic's fast path applied, and
-// whether a neighborhood exchange or the method B capacity contract fell
-// back. Entry i describes the solver run of step stat i.
-func RunSimulationStats(cfg Config, solver string, dist particle.Dist, resort, track bool) ([]StepStat, []api.RunStats) {
-	stats, _, rs := runMD(cfg, solver, dist, resort, track)
-	return stats, rs
-}
-
-// RunSimulationDigest is RunSimulation plus a hex digest of the final
-// particle state (positions, charges, potentials, fields, velocities, and
-// accelerations of every rank, in rank order). The determinism tests use it
-// to assert that host-level worker-pool parallelism leaves both the virtual
-// timings and the physics bit-identical.
-func RunSimulationDigest(cfg Config, solver string, dist particle.Dist, resort, track bool) ([]StepStat, string) {
-	stats, digest, _ := runMD(cfg, solver, dist, resort, track)
-	return stats, digest
 }

@@ -19,7 +19,13 @@ func TestFig9TorusSteadyStateNeighborhood(t *testing.T) {
 	cfg.Dt = 0.025
 	cfg.Thermal = 2.5
 	cfg.Machine = Juqueen()
-	_, rs := RunSimulationStats(cfg, "p2nfft", particle.DistGrid, true, true)
+	cfg.Solver, cfg.Dist = "p2nfft", particle.DistGrid
+	cfg.Resort, cfg.TrackMovement = true, true
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := res.RunStats
 	if len(rs) != cfg.Steps+1 {
 		t.Fatalf("expected %d per-run stats, got %d", cfg.Steps+1, len(rs))
 	}
@@ -48,7 +54,13 @@ func TestFig9SwitchedSteadyStateMergeSort(t *testing.T) {
 	cfg.Steps = 3
 	cfg.Dt = 0.025
 	cfg.Thermal = 2.5
-	_, rs := RunSimulationStats(cfg, "fmm", particle.DistGrid, true, true)
+	cfg.Solver, cfg.Dist = "fmm", particle.DistGrid
+	cfg.Resort, cfg.TrackMovement = true, true
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := res.RunStats
 	if len(rs) != cfg.Steps+1 {
 		t.Fatalf("expected %d per-run stats, got %d", cfg.Steps+1, len(rs))
 	}
@@ -68,7 +80,13 @@ func TestFig9SwitchedSteadyStateMergeSort(t *testing.T) {
 func TestRunStatsElementCounts(t *testing.T) {
 	cfg := testConfig()
 	cfg.Steps = 2
-	_, rs := RunSimulationStats(cfg, "fmm", particle.DistGrid, true, true)
+	cfg.Solver, cfg.Dist = "fmm", particle.DistGrid
+	cfg.Resort, cfg.TrackMovement = true, true
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := res.RunStats
 	for i, st := range rs {
 		if st.Moved+st.Kept == 0 {
 			t.Errorf("run %d: no elements counted (stats %+v)", i, st)

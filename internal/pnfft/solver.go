@@ -355,6 +355,7 @@ func (s *Solver) buildItems(in Input) (items []pRec, targets []int) {
 		}
 	}
 	c.Compute(costs.CellAssign * float64(in.N))
+	c.Gauge("pnfft/ghosts", float64(len(items)-in.N))
 	return items, targets
 }
 

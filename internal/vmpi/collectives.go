@@ -8,6 +8,8 @@ package vmpi
 // All collectives must be called by every rank of the communicator in the
 // same program order (SPMD discipline), as with MPI.
 
+import "repro/internal/obs"
+
 // Reserved internal tags. User point-to-point tags must be non-negative.
 const (
 	tagBarrier = -1
@@ -47,9 +49,21 @@ func Min[T Number](a, b T) T {
 	return b
 }
 
+// collSpan brackets a base collective with a span event in the stream:
+// call at entry, invoke the returned function (typically deferred) at
+// exit. The span [entry, exit] on each rank includes the rank's wait time
+// inside the operation.
+func collSpan(c *Comm, kind obs.Kind, name string) func() {
+	t0 := c.st.clock
+	return func() {
+		c.st.rec.Record(obs.Event{Kind: kind, Name: name, T: t0, T2: c.st.clock})
+	}
+}
+
 // Barrier blocks until all ranks of the communicator have entered it, using
 // the dissemination algorithm (log2(p) rounds of point-to-point messages).
 func Barrier(c *Comm) {
+	defer collSpan(c, obs.KindBarrier, "barrier")()
 	p := c.Size()
 	for k := 1; k < p; k <<= 1 {
 		Send(c, []byte{}, (c.rank+k)%p, tagBarrier)
@@ -60,6 +74,7 @@ func Barrier(c *Comm) {
 // Bcast distributes root's data to all ranks using a binomial tree and
 // returns the received slice (root returns data unchanged).
 func Bcast[T any](c *Comm, data []T, root int) []T {
+	defer collSpan(c, obs.KindCollective, "bcast")()
 	p := c.Size()
 	if p == 1 {
 		return data
@@ -89,6 +104,7 @@ func Bcast[T any](c *Comm, data []T, root int) []T {
 // commutative and associative) down a binomial tree; the combined slice is
 // returned on root, nil elsewhere.
 func Reduce[T any](c *Comm, data []T, op func(a, b T) T, root int) []T {
+	defer collSpan(c, obs.KindCollective, "reduce")()
 	p := c.Size()
 	acc := copySlice(data)
 	rel := (c.rank - root + p) % p
@@ -136,6 +152,7 @@ func AllreduceVal[T any](c *Comm, v T, op func(a, b T) T) T {
 // GatherBlocks collects each rank's (variable-length) slice on root. Root
 // receives a slice of blocks indexed by source rank; other ranks get nil.
 func GatherBlocks[T any](c *Comm, data []T, root int) [][]T {
+	defer collSpan(c, obs.KindCollective, "gather")()
 	p := c.Size()
 	if c.rank != root {
 		Send(c, data, root, tagGather)
@@ -164,6 +181,7 @@ func Gather[T any](c *Comm, data []T, root int) []T {
 // ScatterBlocks distributes blocks[r] from root to each rank r and returns
 // the local block. Only root's blocks argument is consulted.
 func ScatterBlocks[T any](c *Comm, blocks [][]T, root int) []T {
+	defer collSpan(c, obs.KindCollective, "scatter")()
 	p := c.Size()
 	if c.rank == root {
 		if len(blocks) != p {
@@ -186,6 +204,7 @@ func ScatterBlocks[T any](c *Comm, blocks [][]T, root int) []T {
 // rank using the ring algorithm (p-1 neighbor exchange steps). The result is
 // indexed by source rank.
 func AllgatherBlocks[T any](c *Comm, data []T) [][]T {
+	defer collSpan(c, obs.KindCollective, "allgather")()
 	p := c.Size()
 	blocks := make([][]T, p)
 	blocks[c.rank] = copySlice(data)
@@ -213,6 +232,7 @@ func Allgather[T any](c *Comm, data []T) []T {
 // pairwise exchange algorithm (p-1 rounds). The result is indexed by source
 // rank; block lengths may differ arbitrarily (MPI_Alltoallv semantics).
 func Alltoall[T any](c *Comm, parts [][]T) [][]T {
+	defer collSpan(c, obs.KindCollective, "alltoall")()
 	p := c.Size()
 	if len(parts) != p {
 		panic("vmpi: Alltoall needs one part per rank")
@@ -236,6 +256,7 @@ func Alltoall[T any](c *Comm, parts [][]T) [][]T {
 // receiving ranks would then alias each other's memory. Virtual cost is
 // identical to Alltoall.
 func AlltoallOwned[T any](c *Comm, parts [][]T) [][]T {
+	defer collSpan(c, obs.KindCollective, "alltoall")()
 	p := c.Size()
 	if len(parts) != p {
 		panic("vmpi: AlltoallOwned needs one part per rank")
@@ -254,6 +275,7 @@ func AlltoallOwned[T any](c *Comm, parts [][]T) [][]T {
 // Scan computes the inclusive prefix reduction of equal-length slices in
 // rank order (linear chain).
 func Scan[T any](c *Comm, data []T, op func(a, b T) T) []T {
+	defer collSpan(c, obs.KindCollective, "scan")()
 	acc := copySlice(data)
 	if c.rank > 0 {
 		prev := Recv[T](c, c.rank-1, tagScan)
@@ -270,6 +292,7 @@ func Scan[T any](c *Comm, data []T, op func(a, b T) T) []T {
 // Exscan computes the exclusive prefix reduction of equal-length slices in
 // rank order; rank 0 receives zero values.
 func Exscan[T any](c *Comm, data []T, op func(a, b T) T) []T {
+	defer collSpan(c, obs.KindCollective, "exscan")()
 	var prev []T
 	if c.rank > 0 {
 		prev = Recv[T](c, c.rank-1, tagScan)

@@ -3,6 +3,8 @@ package vmpi
 import (
 	"fmt"
 	"unsafe"
+
+	"repro/internal/obs"
 )
 
 // Point-to-point communication.
@@ -123,11 +125,11 @@ func sendRaw(c *Comm, payload any, bytes, dst, tag int) {
 		bytes:   bytes,
 		payload: payload,
 	})
-	if c.rt.traceEvents != nil {
-		c.rt.traceEvents[srcW] = append(c.rt.traceEvents[srcW], TraceEvent{
-			From: srcW, To: dstW, Tag: tag, Bytes: bytes,
-			SendTime: start, ArriveTime: arrive,
-			Phase: c.st.currentPhase,
+	if c.rt.traceMsgs {
+		c.st.rec.Record(obs.Event{
+			Kind: obs.KindSend, Name: c.st.currentPhase,
+			Peer: dstW, Tag: tag, Bytes: bytes,
+			T: start, T2: arrive,
 		})
 	}
 }
@@ -143,6 +145,13 @@ func recvRaw(c *Comm, src, tag int) *message {
 		c.st.clock = m.arrive
 	}
 	c.st.clock += recvOverhead
+	if c.rt.traceMsgs {
+		c.st.rec.Record(obs.Event{
+			Kind: obs.KindArrive, Name: c.st.currentPhase,
+			Peer: c.world(src), Bytes: m.bytes,
+			T: m.arrive, T2: c.st.clock,
+		})
+	}
 	return m
 }
 

@@ -1,11 +1,15 @@
 package vmpi
 
+import "repro/internal/obs"
+
 // Communication tracing. When enabled in the Config, every point-to-point
-// message (including those underlying collectives) is recorded. Traces feed
-// the communication-matrix analyses used by the ablation benchmarks: they
+// message (including those underlying collectives) is recorded as send
+// events in the unified obs stream; Trace is the legacy per-sender view
+// derived from those events after the run. Traces feed the
+// communication-matrix analyses used by the ablation benchmarks: they
 // show, for example, how method B's steady state shrinks the all-to-all
 // exchange to a neighborhood pattern. Each sender appends only to its own
-// slice, so tracing needs no locking and stays deterministic.
+// event buffer, so tracing needs no locking and stays deterministic.
 
 // TraceEvent records one message.
 type TraceEvent struct {
@@ -80,6 +84,26 @@ func (t *Trace) TotalBytes() int64 {
 type Trace struct {
 	// BySender holds each rank's sent messages in send order.
 	BySender [][]TraceEvent
+}
+
+// traceFromLog derives the legacy Trace view from the event stream: every
+// KindSend event becomes one TraceEvent under its sending world rank, in
+// the rank's append (= send) order.
+func traceFromLog(l *obs.Log) *Trace {
+	t := &Trace{BySender: make([][]TraceEvent, l.Ranks())}
+	for r, evs := range l.ByRank {
+		for _, e := range evs {
+			if e.Kind != obs.KindSend {
+				continue
+			}
+			t.BySender[r] = append(t.BySender[r], TraceEvent{
+				From: e.Rank, To: e.Peer, Tag: e.Tag, Bytes: e.Bytes,
+				SendTime: e.T, ArriveTime: e.T2,
+				Phase: e.Name,
+			})
+		}
+	}
+	return t
 }
 
 // Events returns all events, grouped by sender, flattened in rank order.

@@ -31,8 +31,10 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/netmodel"
+	"repro/internal/obs"
 )
 
 // Fixed per-message CPU overheads in seconds (the "o" of the LogP family).
@@ -179,6 +181,9 @@ type rankState struct {
 	msgsSent     int64
 	splitSeq     int64
 	result       any
+	// rec is the rank's append-only observability buffer; all phase,
+	// collective, message, and counter events of the rank flow into it.
+	rec *obs.Buffer
 }
 
 // Runtime is a virtual machine of n ranks connected by a network model.
@@ -190,8 +195,12 @@ type Runtime struct {
 	// computeScale multiplies all Compute charges, modelling slower or
 	// faster cores (e.g. Blue Gene/Q A2 vs. Xeon).
 	computeScale float64
-	// traceEvents, when non-nil, records every message per sender rank.
-	traceEvents [][]TraceEvent
+	// obsBufs holds the per-world-rank observability buffers (always
+	// allocated; phase/collective/counter events are always recorded).
+	obsBufs []*obs.Buffer
+	// traceMsgs additionally records every point-to-point message into the
+	// event stream (Config.Trace) — the high-volume part of the stream.
+	traceMsgs bool
 	// deadlock tracks blocked/finished ranks for deadlock detection.
 	deadlock deadlockState
 }
@@ -221,8 +230,13 @@ type Stats struct {
 	// Values holds each rank's result value (whatever the rank function
 	// stored via Comm.SetResult), indexed by rank.
 	Values []any
-	// Trace holds the communication record when Config.Trace was set.
+	// Trace holds the communication record when Config.Trace was set. It
+	// is a pure view derived from Events (the send events of the stream).
 	Trace *Trace
+	// Events is the run's full observability log: per-rank append-ordered
+	// phase, collective, barrier, counter/gauge — and, when Config.Trace
+	// is set, message — events.
+	Events *obs.Log
 }
 
 // MaxClock returns the maximum final clock — the virtual wall-clock time of
@@ -308,13 +322,19 @@ func Run(cfg Config, f func(c *Comm)) *Stats {
 		boxes:        make([]*mailbox, n),
 		state:        make([]*rankState, n),
 		computeScale: scale,
+		obsBufs:      make([]*obs.Buffer, n),
+		traceMsgs:    cfg.Trace,
 	}
+	// Wall-clock stamps are injected here so the obs package itself never
+	// reads the clock (it is part of the determinism-analyzer hot set);
+	// exporters that must be byte-deterministic ignore the wall stamps.
+	epoch := time.Now()
+	wall := func() int64 { return time.Since(epoch).Nanoseconds() }
 	for i := range rt.boxes {
 		rt.boxes[i] = newMailbox()
-		rt.state[i] = &rankState{phases: map[string]float64{}}
-	}
-	if cfg.Trace {
-		rt.traceEvents = make([][]TraceEvent, n)
+		rt.obsBufs[i] = obs.NewBuffer(i)
+		rt.obsBufs[i].SetWallClock(wall)
+		rt.state[i] = &rankState{phases: map[string]float64{}, rec: rt.obsBufs[i]}
 	}
 	rt.deadlock.waitingOn = make([]string, n)
 	rt.deadlock.isBlocked = make([]bool, n)
@@ -371,8 +391,9 @@ func Run(cfg Config, f func(c *Comm)) *Stats {
 		st.MessagesSent[r] = s.msgsSent
 		st.Values[r] = s.result
 	}
-	if rt.traceEvents != nil {
-		st.Trace = &Trace{BySender: rt.traceEvents}
+	st.Events = obs.NewLog(rt.obsBufs)
+	if cfg.Trace {
+		st.Trace = traceFromLog(st.Events)
 	}
 	return st
 }
@@ -425,22 +446,27 @@ func (c *Comm) Model() netmodel.Model { return c.rt.model }
 // Stats.Values. Typically used by tests and the benchmark harness.
 func (c *Comm) SetResult(v any) { c.st.result = v }
 
-// AddPhase accumulates dt seconds into the named phase timer.
+// AddPhase accumulates dt seconds into the named phase timer and emits a
+// synthesized phase-end span [now-dt, now] into the event stream (the
+// phase timers in Stats.Phases are an aggregate view of these spans).
 func (c *Comm) AddPhase(name string, dt float64) {
 	if dt < 0 {
 		// Clock deltas are always non-negative; guard against misuse.
 		panic(fmt.Sprintf("vmpi: negative phase time for %q", name))
 	}
 	c.st.phases[name] += dt
+	c.st.rec.Record(obs.Event{Kind: obs.KindPhaseEnd, Name: name, T: c.st.clock - dt, T2: c.st.clock})
 }
 
 // Phase runs f and accumulates the elapsed virtual time into the named
-// phase timer. While f runs, messages sent by this rank are attributed to
-// the phase in traces; nested phases attribute to the innermost name.
+// phase timer, bracketing it with phase-begin/phase-end events in the
+// stream. While f runs, messages sent by this rank are attributed to the
+// phase in traces; nested phases attribute to the innermost name.
 func (c *Comm) Phase(name string, f func()) {
 	prev := c.st.currentPhase
 	c.st.currentPhase = name
 	t0 := c.st.clock
+	c.st.rec.Record(obs.Event{Kind: obs.KindPhaseBegin, Name: name, T: t0})
 	f()
 	c.AddPhase(name, c.st.clock-t0)
 	c.st.currentPhase = prev
@@ -450,9 +476,27 @@ func (c *Comm) Phase(name string, f func()) {
 // rank.
 func (c *Comm) PhaseTime(name string) float64 { return c.st.phases[name] }
 
-// ResetPhases clears all phase timers on this rank.
+// ResetPhases clears all phase timers on this rank. The event stream is
+// append-only and unaffected.
 func (c *Comm) ResetPhases() {
 	c.st.phases = map[string]float64{}
+}
+
+// Obs returns the rank's observability buffer: the append-only event
+// stream of phases, collectives, messages, and counters. It must only be
+// used from the rank's goroutine; its Len is usable as a mark for Since.
+func (c *Comm) Obs() *obs.Buffer { return c.st.rec }
+
+// Counter emits a named counter increment at the current virtual time.
+// Counters do not advance the clock; cross-rank totals are summed from the
+// event log after the run.
+func (c *Comm) Counter(name string, v float64) {
+	c.st.rec.Record(obs.Event{Kind: obs.KindCounter, Name: name, Value: v, T: c.st.clock})
+}
+
+// Gauge emits a named point sample at the current virtual time.
+func (c *Comm) Gauge(name string, v float64) {
+	c.st.rec.Record(obs.Event{Kind: obs.KindGauge, Name: name, Value: v, T: c.st.clock})
 }
 
 // Split partitions the communicator: ranks supplying the same color form a

@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-json vet lint debugtest golden check
+.PHONY: all build test race bench bench-json vet lint debugtest golden golden-par check
 
 all: build
 
@@ -24,9 +24,12 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' .
 
-# Regenerates the wall-clock + virtual-seconds report for Figures 6-9.
+# Regenerates the wall-clock + virtual-seconds report for Figures 6-9 and
+# prints (and checks in) the delta against the BENCH_1.json baseline taken
+# before the kernel plan caches and the experiment scheduler. Virtual
+# seconds must not move; wall-clock is the host-performance result.
 bench-json:
-	$(GO) run ./cmd/paperbench -bench-json BENCH_1.json
+	$(GO) run ./cmd/paperbench -bench-json BENCH_2.json -bench-baseline BENCH_1.json | tee BENCH_DELTA.txt
 
 vet:
 	$(GO) vet ./...
@@ -48,13 +51,35 @@ debugtest:
 # The same invocation exports the canonical observability run (the Fig. 9
 # torus steady state) as a Chrome trace timeline and a metrics dump; the
 # export notices go to stderr, so stdout stays byte-stable.
+#
+# JOBS is the experiment scheduler's worker count (paperbench -j). The
+# figure bytes are identical at any value — golden-par proves it by
+# diffing a -j 1 run against a -j 8 run — so golden runs parallel by
+# default and only wall-clock time depends on the host.
+JOBS ?= 8
+
 golden:
-	$(GO) run ./cmd/paperbench -fig all -particles 6000 -ranks 8 -ranks-list 2,4,8,16 \
+	$(GO) run ./cmd/paperbench -fig all -particles 6000 -ranks 8 -ranks-list 2,4,8,16 -j $(JOBS) \
 		-trace-out obs_trace.json -metrics-out obs_metrics.txt > paperbench_output.got.txt
 	diff -u paperbench_output.txt paperbench_output.got.txt
 	rm -f paperbench_output.got.txt
 
 golden-update:
-	$(GO) run ./cmd/paperbench -fig all -particles 6000 -ranks 8 -ranks-list 2,4,8,16 > paperbench_output.txt
+	$(GO) run ./cmd/paperbench -fig all -particles 6000 -ranks 8 -ranks-list 2,4,8,16 -j $(JOBS) > paperbench_output.txt
+
+# Serial-vs-parallel byte identity: the canonical invocation at -j 1 and
+# -j 8 must produce identical stdout, trace, and metrics bytes (and match
+# the checked-in baseline).
+golden-par:
+	$(GO) run ./cmd/paperbench -fig all -particles 6000 -ranks 8 -ranks-list 2,4,8,16 -j 1 \
+		-trace-out obs_trace.j1.json -metrics-out obs_metrics.j1.txt > paperbench_output.j1.txt
+	$(GO) run ./cmd/paperbench -fig all -particles 6000 -ranks 8 -ranks-list 2,4,8,16 -j 8 \
+		-trace-out obs_trace.j8.json -metrics-out obs_metrics.j8.txt > paperbench_output.j8.txt
+	diff -u paperbench_output.j1.txt paperbench_output.j8.txt
+	diff -u obs_trace.j1.json obs_trace.j8.json
+	diff -u obs_metrics.j1.txt obs_metrics.j8.txt
+	diff -u paperbench_output.txt paperbench_output.j1.txt
+	rm -f paperbench_output.j1.txt paperbench_output.j8.txt \
+		obs_trace.j1.json obs_trace.j8.json obs_metrics.j1.txt obs_metrics.j8.txt
 
 check: build vet lint test debugtest race golden

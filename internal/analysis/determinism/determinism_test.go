@@ -22,3 +22,11 @@ func TestCouplingHotPackage(t *testing.T) {
 func TestObsHotPackage(t *testing.T) {
 	analysistest.Run(t, "testdata/src", determinism.Analyzer, "obshot")
 }
+
+func TestSchedHotPackage(t *testing.T) {
+	analysistest.Run(t, "testdata/src", determinism.Analyzer, "schedhot")
+}
+
+func TestFFTHotPackage(t *testing.T) {
+	analysistest.Run(t, "testdata/src", determinism.Analyzer, "ffthot")
+}

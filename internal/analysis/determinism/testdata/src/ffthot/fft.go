@@ -1,0 +1,35 @@
+// Package fft (fixture) exercises the hot-package scope of the
+// determinism analyzer for the spectral kernels: matching is by package
+// name, so this stands in for repro/internal/fft. The plan cache feeds
+// twiddle and permutation tables into bit-identical butterflies, so plan
+// construction may not depend on iteration order or wall time.
+package fft
+
+import (
+	"sort"
+	"time"
+)
+
+// planViolations: pre-warming cached plans through an unordered map walk
+// builds tables in a nondeterministic order, and timing plan construction
+// reads the wall clock on the hot path.
+func planViolations(cache map[int][]complex128) {
+	for n, tab := range cache { // want `map iteration order is nondeterministic in a hot path`
+		_ = n
+		_ = tab
+	}
+	_ = time.Now() // want `time.Now reads the wall clock`
+}
+
+// warmSorted is the accepted idiom (negative case): collect the cached
+// sizes with a single append, sort, then build in that order.
+func warmSorted(cache map[int][]complex128, build func(n int)) {
+	var sizes []int
+	for n := range cache {
+		sizes = append(sizes, n)
+	}
+	sort.Ints(sizes)
+	for _, n := range sizes {
+		build(n)
+	}
+}

@@ -1,0 +1,39 @@
+// Package sched (fixture) exercises the hot-package scope of the
+// determinism analyzer for the experiment scheduler: matching is by
+// package name, so this stands in for repro/internal/sched. The scheduler
+// promises byte-identical collected output at any worker count, so it must
+// not read the wall clock itself (callers inject a clock closure), must
+// not hand out work through racing atomics, and must not walk maps in a
+// nondeterministic order.
+package sched
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// dispatchViolations: stamping jobs with the scheduler's own clock reads
+// wall time on the hot path, and claiming job indices through a racing
+// counter makes the assignment schedule-dependent.
+func dispatchViolations(next *int64, pending map[int]func()) {
+	start := time.Now()            // want `time.Now reads the wall clock`
+	_ = time.Since(start)          // want `time.Since reads the wall clock`
+	_ = atomic.AddInt64(next, 1)   // want `sync/atomic in a hot path`
+	for id, job := range pending { // want `map iteration order is nondeterministic in a hot path`
+		_ = id
+		job()
+	}
+}
+
+// feedInOrder is the accepted idiom (negative case): indices flow through
+// a channel in submission order and timing comes from an injected clock.
+func feedInOrder(n int, now func() int64, run func(i int, t int64)) {
+	feed := make(chan int, n)
+	for i := 0; i < n; i++ {
+		feed <- i
+	}
+	close(feed)
+	for i := range feed {
+		run(i, now())
+	}
+}

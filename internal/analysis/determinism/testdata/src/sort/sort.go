@@ -3,3 +3,4 @@ package sort
 
 func Strings(x []string)                    {}
 func Slice(x any, less func(i, j int) bool) {}
+func Ints(x []int)                          {}

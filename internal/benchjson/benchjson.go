@@ -36,6 +36,10 @@ type Host struct {
 	GOARCH     string `json:"goarch"`
 	NumCPU     int    `json:"num_cpu"`
 	GOMAXPROCS int    `json:"gomaxprocs"`
+	// Workers is the experiment scheduler's worker count (the paperbench
+	// -j value). It changes the wall-clock numbers only; every virtual-
+	// second metric is identical at any worker count.
+	Workers int `json:"workers"`
 }
 
 // Config echoes the experiment parameters the report was generated with.
@@ -50,9 +54,14 @@ type Config struct {
 // Figure is one figure's measurements: the host wall-clock time to produce
 // it and its virtual-second metrics.
 type Figure struct {
-	Name        string   `json:"name"`
-	WallSeconds float64  `json:"wall_seconds"`
-	Metrics     []Metric `json:"metrics"`
+	Name        string  `json:"name"`
+	WallSeconds float64 `json:"wall_seconds"`
+	// Jobs is the number of experiments (virtual machine runs) the figure
+	// scheduled; QueueSeconds is the summed host time those jobs spent
+	// waiting for a worker and a host-compute budget unit.
+	Jobs         int      `json:"jobs"`
+	QueueSeconds float64  `json:"queue_seconds"`
+	Metrics      []Metric `json:"metrics"`
 }
 
 // Metric is a single virtual-second value, named by a stable
@@ -70,6 +79,7 @@ func hostInfo() Host {
 		GOARCH:     runtime.GOARCH,
 		NumCPU:     runtime.NumCPU(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Workers:    paperbench.Jobs(),
 	}
 }
 
@@ -103,12 +113,17 @@ func Collect(base paperbench.Config, rankList []int, stepScale float64) *Report 
 	}
 
 	timed := func(name string, run func() []Metric) {
+		paperbench.TakeJobStats() // discard stats from before this figure
 		start := time.Now()
 		metrics := run()
+		wall := time.Since(start).Seconds()
+		st := paperbench.TakeJobStats()
 		rep.Figures = append(rep.Figures, Figure{
-			Name:        name,
-			WallSeconds: time.Since(start).Seconds(),
-			Metrics:     metrics,
+			Name:         name,
+			WallSeconds:  wall,
+			Jobs:         st.Jobs,
+			QueueSeconds: st.QueueSeconds,
+			Metrics:      metrics,
 		})
 	}
 

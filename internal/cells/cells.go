@@ -26,13 +26,26 @@ type Grid struct {
 // lying just outside a subdomain. It panics if the region is degenerate or
 // cutoff is not positive.
 func Build(pos []float64, n int, lo, hi [3]float64, cutoff float64) *Grid {
+	g := &Grid{}
+	g.Rebuild(pos, n, lo, hi, cutoff)
+	return g
+}
+
+// Rebuild re-bins a (possibly different) particle set into the grid,
+// reusing the grid's head/next/cellOf allocations when their capacity
+// suffices. Region, cutoff, and particle count may all change between
+// rebuilds; the resulting grid is identical to a freshly Built one, so
+// solvers can keep one grid per subdomain across time steps instead of
+// allocating a new one every step. The same validation as Build applies.
+func (g *Grid) Rebuild(pos []float64, n int, lo, hi [3]float64, cutoff float64) {
 	if cutoff <= 0 {
 		panic("cells: cutoff must be positive")
 	}
 	if len(pos) < 3*n {
 		panic(fmt.Sprintf("cells: %d positions for %d particles", len(pos)/3, n))
 	}
-	g := &Grid{lo: lo, hi: hi, particle: n}
+	g.lo, g.hi = lo, hi
+	g.particle = n
 	total := 1
 	for d := 0; d < 3; d++ {
 		ext := hi[d] - lo[d]
@@ -46,19 +59,27 @@ func Build(pos []float64, n int, lo, hi [3]float64, cutoff float64) *Grid {
 		g.inv[d] = float64(g.n[d]) / ext
 		total *= g.n[d]
 	}
-	g.head = make([]int, total)
+	g.head = growInts(g.head, total)
 	for i := range g.head {
 		g.head[i] = -1
 	}
-	g.next = make([]int, n)
-	g.cellOf = make([]int, n)
+	g.next = growInts(g.next, n)
+	g.cellOf = growInts(g.cellOf, n)
 	for i := 0; i < n; i++ {
 		ci := g.cellIndex(pos[3*i], pos[3*i+1], pos[3*i+2])
 		g.cellOf[i] = ci
 		g.next[i] = g.head[ci]
 		g.head[ci] = i
 	}
-	return g
+}
+
+// growInts resizes an int scratch slice, reallocating only on capacity
+// growth; contents are unspecified.
+func growInts(buf []int, n int) []int {
+	if cap(buf) >= n {
+		return buf[:n]
+	}
+	return make([]int, n)
 }
 
 // Dims returns the number of cells per dimension.

@@ -12,9 +12,16 @@ import (
 // transform every rank owns a block of y-planes of the spectrum. The
 // transpose between the two layouts is a collective all-to-all — the
 // communication pattern that dominates parallel FFTs.
+//
+// A Slab doubles as the rank's FFT compute plan: it holds the reusable
+// transpose work buffer, so repeated transforms (the solver calls Forward
+// once and Inverse four times per far-field evaluation, every step) stop
+// allocating. Like a vmpi.Comm, a Slab is bound to its rank's goroutine.
 type Slab struct {
 	c          *vmpi.Comm
 	Nx, Ny, Nz int
+
+	work []complex128 // reusable pre-transpose staging buffer (Inverse)
 }
 
 // NewSlab creates a slab FFT plan over the communicator. Dimensions must be
@@ -54,10 +61,28 @@ func (s *Slab) LocalYSize() int {
 	return hi - lo
 }
 
+// grow returns buf resized to n elements, reallocating only when the
+// capacity is insufficient. Contents are unspecified; callers overwrite
+// every element.
+func grow(buf []complex128, n int) []complex128 {
+	if cap(buf) >= n {
+		return buf[:n]
+	}
+	return make([]complex128, n)
+}
+
 // Forward transforms a real-space x-slab a (flat [lx][Ny][Nz], row-major)
 // into the fully transformed spectrum in y-slab layout (flat [ly][Nx][Nz]).
-// Every rank must call it collectively.
+// Every rank must call it collectively. The result is freshly allocated;
+// ForwardInto reuses a caller buffer instead.
 func (s *Slab) Forward(a []complex128) []complex128 {
+	return s.ForwardInto(nil, a)
+}
+
+// ForwardInto is Forward writing its result into dst (grown as needed; pass
+// nil to allocate) and returning it. a is transformed in place before the
+// transpose, as before.
+func (s *Slab) ForwardInto(dst, a []complex128) []complex128 {
 	lx := s.LocalXSize()
 	if len(a) != lx*s.Ny*s.Nz {
 		panic("fft: slab input size mismatch")
@@ -68,11 +93,12 @@ func (s *Slab) Forward(a []complex128) []complex128 {
 	}
 	s.c.Compute(float64(lx) * (float64(s.Ny)*costs.FFTTime(s.Nz) + float64(s.Nz)*costs.FFTTime(s.Ny)))
 
-	b := s.transposeXtoY(a)
+	b := s.transposeXtoY(dst, a)
 
 	// FFT along x for every (y, z) of the owned y-slab.
 	ly := s.LocalYSize()
-	col := make([]complex128, s.Nx)
+	sb := getScratch(s.Nx)
+	col := sb.buf
 	for y := 0; y < ly; y++ {
 		for z := 0; z < s.Nz; z++ {
 			for x := 0; x < s.Nx; x++ {
@@ -84,20 +110,30 @@ func (s *Slab) Forward(a []complex128) []complex128 {
 			}
 		}
 	}
+	putScratch(sb)
 	s.c.Compute(float64(ly) * float64(s.Nz) * costs.FFTTime(s.Nx))
 	return b
 }
 
 // Inverse transforms a spectrum in y-slab layout back to real space in
-// x-slab layout, including normalization.
+// x-slab layout, including normalization. The input is left untouched and
+// the result is freshly allocated; InverseInto reuses a caller buffer.
 func (s *Slab) Inverse(b []complex128) []complex128 {
+	return s.InverseInto(nil, b)
+}
+
+// InverseInto is Inverse writing its result into dst (grown as needed; pass
+// nil to allocate) and returning it.
+func (s *Slab) InverseInto(dst, b []complex128) []complex128 {
 	ly := s.LocalYSize()
 	if len(b) != ly*s.Nx*s.Nz {
 		panic("fft: slab spectrum size mismatch")
 	}
-	work := make([]complex128, len(b))
+	s.work = grow(s.work, len(b))
+	work := s.work
 	copy(work, b)
-	col := make([]complex128, s.Nx)
+	sb := getScratch(s.Nx)
+	col := sb.buf
 	for y := 0; y < ly; y++ {
 		for z := 0; z < s.Nz; z++ {
 			for x := 0; x < s.Nx; x++ {
@@ -109,9 +145,10 @@ func (s *Slab) Inverse(b []complex128) []complex128 {
 			}
 		}
 	}
+	putScratch(sb)
 	s.c.Compute(float64(ly) * float64(s.Nz) * costs.FFTTime(s.Nx))
 
-	a := s.transposeYtoX(work)
+	a := s.transposeYtoX(dst, work)
 
 	lx := s.LocalXSize()
 	for x := 0; x < lx; x++ {
@@ -121,16 +158,31 @@ func (s *Slab) Inverse(b []complex128) []complex128 {
 	return a
 }
 
+// part returns an empty per-destination send buffer with a power-of-two
+// capacity ≥ want, so the receiving rank's release hands it back to the
+// message-buffer pool.
+func part(want int) []complex128 {
+	c := 1
+	for c < want {
+		c <<= 1
+	}
+	return make([]complex128, 0, c)
+}
+
 // transposeXtoY redistributes from x-slabs [lx][Ny][Nz] to y-slabs
-// [ly][Nx][Nz] with one all-to-all.
-func (s *Slab) transposeXtoY(a []complex128) []complex128 {
+// [ly][Nx][Nz] with one all-to-all, scattering into dst (grown as needed).
+// The per-destination buffers are freshly built and relinquished to the
+// all-to-all (zero-copy), and the received blocks are released back to the
+// message pool after scattering — message sizes and virtual cost are
+// exactly those of the copying version.
+func (s *Slab) transposeXtoY(dst, a []complex128) []complex128 {
 	c := s.c
 	p := c.Size()
 	myXLo, myXHi := s.XRange(c.Rank())
 	parts := make([][]complex128, p)
 	for r := 0; r < p; r++ {
 		yLo, yHi := s.YRange(r)
-		part := make([]complex128, 0, (myXHi-myXLo)*(yHi-yLo)*s.Nz)
+		part := part((myXHi - myXLo) * (yHi - yLo) * s.Nz)
 		for x := 0; x < myXHi-myXLo; x++ {
 			for y := yLo; y < yHi; y++ {
 				row := a[(x*s.Ny+y)*s.Nz : (x*s.Ny+y+1)*s.Nz]
@@ -139,10 +191,10 @@ func (s *Slab) transposeXtoY(a []complex128) []complex128 {
 		}
 		parts[r] = part
 	}
-	recv := vmpi.Alltoall(c, parts)
+	recv := vmpi.AlltoallOwned(c, parts)
 	myYLo, myYHi := s.YRange(c.Rank())
 	ly := myYHi - myYLo
-	b := make([]complex128, ly*s.Nx*s.Nz)
+	b := grow(dst, ly*s.Nx*s.Nz)
 	for r := 0; r < p; r++ {
 		xLo, xHi := s.XRange(r)
 		blk := recv[r]
@@ -158,12 +210,13 @@ func (s *Slab) transposeXtoY(a []complex128) []complex128 {
 			}
 		}
 	}
+	vmpi.ReleaseBlocks(recv)
 	c.Compute(costs.Move * float64(len(b)) * 2)
 	return b
 }
 
 // transposeYtoX is the inverse redistribution.
-func (s *Slab) transposeYtoX(b []complex128) []complex128 {
+func (s *Slab) transposeYtoX(dst, b []complex128) []complex128 {
 	c := s.c
 	p := c.Size()
 	myYLo, myYHi := s.YRange(c.Rank())
@@ -171,7 +224,7 @@ func (s *Slab) transposeYtoX(b []complex128) []complex128 {
 	parts := make([][]complex128, p)
 	for r := 0; r < p; r++ {
 		xLo, xHi := s.XRange(r)
-		part := make([]complex128, 0, (xHi-xLo)*ly*s.Nz)
+		part := part((xHi - xLo) * ly * s.Nz)
 		for x := xLo; x < xHi; x++ {
 			for y := 0; y < ly; y++ {
 				row := b[(y*s.Nx+x)*s.Nz : (y*s.Nx+x+1)*s.Nz]
@@ -180,10 +233,10 @@ func (s *Slab) transposeYtoX(b []complex128) []complex128 {
 		}
 		parts[r] = part
 	}
-	recv := vmpi.Alltoall(c, parts)
+	recv := vmpi.AlltoallOwned(c, parts)
 	myXLo, myXHi := s.XRange(c.Rank())
 	lx := myXHi - myXLo
-	a := make([]complex128, lx*s.Ny*s.Nz)
+	a := grow(dst, lx*s.Ny*s.Nz)
 	for r := 0; r < p; r++ {
 		yLo, yHi := s.YRange(r)
 		blk := recv[r]
@@ -199,6 +252,7 @@ func (s *Slab) transposeYtoX(b []complex128) []complex128 {
 			}
 		}
 	}
+	vmpi.ReleaseBlocks(recv)
 	c.Compute(costs.Move * float64(len(a)) * 2)
 	return a
 }

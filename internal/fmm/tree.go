@@ -532,6 +532,29 @@ func (e *Engine) nearLeaf(lr leafRange, pot, field []float64) (own, gh int) {
 		}
 	}
 	sort.Slice(earlier, func(a, b int) bool { return earlier[a].key < earlier[b].key })
+	// Hoist the later-neighbor range lookups out of the particle loop: the
+	// binary search and ghost-map probe per neighbor are invariant across the
+	// leaf's particles. The action list preserves the exact gather order —
+	// for each neighbor in Neighbors3 order, the owned range (keys above
+	// ours) then the ghost range — so every particle accumulates in the same
+	// sequence as the inline lookups did.
+	type nearRange struct {
+		ghost  bool
+		lo, hi int
+	}
+	var later []nearRange
+	for _, nb := range nbs {
+		if nb > lr.key {
+			if rr, ok := e.findLeaf(0, nb); ok {
+				later = append(later, nearRange{false, rr.lo, rr.hi})
+			}
+		}
+		// Ghosts in the neighbor box (including the same key: a leaf
+		// split across processes).
+		if gr, ok := e.gleaves[nb]; ok {
+			later = append(later, nearRange{true, gr[0], gr[1]})
+		}
+	}
 	for i := lr.lo; i < lr.hi; i++ {
 		for _, rr := range earlier {
 			own += e.gatherOwned(i, rr.lo, rr.hi, pot, field)
@@ -539,16 +562,11 @@ func (e *Engine) nearLeaf(lr leafRange, pot, field []float64) (own, gh int) {
 		// Own box: the j == i term has zero displacement and is skipped, so
 		// this is exactly "rows before i, then row i" of the pair loops.
 		own += e.gatherOwned(i, lr.lo, lr.hi, pot, field)
-		for _, nb := range nbs {
-			if nb > lr.key {
-				if rr, ok := e.findLeaf(0, nb); ok {
-					own += e.gatherOwned(i, rr.lo, rr.hi, pot, field)
-				}
-			}
-			// Ghosts in the neighbor box (including the same key: a leaf
-			// split across processes).
-			if gr, ok := e.gleaves[nb]; ok {
-				gh += e.gatherGhost(i, gr[0], gr[1], pot, field)
+		for _, a := range later {
+			if a.ghost {
+				gh += e.gatherGhost(i, a.lo, a.hi, pot, field)
+			} else {
+				own += e.gatherOwned(i, a.lo, a.hi, pot, field)
 			}
 		}
 	}

@@ -26,21 +26,14 @@ import (
 	"sync/atomic"
 )
 
-// helperSlots bounds the number of extra worker goroutines that exist
-// across all concurrent For calls in the process. Every rank goroutine of
-// the virtual machine may enter a parallel section at the same time; the
-// semaphore keeps the total worker count near the host's core count instead
-// of multiplying the two. Acquisition is non-blocking — a For call that
-// finds no free slot simply runs on its caller, so the semaphore can never
-// deadlock nested or concurrent sections.
-var helperSlots = make(chan struct{}, maxInt(runtime.NumCPU()-1, 1))
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}
+// Extra worker goroutines for concurrent For calls are bounded by the
+// process-wide host-compute budget (governor.go), shared with the
+// experiment scheduler. Every rank goroutine of the virtual machine may
+// enter a parallel section at the same time — and under the scheduler,
+// several whole experiments run at once — so one shared pool keeps the
+// total worker count near the host's core count instead of multiplying the
+// layers. Acquisition here is non-blocking: a For call that finds no free
+// unit simply runs on its caller, so parallel sections can never deadlock.
 
 // Tiles returns the number of grain-sized tiles covering [0, n). It depends
 // only on n and grain.
@@ -101,22 +94,19 @@ func For(n, grain int, fn func(lo, hi int)) {
 		want = tiles - 1
 	}
 	var wg sync.WaitGroup
-spawn:
 	for i := 0; i < want; i++ {
-		select {
-		case helperSlots <- struct{}{}:
-			wg.Add(1)
-			go func() {
-				defer func() {
-					<-helperSlots
-					wg.Done()
-				}()
-				work()
-			}()
-		default:
-			// No free host core: the caller handles the remaining tiles.
-			break spawn
+		if !shared.TryAcquire() {
+			// No free budget unit: the caller handles the remaining tiles.
+			break
 		}
+		wg.Add(1)
+		go func() {
+			defer func() {
+				shared.Release()
+				wg.Done()
+			}()
+			work()
+		}()
 	}
 	work()
 	wg.Wait()

@@ -32,21 +32,33 @@ type Fig6Row struct {
 
 // Fig6 measures total runtimes and runtimes for sorting and restoring the
 // particles for both solvers under the three initial distributions (single
-// process, random, process grid), using method A.
+// process, random, process grid), using method A. Each solver×distribution
+// cell is an independent experiment scheduled on the shared worker pool;
+// rows come back in the nested-loop order regardless of completion order.
 func Fig6(cfg Config) []Fig6Row {
-	var rows []Fig6Row
+	type key struct {
+		solver string
+		dist   particle.Dist
+	}
+	var keys []key
+	var cfgs []Config
 	for _, solver := range Solvers() {
 		for _, dist := range []particle.Dist{particle.DistSingle, particle.DistRandom, particle.DistGrid} {
 			c := cfg
 			c.Solver, c.Dist = solver, dist
 			c.Steps, c.Thermal = 0, 0 // one solver run, paper's v0 = 0
 			c.Resort, c.TrackMovement = false, false
-			st := mustRun(c).Steps[0]
-			rows = append(rows, Fig6Row{
-				Solver: solver, Dist: dist,
-				Total: st.Total, Sort: st.Sort, Restor: st.Restore,
-			})
+			keys = append(keys, key{solver, dist})
+			cfgs = append(cfgs, c)
 		}
+	}
+	var rows []Fig6Row
+	for i, res := range runConfigs(cfgs) {
+		st := res.Steps[0]
+		rows = append(rows, Fig6Row{
+			Solver: keys[i].solver, Dist: keys[i].dist,
+			Total: st.Total, Sort: st.Sort, Restor: st.Restore,
+		})
 	}
 	return rows
 }
@@ -81,25 +93,32 @@ type StepVal = float64
 // both solvers and both methods, reporting the per-step redistribution and
 // total runtimes (paper Fig. 7: initial particles plus the first 8 steps).
 func Fig7(cfg Config) []Fig7Series {
-	var out []Fig7Series
+	type key struct{ solver, method string }
+	var keys []key
+	var cfgs []Config
 	for _, solver := range Solvers() {
 		for _, method := range []string{"A", "B"} {
 			c := cfg
 			c.Solver, c.Dist = solver, particle.DistRandom
 			c.Resort, c.TrackMovement = method == "B", false
-			stats := mustRun(c).Steps
-			ser := Fig7Series{Solver: solver, Method: method}
-			for _, st := range stats {
-				ser.Sort = append(ser.Sort, st.Sort)
-				if method == "A" {
-					ser.Second = append(ser.Second, st.Restore)
-				} else {
-					ser.Second = append(ser.Second, st.Resort)
-				}
-				ser.Total = append(ser.Total, st.Total)
-			}
-			out = append(out, ser)
+			keys = append(keys, key{solver, method})
+			cfgs = append(cfgs, c)
 		}
+	}
+	var out []Fig7Series
+	for i, res := range runConfigs(cfgs) {
+		solver, method := keys[i].solver, keys[i].method
+		ser := Fig7Series{Solver: solver, Method: method}
+		for _, st := range res.Steps {
+			ser.Sort = append(ser.Sort, st.Sort)
+			if method == "A" {
+				ser.Second = append(ser.Second, st.Restore)
+			} else {
+				ser.Second = append(ser.Second, st.Resort)
+			}
+			ser.Total = append(ser.Total, st.Total)
+		}
+		out = append(out, ser)
 	}
 	return out
 }
@@ -163,29 +182,36 @@ type Fig8Series struct {
 // distribution. As particles drift away from the initial decomposition,
 // method A's redistribution cost grows while method B's stays flat.
 func Fig8(cfg Config) []Fig8Series {
-	var out []Fig8Series
+	type key struct{ solver, method string }
+	var keys []key
+	var cfgs []Config
 	for _, solver := range Solvers() {
 		for _, method := range []string{"A", "B"} {
 			c := cfg
 			c.Solver, c.Dist = solver, particle.DistGrid
 			c.Resort, c.TrackMovement = method == "B", false
-			stats := mustRun(c).Steps
-			ser := Fig8Series{Solver: solver, Method: method}
-			for i, st := range stats {
-				if i == 0 {
-					continue // Fig. 8 plots time steps only
-				}
-				second := st.Restore
-				if method == "B" {
-					second = st.Resort
-				}
-				ser.Sort = append(ser.Sort, st.Sort)
-				ser.Second = append(ser.Second, second)
-				ser.Redist = append(ser.Redist, st.Sort+second)
-				ser.Total = append(ser.Total, st.Total)
-			}
-			out = append(out, ser)
+			keys = append(keys, key{solver, method})
+			cfgs = append(cfgs, c)
 		}
+	}
+	var out []Fig8Series
+	for k, res := range runConfigs(cfgs) {
+		solver, method := keys[k].solver, keys[k].method
+		ser := Fig8Series{Solver: solver, Method: method}
+		for i, st := range res.Steps {
+			if i == 0 {
+				continue // Fig. 8 plots time steps only
+			}
+			second := st.Restore
+			if method == "B" {
+				second = st.Resort
+			}
+			ser.Sort = append(ser.Sort, st.Sort)
+			ser.Second = append(ser.Second, second)
+			ser.Redist = append(ser.Redist, st.Sort+second)
+			ser.Total = append(ser.Total, st.Total)
+		}
+		out = append(out, ser)
 	}
 	return out
 }
@@ -235,18 +261,24 @@ type Fig9Point struct {
 // Fig9 sweeps rank counts for one solver on one machine, running the full
 // MD loop and summing total solver time over all steps.
 func Fig9(cfg Config, solver string, rankList []int) []Fig9Point {
-	var out []Fig9Point
+	variants := []string{"A", "B", "Bmv"}
+	var cfgs []Config
 	for _, p := range rankList {
-		c := cfg
-		c.Ranks = p
-		pt := Fig9Point{Ranks: p}
-		for _, variant := range []string{"A", "B", "Bmv"} {
-			cc := c
+		for _, variant := range variants {
+			cc := cfg
+			cc.Ranks = p
 			cc.Solver, cc.Dist = solver, particle.DistGrid
 			cc.Resort, cc.TrackMovement = variant != "A", variant == "Bmv"
-			stats := mustRun(cc).Steps
+			cfgs = append(cfgs, cc)
+		}
+	}
+	results := runConfigs(cfgs)
+	var out []Fig9Point
+	for i, p := range rankList {
+		pt := Fig9Point{Ranks: p}
+		for j, variant := range variants {
 			sum := 0.0
-			for _, st := range stats {
+			for _, st := range results[i*len(variants)+j].Steps {
 				sum += st.Total
 			}
 			switch variant {

@@ -1,0 +1,118 @@
+package paperbench
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/hostpar"
+	"repro/internal/obs"
+	"repro/internal/sched"
+)
+
+// The figure functions run their experiments — one vmpi virtual machine per
+// figure row, curve, or sweep point — through the experiment scheduler
+// (internal/sched). Experiments are independent (a Run call shares no
+// mutable state with another), results are collected in submission order,
+// and the assembled figures are byte-identical at any worker count; only
+// the host wall-clock time changes.
+
+// jobWorkers is the scheduler worker count; values below 1 select the
+// shared host-compute budget's capacity. Set once at startup (the
+// paperbench -j flag) before any figure function runs.
+var jobWorkers int
+
+// SetJobs sets how many experiments the figure functions run concurrently
+// (the paperbench -j flag). n below 1 selects the host's core count. The
+// setting affects wall-clock time only; figure output is identical at any
+// value.
+func SetJobs(n int) { jobWorkers = n }
+
+// Jobs returns the effective scheduler worker count: the SetJobs value, or
+// the shared host-compute budget's capacity when none was set.
+func Jobs() int {
+	if jobWorkers >= 1 {
+		return jobWorkers
+	}
+	return hostpar.SharedBudget().Capacity()
+}
+
+// Scheduler metrics are surfaced as obs counter events in a host-side
+// buffer, separate from any virtual machine's event log: per-job host
+// wall-clock quantities must never appear in the golden observability
+// exports, whose bytes may not depend on -j.
+const (
+	// JobCounter counts completed experiment jobs.
+	JobCounter = "sched/jobs"
+	// JobQueueCounter accumulates per-job queueing time (seconds a job
+	// waited for a worker and a host-compute budget unit).
+	JobQueueCounter = "sched/queue_seconds"
+	// JobRunCounter accumulates per-job host run time in seconds.
+	JobRunCounter = "sched/run_seconds"
+)
+
+var (
+	jobStatsMu sync.Mutex
+	jobStats   = obs.NewBuffer(0)
+	jobsMark   int
+	jobsEpoch  = time.Now()
+)
+
+// JobStats aggregates the scheduler's obs counters over a span of figure
+// runs.
+type JobStats struct {
+	// Jobs is the number of experiments completed.
+	Jobs int
+	// QueueSeconds is the summed host time jobs spent queued.
+	QueueSeconds float64
+	// RunSeconds is the summed host time jobs spent running.
+	RunSeconds float64
+}
+
+// TakeJobStats returns the scheduler statistics accumulated since the
+// previous call and advances the mark, so callers can attribute jobs and
+// queueing time to individual figures (benchjson does this per figure).
+func TakeJobStats() JobStats {
+	jobStatsMu.Lock()
+	defer jobStatsMu.Unlock()
+	var st JobStats
+	for _, e := range jobStats.Since(jobsMark) {
+		if e.Kind != obs.KindCounter {
+			continue
+		}
+		switch e.Name {
+		case JobCounter:
+			st.Jobs += int(e.Value)
+		case JobQueueCounter:
+			st.QueueSeconds += e.Value
+		case JobRunCounter:
+			st.RunSeconds += e.Value
+		}
+	}
+	jobsMark = jobStats.Len()
+	return st
+}
+
+// recordJob appends one completed job's metrics as counter events.
+func recordJob(m sched.Metrics) {
+	jobStatsMu.Lock()
+	defer jobStatsMu.Unlock()
+	jobStats.Record(obs.Event{Kind: obs.KindCounter, Name: JobCounter, Value: 1})
+	jobStats.Record(obs.Event{Kind: obs.KindCounter, Name: JobQueueCounter, Value: m.QueueSeconds})
+	jobStats.Record(obs.Event{Kind: obs.KindCounter, Name: JobRunCounter, Value: m.RunSeconds})
+}
+
+// runConfigs executes one experiment per configuration on the scheduler and
+// returns the results in configuration order. The scheduler itself never
+// reads the clock; paperbench injects a monotonic one here.
+func runConfigs(cfgs []Config) []Result {
+	jobs := make([]func() Result, len(cfgs))
+	for i, c := range cfgs {
+		c := c
+		jobs[i] = func() Result { return mustRun(c) }
+	}
+	return sched.Run(sched.Options{
+		Workers: jobWorkers,
+		Now:     func() int64 { return time.Since(jobsEpoch).Nanoseconds() },
+		OnDone:  recordJob,
+	}, jobs)
+}

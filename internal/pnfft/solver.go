@@ -46,6 +46,14 @@ type Solver struct {
 
 	slab      *fft.Slab
 	slabOwner []int // mesh x-plane -> owning rank
+	// far caches the geometry-derived far-field tables and scratch
+	// (farplan.go); rebuilt lazily after each Tune.
+	far *farPlan
+	// Near-field scratch reused across time steps: the linked-cell grid and
+	// the packed position/charge arrays.
+	nearGrid *cells.Grid
+	nearPos  []float64
+	nearQ    []float64
 	// pipe is the solver-agnostic run pipeline (internal/coupling): it owns
 	// the movement heuristic, the sort-phase timing, the method A/B
 	// delivery tails, and the steady-state tracking.
@@ -152,6 +160,7 @@ func (s *Solver) Tune(in Input) error {
 			s.slabOwner[x] = r
 		}
 	}
+	s.far = nil // geometry may have changed; rebuild the far-field plan lazily
 	s.pipe.Reset()
 	return nil
 }
@@ -281,6 +290,9 @@ func (s *Solver) buildItems(in Input) (items []pRec, targets []int) {
 		rank       int
 		sx, sy, sz int8
 	}
+	// At most one ghost per 3³−1 neighbor offset, so dedup runs over a
+	// fixed-size array instead of a freshly allocated per-particle map.
+	var seen [26]ghostKey
 	for i := 0; i < in.N; i++ {
 		x, y, z := in.Pos[3*i], in.Pos[3*i+1], in.Pos[3*i+2]
 		x, y, z = s.box.Wrap(x, y, z)
@@ -298,7 +310,7 @@ func (s *Solver) buildItems(in Input) (items []pRec, targets []int) {
 			hi[d] = s.box.Offset[d] + fh[d]*L[d]
 		}
 		pos := [3]float64{x, y, z}
-		seen := map[ghostKey]bool{}
+		nSeen := 0
 		for dx := -1; dx <= 1; dx++ {
 			for dy := -1; dy <= 1; dy++ {
 				for dz := -1; dz <= 1; dz++ {
@@ -340,10 +352,18 @@ func (s *Solver) buildItems(in Input) (items []pRec, targets []int) {
 					}
 					nbRank := s.rankOfCoords(nbCoords)
 					gk := ghostKey{rank: nbRank, sx: signOf(shift[0]), sy: signOf(shift[1]), sz: signOf(shift[2])}
-					if seen[gk] {
+					dup := false
+					for k := 0; k < nSeen; k++ {
+						if seen[k] == gk {
+							dup = true
+							break
+						}
+					}
+					if dup {
 						continue
 					}
-					seen[gk] = true
+					seen[nSeen] = gk
+					nSeen++
 					items = append(items, pRec{
 						Origin: redist.Invalid,
 						X:      x + shift[0], Y: y + shift[1], Z: z + shift[2],
@@ -397,8 +417,9 @@ func (s *Solver) nearField(own, ghosts []pRec, pot, field []float64) {
 	if nAll == 0 {
 		return
 	}
-	pos := make([]float64, 3*nAll)
-	q := make([]float64, nAll)
+	s.nearPos = growF(s.nearPos, 3*nAll)
+	s.nearQ = growF(s.nearQ, nAll)
+	pos, q := s.nearPos, s.nearQ
 	for i, r := range own {
 		pos[3*i], pos[3*i+1], pos[3*i+2], q[i] = r.X, r.Y, r.Z, r.Q
 	}
@@ -411,7 +432,11 @@ func (s *Solver) nearField(own, ghosts []pRec, pot, field []float64) {
 		lo[d] -= s.RCut
 		hi[d] += s.RCut
 	}
-	grid := cells.Build(pos, nAll, lo, hi, s.RCut)
+	if s.nearGrid == nil {
+		s.nearGrid = &cells.Grid{}
+	}
+	s.nearGrid.Rebuild(pos, nAll, lo, hi, s.RCut)
+	grid := s.nearGrid
 	c.Compute(costs.CellAssign * float64(nAll))
 
 	a := s.Alpha
@@ -471,22 +496,33 @@ func (s *Solver) farField(own []pRec, pot, field []float64) {
 	L := s.box.Lengths()[0]
 	h := float64(n) / L // mesh points per unit length
 
+	if s.far == nil {
+		s.far = s.buildFarPlan()
+	}
+	fp := s.far
+
 	// 1. Charge assignment into the local grown block. Particle tiles
 	// scatter into private partial blocks on host workers; the partials are
 	// reduced into the block in tile index order, so the result is
 	// independent of GOMAXPROCS. Mesh points no particle touches stay
 	// exactly zero in every tile, so the sparsity pattern sent to the slab
 	// owners in step 2 is unchanged.
-	lo, hi := s.meshRegion()
-	bx, by, bz := hi[0]-lo[0], hi[1]-lo[1], hi[2]-lo[2]
-	block := make([]float64, bx*by*bz)
+	lo := fp.lo
+	bx, by, bz := fp.bx, fp.by, fp.bz
+	fp.block = growF(fp.block, bx*by*bz)
+	block := fp.block
+	zeroF(block)
 	nTiles := hostpar.Tiles(len(own), asgGrain)
-	tileBlocks := make([][]float64, nTiles)
+	for len(fp.tileBlocks) < nTiles {
+		fp.tileBlocks = append(fp.tileBlocks, nil)
+	}
+	tileBlocks := fp.tileBlocks
 	hostpar.ForTiles(len(own), asgGrain, func(t, plo, phi int) {
 		tb := block
 		if nTiles > 1 {
-			tb = make([]float64, bx*by*bz)
+			tb = growF(tileBlocks[t], bx*by*bz)
 			tileBlocks[t] = tb
+			zeroF(tb)
 		}
 		var w [3][]float64
 		for d := range w {
@@ -513,7 +549,7 @@ func (s *Solver) farField(own []pRec, pot, field []float64) {
 		}
 	})
 	if nTiles > 1 {
-		for _, tb := range tileBlocks {
+		for _, tb := range tileBlocks[:nTiles] {
 			for k, v := range tb {
 				block[k] += v
 			}
@@ -543,8 +579,12 @@ func (s *Solver) farField(own []pRec, pot, field []float64) {
 	recv := vmpi.AlltoallOwned(c, parts)
 
 	// 3. Assemble the charge slab and transform.
-	xLo, xHi := s.slab.XRange(c.Rank())
-	rho := make([]complex128, (xHi-xLo)*n*n)
+	xLo, xHi := fp.xLo, fp.xHi
+	fp.rho = growC(fp.rho, (xHi-xLo)*n*n)
+	rho := fp.rho
+	for i := range rho {
+		rho[i] = 0
+	}
 	for _, blk := range recv {
 		for i := 0; i+1 < len(blk); i += 2 {
 			flat := int(blk[i])
@@ -554,32 +594,40 @@ func (s *Solver) farField(own []pRec, pot, field []float64) {
 	}
 	vmpi.ReleaseBlocks(recv)
 	c.Compute(costs.MeshPoint * float64(len(rho)))
-	spec := s.slab.Forward(rho)
+	spec := s.slab.ForwardInto(fp.spec, rho)
+	fp.spec = spec
 
-	// 4. Influence function and ik differentiation.
+	// 4. Influence function (from the plan's table — same values, computed
+	// once per Tune instead of per step) and ik differentiation.
+	fp.phiSpec = growC(fp.phiSpec, len(spec))
+	fp.exSpec = growC(fp.exSpec, len(spec))
+	fp.eySpec = growC(fp.eySpec, len(spec))
+	fp.ezSpec = growC(fp.ezSpec, len(spec))
+	phiSpec, exSpec, eySpec, ezSpec := fp.phiSpec, fp.exSpec, fp.eySpec, fp.ezSpec
 	yLo, _ := s.slab.YRange(c.Rank())
-	phiSpec := make([]complex128, len(spec))
-	exSpec := make([]complex128, len(spec))
-	eySpec := make([]complex128, len(spec))
-	ezSpec := make([]complex128, len(spec))
 	g := 2 * math.Pi / L
 	// The inverse FFT normalizes by 1/n³, but the Ewald reciprocal sum is
 	// an unnormalized sum over modes; compensate here.
 	scale := float64(n) * float64(n) * float64(n)
 	// Every spectral point writes only its own slot, so the loop tiles
-	// freely across host workers with bit-identical results.
+	// freely across host workers with bit-identical results. Zeroed slots
+	// are written in place of the fresh-allocation zeros of the old code.
 	hostpar.For(len(spec), specGrain, func(ilo, ihi int) {
 		for idx := ilo; idx < ihi; idx++ {
+			gInf := fp.infl[idx]
+			if gInf == 0 {
+				phiSpec[idx] = 0
+				exSpec[idx] = 0
+				eySpec[idx] = 0
+				ezSpec[idx] = 0
+				continue
+			}
 			y := idx / (n * n)
 			x := (idx / n) % n
 			z := idx % n
 			my := signedMode(yLo+y, n)
 			mx := signedMode(x, n)
 			mz := signedMode(z, n)
-			gInf := influence(mx, my, mz, n, L, s.Alpha, s.Order)
-			if gInf == 0 {
-				continue
-			}
 			phi := complex(gInf*scale, 0) * spec[idx]
 			phiSpec[idx] = phi
 			// E(k) = −i k φ(k)
@@ -590,52 +638,64 @@ func (s *Solver) farField(own []pRec, pot, field []float64) {
 	})
 	c.Compute(costs.MeshPoint * float64(len(spec)))
 
-	potMesh := s.slab.Inverse(phiSpec)
-	exMesh := s.slab.Inverse(exSpec)
-	eyMesh := s.slab.Inverse(eySpec)
-	ezMesh := s.slab.Inverse(ezSpec)
+	potMesh := s.slab.InverseInto(fp.mesh[0], phiSpec)
+	exMesh := s.slab.InverseInto(fp.mesh[1], exSpec)
+	eyMesh := s.slab.InverseInto(fp.mesh[2], eySpec)
+	ezMesh := s.slab.InverseInto(fp.mesh[3], ezSpec)
+	fp.mesh = [4][]complex128{potMesh, exMesh, eyMesh, ezMesh}
 
-	// 5. Return mesh values needed by each rank's interpolation region.
+	// 5. Return mesh values needed by each rank's interpolation region,
+	// emitted straight from the plan's (flat, local) lists — the same
+	// values in the same order the region scan produced.
 	retParts := make([][]float64, c.Size())
 	for r := 0; r < c.Size(); r++ {
-		rlo, rhi := s.meshRegionOf(r)
-		seen := map[int]bool{}
-		for gx := rlo[0]; gx < rhi[0]; gx++ {
-			wx := wrapIdx(gx, n)
-			if wx < xLo || wx >= xHi {
-				continue
-			}
-			for gy := rlo[1]; gy < rhi[1]; gy++ {
-				wy := wrapIdx(gy, n)
-				for gz := rlo[2]; gz < rhi[2]; gz++ {
-					wz := wrapIdx(gz, n)
-					flat := (wx*n+wy)*n + wz
-					if seen[flat] {
-						continue
-					}
-					seen[flat] = true
-					li := (wx-xLo)*n*n + wy*n + wz
-					retParts[r] = append(retParts[r],
-						float64(flat),
-						real(potMesh[li]), real(exMesh[li]), real(eyMesh[li]), real(ezMesh[li]))
-				}
-			}
+		flats, locs := fp.retFlat[r], fp.retLoc[r]
+		if len(flats) == 0 {
+			continue
 		}
+		part := pow2cap(5 * len(flats))
+		for k, flat := range flats {
+			li := locs[k]
+			part = append(part,
+				float64(flat),
+				real(potMesh[li]), real(exMesh[li]), real(eyMesh[li]), real(ezMesh[li]))
+		}
+		retParts[r] = part
 	}
 	// Freshly built per-destination buffers: relinquish them, no copy.
 	retRecv := vmpi.AlltoallOwned(c, retParts)
-	values := map[int][4]float64{}
-	for _, blk := range retRecv {
+	if !fp.recvBuilt {
+		fp.buildRecvPlan(retRecv, n)
+	}
+	fp.vals = growF(fp.vals, 4*bx*by*bz)
+	vals := fp.vals
+	nvals := 0
+	for sr := range retRecv {
+		blk := retRecv[sr]
+		if len(blk) != fp.recvLen[sr] {
+			panic("pnfft: returned mesh region changed size under a fixed plan")
+		}
+		nvals += len(blk) / 5
+		off, idx := fp.recvOff[sr], fp.recvIdx[sr]
 		for i := 0; i+4 < len(blk); i += 5 {
-			values[int(blk[i])] = [4]float64{blk[i+1], blk[i+2], blk[i+3], blk[i+4]}
+			e := i / 5
+			for _, d := range idx[off[e]:off[e+1]] {
+				vals[4*d] = blk[i+1]
+				vals[4*d+1] = blk[i+2]
+				vals[4*d+2] = blk[i+3]
+				vals[4*d+3] = blk[i+4]
+			}
 		}
 	}
 	vmpi.ReleaseBlocks(retRecv)
-	c.Compute(costs.MeshPoint * float64(len(values)))
+	c.Compute(costs.MeshPoint * float64(nvals))
 
-	// 6. Interpolate back to the owned particles. Each particle writes only
-	// its own output slots and the values map is read-only here, so the
-	// particle tiles run on host workers with bit-identical results.
+	// 6. Interpolate back to the owned particles, reading the dense
+	// grown-block value array (each flat mesh value was scattered to every
+	// grown cell that wraps to it, so the lookup is pure index arithmetic).
+	// Each particle writes only its own output slots and vals is read-only
+	// here, so the particle tiles run on host workers with bit-identical
+	// results.
 	hostpar.For(len(own), asgGrain, func(plo, phi int) {
 		var w [3][]float64
 		for d := range w {
@@ -652,15 +712,11 @@ func (s *Solver) farField(own []pRec, pot, field []float64) {
 				for iy := 0; iy < s.Order; iy++ {
 					for iz := 0; iz < s.Order; iz++ {
 						wt := w[0][ix] * w[1][iy] * w[2][iz]
-						flat := (wrapIdx(base[0]+ix, n)*n+wrapIdx(base[1]+iy, n))*n + wrapIdx(base[2]+iz, n)
-						v, ok := values[flat]
-						if !ok {
-							panic("pnfft: interpolation point missing from returned mesh region")
-						}
-						pot[pi] += wt * v[0]
-						field[3*pi] += wt * v[1]
-						field[3*pi+1] += wt * v[2]
-						field[3*pi+2] += wt * v[3]
+						d := 4 * (((base[0]+ix-lo[0])*by+base[1]+iy-lo[1])*bz + base[2] + iz - lo[2])
+						pot[pi] += wt * vals[d]
+						field[3*pi] += wt * vals[d+1]
+						field[3*pi+1] += wt * vals[d+2]
+						field[3*pi+2] += wt * vals[d+3]
 					}
 				}
 			}

@@ -57,6 +57,16 @@ type Solver struct {
 	box    particle.Box
 	dims   []int
 	params Params
+
+	// Scratch reused across Compute calls (the per-step item, split, and
+	// result staging used to be freshly allocated every step).
+	items   []rec
+	targets []int
+	own     []rec
+	ghosts  []rec
+	apos    []float64
+	results []result
+	grid    *cells.Grid
 }
 
 // New creates a short-range solver on the communicator. The cutoff must fit
@@ -102,8 +112,15 @@ func (s *Solver) Compute(n int, pos, q, pot, force []float64) {
 	L := s.box.Lengths()
 
 	// Build primaries + ghost copies, as in the P2NFFT redistribution.
-	items := make([]rec, 0, n+n/4)
-	targets := make([]int, 0, cap(items))
+	items := s.items[:0]
+	targets := s.targets[:0]
+	type gk struct {
+		rank       int
+		sx, sy, sz int8
+	}
+	// At most one ghost per 3³−1 neighbor offset, so dedup runs over a
+	// fixed-size array instead of a freshly allocated per-particle map.
+	var seen [26]gk
 	for i := 0; i < n; i++ {
 		x, y, z := s.box.Wrap(pos[3*i], pos[3*i+1], pos[3*i+2])
 		owner := particle.GridRank(&s.box, s.dims, x, y, z)
@@ -117,11 +134,7 @@ func (s *Solver) Compute(n int, pos, q, pot, force []float64) {
 			hi[d] = s.box.Offset[d] + fh[d]*L[d]
 		}
 		p3 := [3]float64{x, y, z}
-		type gk struct {
-			rank       int
-			sx, sy, sz int8
-		}
-		seen := map[gk]bool{}
+		nSeen := 0
 		for dx := -1; dx <= 1; dx++ {
 			for dy := -1; dy <= 1; dy++ {
 				for dz := -1; dz <= 1; dz++ {
@@ -163,10 +176,18 @@ func (s *Solver) Compute(n int, pos, q, pot, force []float64) {
 					}
 					nbRank := rankOf(nb, s.dims)
 					key := gk{nbRank, sign(shift[0]), sign(shift[1]), sign(shift[2])}
-					if seen[key] {
+					dup := false
+					for k := 0; k < nSeen; k++ {
+						if seen[k] == key {
+							dup = true
+							break
+						}
+					}
+					if dup {
 						continue
 					}
-					seen[key] = true
+					seen[nSeen] = key
+					nSeen++
 					items = append(items, rec{Origin: redist.Invalid,
 						X: x + shift[0], Y: y + shift[1], Z: z + shift[2], Q: q[i]})
 					targets = append(targets, nbRank)
@@ -175,11 +196,12 @@ func (s *Solver) Compute(n int, pos, q, pot, force []float64) {
 		}
 	}
 	c.Compute(costs.CellAssign * float64(n))
+	s.items, s.targets = items, targets
 
 	recv := redist.Exchange(c, items, redist.ToRank(func(i int) int { return targets[i] }))
 
 	// Split owned / ghosts.
-	var own, ghosts []rec
+	own, ghosts := s.own[:0], s.ghosts[:0]
 	for _, r := range recv {
 		if r.Origin.Valid() {
 			own = append(own, r)
@@ -187,6 +209,7 @@ func (s *Solver) Compute(n int, pos, q, pot, force []float64) {
 			ghosts = append(ghosts, r)
 		}
 	}
+	s.own, s.ghosts = own, ghosts
 
 	// Linked cells over the grown subdomain.
 	coords := coordsOf(c.Rank(), s.dims)
@@ -197,7 +220,8 @@ func (s *Solver) Compute(n int, pos, q, pot, force []float64) {
 		hi[d] = s.box.Offset[d] + fh[d]*L[d] + s.params.Cutoff
 	}
 	nAll := len(own) + len(ghosts)
-	apos := make([]float64, 3*nAll)
+	apos := growFloats(s.apos, 3*nAll)
+	s.apos = apos
 	for i, r := range own {
 		apos[3*i], apos[3*i+1], apos[3*i+2] = r.X, r.Y, r.Z
 	}
@@ -205,12 +229,17 @@ func (s *Solver) Compute(n int, pos, q, pot, force []float64) {
 		i := len(own) + j
 		apos[3*i], apos[3*i+1], apos[3*i+2] = r.X, r.Y, r.Z
 	}
-	results := make([]result, len(own))
-	for i, r := range own {
-		results[i].Origin = r.Origin
+	results := s.results[:0]
+	for _, r := range own {
+		results = append(results, result{Origin: r.Origin})
 	}
+	s.results = results
 	if nAll > 0 {
-		grid := cells.Build(apos, nAll, lo, hi, s.params.Cutoff)
+		if s.grid == nil {
+			s.grid = &cells.Grid{}
+		}
+		s.grid.Rebuild(apos, nAll, lo, hi, s.params.Cutoff)
+		grid := s.grid
 		c.Compute(costs.CellAssign * float64(nAll))
 		rc2 := s.params.Cutoff * s.params.Cutoff
 		pairs := 0
@@ -277,6 +306,15 @@ func rankOf(coords []int, dims []int) int {
 		r = r*dims[d] + coords[d]
 	}
 	return r
+}
+
+// growFloats resizes a scratch slice, reallocating only on capacity growth;
+// contents are unspecified (callers overwrite every element).
+func growFloats(buf []float64, n int) []float64 {
+	if cap(buf) >= n {
+		return buf[:n]
+	}
+	return make([]float64, n)
 }
 
 func sign(v float64) int8 {

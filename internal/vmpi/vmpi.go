@@ -53,15 +53,36 @@ type message struct {
 	payload any
 }
 
-// mailbox holds pending messages for one world rank.
+// mkey is the exact-match key a receive selects on.
+type mkey struct {
+	src int
+	tag int
+	ctx int64
+}
+
+// fifo is one match key's pending messages in arrival order. Consumed slots
+// are nilled and the buffer is reset whenever it drains, so a long-lived key
+// does not accumulate dead heads.
+type fifo struct {
+	head int
+	msgs []*message
+}
+
+// mailbox holds pending messages for one world rank, keyed by the receive
+// match triple. Receives match on the exact (src, tag, ctx) only, and within
+// one key arrival order is the sender's program order, so a per-key FIFO
+// pops precisely the message the old first-match scan of a single arrival
+// queue selected — but take is O(1) in the number of pending messages for
+// other keys. Under a 16-rank all-to-all fan-in the old scan was quadratic:
+// every wake-up rescanned all other senders' pending messages.
 type mailbox struct {
-	mu    sync.Mutex
-	cond  *sync.Cond
-	queue []*message
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queues map[mkey]*fifo
 }
 
 func newMailbox() *mailbox {
-	mb := &mailbox{}
+	mb := &mailbox{queues: map[mkey]*fifo{}}
 	mb.cond = sync.NewCond(&mb.mu)
 	return mb
 }
@@ -70,8 +91,14 @@ func newMailbox() *mailbox {
 // detector: a delivery to a currently blocked rank defers any all-blocked
 // verdict until that rank has rescanned its queue.
 func (mb *mailbox) put(rt *Runtime, dst int, m *message) {
+	k := mkey{src: m.src, tag: m.tag, ctx: m.ctx}
 	mb.mu.Lock()
-	mb.queue = append(mb.queue, m)
+	q := mb.queues[k]
+	if q == nil {
+		q = &fifo{}
+		mb.queues[k] = q
+	}
+	q.msgs = append(q.msgs, m)
 	mb.mu.Unlock()
 	rt.notePut(dst)
 	mb.cond.Broadcast()
@@ -86,14 +113,19 @@ func (mb *mailbox) put(rt *Runtime, dst int, m *message) {
 // then panics with a description of what each rank is waiting for instead
 // of hanging the process.
 func (mb *mailbox) take(rt *Runtime, rank, src, tag int, ctx int64) *message {
+	k := mkey{src: src, tag: tag, ctx: ctx}
 	mb.mu.Lock()
 	defer mb.mu.Unlock()
 	for {
-		for i, m := range mb.queue {
-			if m.src == src && m.tag == tag && m.ctx == ctx {
-				mb.queue = append(mb.queue[:i], mb.queue[i+1:]...)
-				return m
+		if q := mb.queues[k]; q != nil && q.head < len(q.msgs) {
+			m := q.msgs[q.head]
+			q.msgs[q.head] = nil
+			q.head++
+			if q.head == len(q.msgs) {
+				q.head = 0
+				q.msgs = q.msgs[:0]
 			}
+			return m
 		}
 		rt.noteBlocked(rank, src, tag)
 		mb.cond.Wait()

@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-json vet lint debugtest golden golden-par check
+.PHONY: all build test race bench bench-json bench-fig10 vet lint debugtest golden golden-par fig10 golden-bigp golden-bigp-update check
 
 all: build
 
@@ -30,6 +30,18 @@ bench:
 # seconds must not move; wall-clock is the host-performance result.
 bench-json:
 	$(GO) run ./cmd/paperbench -bench-json BENCH_2.json -bench-baseline BENCH_1.json | tee BENCH_DELTA.txt
+
+# Figure 10 extends the strategy comparison to the paper's machine sizes
+# (64 ... 16384 ranks) on the event-driven rank executor; the full sweep
+# takes a few minutes, dominated by the 16384-rank merge-sort cells.
+fig10:
+	$(GO) run ./cmd/paperbench -fig 10
+
+# Writes the per-rank-count benchmark report (wall clock, post-run memory,
+# executor meters) for the Figure 10 sweep. BENCH_3.json is the large-P
+# host-performance baseline the executor work is judged by.
+bench-fig10:
+	$(GO) run ./cmd/paperbench -bench-fig10 BENCH_3.json
 
 vet:
 	$(GO) vet ./...
@@ -82,4 +94,16 @@ golden-par:
 	rm -f paperbench_output.j1.txt paperbench_output.j8.txt \
 		obs_trace.j1.json obs_trace.j8.json obs_metrics.j1.txt obs_metrics.j8.txt
 
-check: build vet lint test debugtest race golden
+# Large-P smoke golden: the 1024-rank Figure 10 point must stay
+# byte-identical to the checked-in baseline. This is the cheap stand-in for
+# the full 64...16384 sweep that gates the event executor at a rank count
+# three orders of magnitude above the Figure 6-9 configurations.
+golden-bigp:
+	$(GO) run ./cmd/paperbench -fig 10 -ranks-list 1024 -j $(JOBS) > paperbench_fig10_1024.got.txt
+	diff -u paperbench_fig10_1024.txt paperbench_fig10_1024.got.txt
+	rm -f paperbench_fig10_1024.got.txt
+
+golden-bigp-update:
+	$(GO) run ./cmd/paperbench -fig 10 -ranks-list 1024 -j $(JOBS) > paperbench_fig10_1024.txt
+
+check: build vet lint test debugtest race golden golden-bigp

@@ -10,6 +10,9 @@
 //	paperbench -fig 9l -ranks-list 2,4,8,16
 //	paperbench -fig all
 //	paperbench -fig all -j 8
+//	paperbench -fig 10
+//	paperbench -fig 10 -ranks-list 64,1024 -engine goroutine
+//	paperbench -bench-fig10 BENCH_3.json
 //	paperbench -bench-json BENCH_1.json
 //	paperbench -bench-json BENCH_2.json -bench-baseline BENCH_1.json
 //	paperbench -fig all -trace-out trace.json -metrics-out metrics.txt
@@ -26,6 +29,13 @@
 // steady state with message tracing) and export its event log as a Chrome
 // trace-event JSON timeline and a Prometheus-style metrics dump. Both
 // notices go to stderr, so figure output on stdout stays byte-stable.
+//
+// -fig 10 is not part of -fig all: it is the large-P redistribution
+// strategy sweep (64 … 16384 virtual ranks by default, see EXPERIMENTS.md)
+// on the event-driven rank executor. -engine switches between the event
+// executor (default) and the legacy goroutine-per-rank machine; output is
+// byte-identical under both. -bench-fig10 writes the sweep's
+// per-rank-count host report (wall clock, memory, executor meters).
 //
 // -j sets how many experiments (virtual machine runs) execute concurrently
 // on the host (default: the core count). Every figure, trace, and metrics
@@ -45,11 +55,12 @@ import (
 	"repro/internal/benchjson"
 	"repro/internal/obs"
 	"repro/internal/paperbench"
+	"repro/internal/vmpi"
 )
 
 func main() {
 	var (
-		fig       = flag.String("fig", "all", "figure to regenerate: 6, 7, 8, 9l, 9r, or all")
+		fig       = flag.String("fig", "all", "figure to regenerate: 6, 7, 8, 9l, 9r, 10, or all (all = the paper's 6-9)")
 		particles = flag.Int("particles", 6000, "global particle count (rounded to an even lattice cube)")
 		ranks     = flag.Int("ranks", 8, "virtual MPI ranks")
 		steps     = flag.Int("steps", 0, "MD time steps (0 = figure-specific default)")
@@ -57,8 +68,10 @@ func main() {
 		thermal   = flag.Float64("thermal", -1, "initial thermal velocity scale (-1 = figure-specific default)")
 		accuracy  = flag.Float64("accuracy", 1e-3, "requested solver accuracy")
 		seed      = flag.Int64("seed", 42, "particle system seed")
-		rankListF = flag.String("ranks-list", "2,4,8", "rank counts for figure 9 sweeps")
+		rankListF = flag.String("ranks-list", "2,4,8", "rank counts for the figure 9 and 10 sweeps (figure 10 defaults to 64,256,1024,4096,16384)")
+		engineF   = flag.String("engine", "event", "vmpi rank-execution engine: event or goroutine (output is byte-identical under both)")
 		benchJSON = flag.String("bench-json", "", "write a wall-clock + virtual-seconds benchmark report for all figures to this file and exit")
+		benchF10  = flag.String("bench-fig10", "", "write a figure 10 benchmark report (wall clock, memory, and executor meters per rank count) to this file and exit")
 		stepScale = flag.Float64("step-scale", 1, "scale factor on the per-figure default step counts in -bench-json mode")
 		benchBase = flag.String("bench-baseline", "", "with -bench-json: print a delta report against this baseline benchmark JSON")
 		traceOut  = flag.String("trace-out", "", "write a Chrome trace-event JSON of the canonical observability run to this file")
@@ -102,10 +115,48 @@ func main() {
 		fmt.Fprintf(os.Stderr, "paperbench: bad -ranks-list: %v\n", err)
 		os.Exit(2)
 	}
+	rankListSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "ranks-list" {
+			rankListSet = true
+		}
+	})
+	// Figure 10 targets the paper's machine sizes; the small figure 9
+	// default would not show the scaling story.
+	fig10Ranks := rankList
+	if !rankListSet {
+		fig10Ranks = paperbench.Fig10DefaultRanks()
+	}
+
+	var engine vmpi.Engine
+	switch *engineF {
+	case "event":
+		engine = vmpi.EngineEvent
+	case "goroutine":
+		engine = vmpi.EngineGoroutine
+	default:
+		fmt.Fprintf(os.Stderr, "paperbench: unknown -engine %q (want event or goroutine)\n", *engineF)
+		os.Exit(2)
+	}
+	base.Engine = engine
 
 	if *benchBase != "" && *benchJSON == "" {
 		fmt.Fprintln(os.Stderr, "paperbench: -bench-baseline requires -bench-json")
 		os.Exit(2)
+	}
+
+	if *benchF10 != "" {
+		rep := benchjson.CollectFig10(fig10Ranks, engine)
+		if err := benchjson.WriteFile(rep, *benchF10); err != nil {
+			fmt.Fprintf(os.Stderr, "paperbench: writing %s: %v\n", *benchF10, err)
+			os.Exit(1)
+		}
+		wall := 0.0
+		for _, f := range rep.Figures {
+			wall += f.WallSeconds
+		}
+		fmt.Printf("wrote %s: %d figures, %.2fs wall clock total\n", *benchF10, len(rep.Figures), wall)
+		return
 	}
 
 	if *benchJSON != "" {
@@ -152,6 +203,13 @@ func main() {
 			cfg.Machine = paperbench.Juqueen()
 			pts := paperbench.Fig9(cfg, "p2nfft", rankList)
 			fmt.Print(paperbench.RenderFig9("p2nfft", cfg.Machine.Name, pts))
+		case "10":
+			for _, m := range []paperbench.Machine{paperbench.JuRoPA(), paperbench.Juqueen()} {
+				pts := paperbench.Fig10(m, fig10Ranks, engine)
+				fmt.Print(paperbench.RenderFig10(m.Name, pts))
+				fmt.Println()
+			}
+			return
 		default:
 			fmt.Fprintf(os.Stderr, "paperbench: unknown figure %q\n", which)
 			os.Exit(2)

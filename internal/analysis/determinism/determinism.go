@@ -50,8 +50,11 @@ var Analyzer = &analysis.Analyzer{
 // guarantees figure output is byte-identical at any worker count, so it may
 // not read the clock (callers inject one) or race on shared counters; the
 // fft package's plan cache feeds bit-identical spectral kernels and is held
-// to the same bar.
-var hotPackages = []string{"fmm", "pnfft", "coupling", "obs", "sched", "fft"}
+// to the same bar. The event-driven rank executor (rankexec) schedules the
+// rank bodies themselves — any wall-clock read, racing atomic, or map-order
+// dispatch there could leak the host schedule into execution order, so it
+// is checked in its entirety as well.
+var hotPackages = []string{"fmm", "pnfft", "coupling", "obs", "sched", "fft", "rankexec"}
 
 func run(pass *analysis.Pass) {
 	hot := false

@@ -30,3 +30,7 @@ func TestSchedHotPackage(t *testing.T) {
 func TestFFTHotPackage(t *testing.T) {
 	analysistest.Run(t, "testdata/src", determinism.Analyzer, "ffthot")
 }
+
+func TestRankExecHotPackage(t *testing.T) {
+	analysistest.Run(t, "testdata/src", determinism.Analyzer, "rankexechot")
+}

@@ -1,0 +1,38 @@
+// Package rankexec (fixture) exercises the hot-package scope of the
+// determinism analyzer for the event-driven rank executor: matching is by
+// package name, so this stands in for repro/internal/rankexec. The executor
+// decides which rank runs when; virtual time must still be a pure function
+// of message structure, so the rank-execution path may not read the wall
+// clock, race on atomics, or dispatch from a map walk.
+package rankexec
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// dispatchViolations: stamping grants with wall time, claiming run slots
+// through a racing counter, and waking parked tasks in map order would all
+// make the execution schedule (and anything that leaks from it) depend on
+// the host.
+func dispatchViolations(slots *int64, parked map[int]chan struct{}) {
+	_ = time.Now()                  // want `time.Now reads the wall clock`
+	_ = atomic.AddInt64(slots, 1)   // want `sync/atomic in a hot path`
+	for id, grant := range parked { // want `map iteration order is nondeterministic in a hot path`
+		_ = id
+		close(grant)
+	}
+}
+
+// dispatchFIFO is the accepted idiom (negative case): the runnable queue is
+// a slice drained in arrival order under one mutex-held section, and slot
+// accounting is plain integer arithmetic under the same lock.
+func dispatchFIFO(runQ []int, free *int, grant func(id int)) []int {
+	for len(runQ) > 0 && *free > 0 {
+		id := runQ[0]
+		runQ = runQ[1:]
+		*free--
+		grant(id)
+	}
+	return runQ
+}

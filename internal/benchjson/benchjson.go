@@ -62,6 +62,9 @@ type Figure struct {
 	Jobs         int      `json:"jobs"`
 	QueueSeconds float64  `json:"queue_seconds"`
 	Metrics      []Metric `json:"metrics"`
+	// RankRows carries per-rank-count host measurements for sweep figures
+	// (the Figure 10 reports); empty for Figures 6–9.
+	RankRows []RankRow `json:"rank_rows,omitempty"`
 }
 
 // Metric is a single virtual-second value, named by a stable

@@ -1,0 +1,76 @@
+package obs
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func TestHostBufferTakeAdvancesCursor(t *testing.T) {
+	h := NewHostBuffer()
+	h.Counter("a", 1)
+	h.Counter("b", 2)
+	got := h.Take()
+	if len(got) != 2 {
+		t.Fatalf("first Take returned %d events, want 2", len(got))
+	}
+	if len(h.Take()) != 0 {
+		t.Fatalf("second Take should be empty")
+	}
+	h.Gauge("c", 3)
+	got = h.Take()
+	if len(got) != 1 || got[0].Name != "c" || got[0].Kind != KindGauge {
+		t.Fatalf("third Take = %+v", got)
+	}
+	if h.Len() != 3 {
+		t.Fatalf("Len = %d, want 3 (Take must not discard)", h.Len())
+	}
+}
+
+func TestHostBufferTakeViewStableAcrossAppends(t *testing.T) {
+	h := NewHostBuffer()
+	h.Counter("a", 1)
+	view := h.Take()
+	// Appending after Take must not grow or mutate the taken view, even
+	// when the backing array has spare capacity.
+	h.Counter("b", 2)
+	if len(view) != 1 || view[0].Name != "a" {
+		t.Fatalf("taken view changed after append: %+v", view)
+	}
+}
+
+func TestHostBufferConcurrentRecord(t *testing.T) {
+	h := NewHostBuffer()
+	var wg sync.WaitGroup
+	const writers, each = 8, 100
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				h.Counter("n", 1)
+			}
+		}()
+	}
+	wg.Wait()
+	names, totals := SumCounters(h.Take())
+	if !reflect.DeepEqual(names, []string{"n"}) || totals[0] != writers*each {
+		t.Fatalf("got %v %v, want [n] [%d]", names, totals, writers*each)
+	}
+}
+
+func TestSumCountersFirstAppearanceOrder(t *testing.T) {
+	evs := []Event{
+		{Kind: KindCounter, Name: "z", Value: 1},
+		{Kind: KindCounter, Name: "a", Value: 2},
+		{Kind: KindGauge, Name: "skip", Value: 9},
+		{Kind: KindCounter, Name: "z", Value: 3},
+	}
+	names, totals := SumCounters(evs)
+	if !reflect.DeepEqual(names, []string{"z", "a"}) {
+		t.Fatalf("names = %v (must be first-appearance order)", names)
+	}
+	if !reflect.DeepEqual(totals, []float64{4, 2}) {
+		t.Fatalf("totals = %v", totals)
+	}
+}

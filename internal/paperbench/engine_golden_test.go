@@ -1,0 +1,100 @@
+package paperbench
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/vmpi"
+)
+
+// TestFiguresByteIdenticalAcrossEngines is the engine-equivalence gate: the
+// figure tables, the Chrome trace export, and the metrics export must be
+// byte-identical whether the virtual machines run on the event-driven rank
+// executor or the goroutine-per-rank machine. It is the engine counterpart
+// of TestFiguresByteIdenticalAcrossWorkers — any divergence means rank
+// execution order leaked into virtual time, message payloads, or the event
+// log.
+func TestFiguresByteIdenticalAcrossEngines(t *testing.T) {
+	base := DefaultConfig()
+	base.Particles = 1728
+	base.Ranks = 4
+	base.Steps = 2
+	base.Accuracy = 1e-2
+	base.Thermal = 2.5
+
+	render := func(engine vmpi.Engine) (string, string, string) {
+		cfg := base
+		cfg.Engine = engine
+
+		var figs bytes.Buffer
+		figs.WriteString(RenderFig6(Fig6(cfg)))
+		figs.WriteString(RenderFig7(Fig7(cfg)))
+		figs.WriteString(RenderFig9("fmm", cfg.Machine.Name, Fig9(cfg, "fmm", []int{2, 4})))
+		figs.WriteString(RenderFig10(cfg.Machine.Name, Fig10(cfg.Machine, []int{4, 16}, engine)))
+
+		traced := cfg
+		traced.Solver = "p2nfft"
+		traced.Resort = true
+		traced.Trace = true
+		res := runConfigs([]Config{traced})
+		var trace, metrics bytes.Buffer
+		if err := obs.WriteChromeTrace(&trace, res[0].Events); err != nil {
+			t.Fatal(err)
+		}
+		if err := obs.WriteMetrics(&metrics, res[0].Events); err != nil {
+			t.Fatal(err)
+		}
+		return figs.String(), trace.String(), metrics.String()
+	}
+
+	figsE, traceE, metricsE := render(vmpi.EngineEvent)
+	figsG, traceG, metricsG := render(vmpi.EngineGoroutine)
+
+	if figsE != figsG {
+		t.Errorf("figure tables differ between engines:\n--- event ---\n%s\n--- goroutine ---\n%s", figsE, figsG)
+	}
+	if traceE != traceG {
+		t.Errorf("Chrome trace export differs between engines")
+	}
+	if metricsE != metricsG {
+		t.Errorf("metrics export differs between engines")
+	}
+	if figsE == "" || traceE == "" || metricsE == "" {
+		t.Fatalf("empty render: figs=%d trace=%d metrics=%d bytes", len(figsE), len(traceE), len(metricsE))
+	}
+}
+
+// TestObsConfigByteIdenticalAcrossEngines runs the canonical 16-rank traced
+// observability configuration (the one behind make golden's trace and
+// metrics files) under both engines and diffs the exports byte-for-byte —
+// the ISSUE's 16-rank engine gate at full fidelity.
+func TestObsConfigByteIdenticalAcrossEngines(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full 16-rank observability run; skipped in -short")
+	}
+	render := func(engine vmpi.Engine) (string, string, string) {
+		cfg := ObsConfig()
+		cfg.Engine = engine
+		res := mustRun(cfg)
+		var trace, metrics bytes.Buffer
+		if err := obs.WriteChromeTrace(&trace, res.Events); err != nil {
+			t.Fatal(err)
+		}
+		if err := obs.WriteMetrics(&metrics, res.Events); err != nil {
+			t.Fatal(err)
+		}
+		return res.Digest, trace.String(), metrics.String()
+	}
+	digE, traceE, metricsE := render(vmpi.EngineEvent)
+	digG, traceG, metricsG := render(vmpi.EngineGoroutine)
+	if digE != digG {
+		t.Errorf("particle state digests differ between engines: %s vs %s", digE, digG)
+	}
+	if traceE != traceG {
+		t.Errorf("Chrome trace export differs between engines")
+	}
+	if metricsE != metricsG {
+		t.Errorf("metrics export differs between engines")
+	}
+}

@@ -1,12 +1,12 @@
 package paperbench
 
 import (
-	"sync"
 	"time"
 
 	"repro/internal/hostpar"
 	"repro/internal/obs"
 	"repro/internal/sched"
+	"repro/internal/vmpi"
 )
 
 // The figure functions run their experiments — one vmpi virtual machine per
@@ -50,11 +50,59 @@ const (
 	JobRunCounter = "sched/run_seconds"
 )
 
+// Event-engine executor meters, accumulated per experiment run. Counters
+// sum across runs; the *_max gauges are per-run high-water marks.
+const (
+	ExecParksCounter      = "vmpi/exec/parks"
+	ExecWakeupsCounter    = "vmpi/exec/wakeups"
+	ExecSpawnedCounter    = "vmpi/exec/spawned"
+	ExecMaxRunnableGauge  = "vmpi/exec/max_runnable"
+	ExecPeakResidentGauge = "vmpi/exec/peak_resident"
+	ExecMaxSlotsGauge     = "vmpi/exec/max_slots"
+)
+
+// Message-buffer pool meters (process-wide snapshots, emitted as gauges).
+const (
+	PoolGetsGauge   = "vmpi/pool/gets"
+	PoolPutsGauge   = "vmpi/pool/puts"
+	PoolMissesGauge = "vmpi/pool/misses"
+	PoolWasteGauge  = "vmpi/pool/waste_bytes"
+)
+
+// HostObs returns the process-wide host-side observability buffer that the
+// scheduler, the executor meters, and the pool snapshots flow into. Its
+// events are host-domain (schedule-dependent) and are never merged into a
+// virtual machine's event log or the golden exports.
+func HostObs() *obs.HostBuffer { return jobStats }
+
+// recordExecStats appends one run's executor meters (no-op under the
+// goroutine engine, which has none).
+func recordExecStats(ex *vmpi.ExecStats) {
+	if ex == nil {
+		return
+	}
+	jobStats.Counter(ExecParksCounter, float64(ex.Parks))
+	jobStats.Counter(ExecWakeupsCounter, float64(ex.Wakeups))
+	jobStats.Counter(ExecSpawnedCounter, float64(ex.Spawned))
+	jobStats.Gauge(ExecMaxRunnableGauge, float64(ex.MaxRunnable))
+	jobStats.Gauge(ExecPeakResidentGauge, float64(ex.PeakResident))
+	jobStats.Gauge(ExecMaxSlotsGauge, float64(ex.MaxSlots))
+}
+
+// RecordPoolStats snapshots the vmpi message-buffer pool counters into the
+// host buffer, making oversized-class waste visible alongside the bench
+// reports at large rank counts.
+func RecordPoolStats() {
+	ps := vmpi.PoolStatsSnapshot()
+	jobStats.Gauge(PoolGetsGauge, float64(ps.Gets))
+	jobStats.Gauge(PoolPutsGauge, float64(ps.Puts))
+	jobStats.Gauge(PoolMissesGauge, float64(ps.Misses))
+	jobStats.Gauge(PoolWasteGauge, float64(ps.WasteBytes))
+}
+
 var (
-	jobStatsMu sync.Mutex
-	jobStats   = obs.NewBuffer(0)
-	jobsMark   int
-	jobsEpoch  = time.Now()
+	jobStats  = obs.NewHostBuffer()
+	jobsEpoch = time.Now()
 )
 
 // JobStats aggregates the scheduler's obs counters over a span of figure
@@ -72,10 +120,8 @@ type JobStats struct {
 // previous call and advances the mark, so callers can attribute jobs and
 // queueing time to individual figures (benchjson does this per figure).
 func TakeJobStats() JobStats {
-	jobStatsMu.Lock()
-	defer jobStatsMu.Unlock()
 	var st JobStats
-	for _, e := range jobStats.Since(jobsMark) {
+	for _, e := range jobStats.Take() {
 		if e.Kind != obs.KindCounter {
 			continue
 		}
@@ -88,31 +134,34 @@ func TakeJobStats() JobStats {
 			st.RunSeconds += e.Value
 		}
 	}
-	jobsMark = jobStats.Len()
 	return st
 }
 
 // recordJob appends one completed job's metrics as counter events.
 func recordJob(m sched.Metrics) {
-	jobStatsMu.Lock()
-	defer jobStatsMu.Unlock()
 	jobStats.Record(obs.Event{Kind: obs.KindCounter, Name: JobCounter, Value: 1})
 	jobStats.Record(obs.Event{Kind: obs.KindCounter, Name: JobQueueCounter, Value: m.QueueSeconds})
 	jobStats.Record(obs.Event{Kind: obs.KindCounter, Name: JobRunCounter, Value: m.RunSeconds})
 }
 
-// runConfigs executes one experiment per configuration on the scheduler and
-// returns the results in configuration order. The scheduler itself never
-// reads the clock; paperbench injects a monotonic one here.
+// runJobs executes independent experiment jobs on the shared scheduler and
+// returns the results in submission order. The scheduler itself never reads
+// the clock; paperbench injects a monotonic one here.
+func runJobs[T any](jobs []func() T) []T {
+	return sched.Run(sched.Options{
+		Workers: jobWorkers,
+		Now:     func() int64 { return time.Since(jobsEpoch).Nanoseconds() },
+		OnDone:  recordJob,
+	}, jobs)
+}
+
+// runConfigs executes one experiment per configuration and returns the
+// results in configuration order.
 func runConfigs(cfgs []Config) []Result {
 	jobs := make([]func() Result, len(cfgs))
 	for i, c := range cfgs {
 		c := c
 		jobs[i] = func() Result { return mustRun(c) }
 	}
-	return sched.Run(sched.Options{
-		Workers: jobWorkers,
-		Now:     func() int64 { return time.Since(jobsEpoch).Nanoseconds() },
-		OnDone:  recordJob,
-	}, jobs)
+	return runJobs(jobs)
 }

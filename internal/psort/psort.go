@@ -20,6 +20,7 @@ package psort
 
 import (
 	"sort"
+	"sync"
 
 	"repro/internal/costs"
 	"repro/internal/vmpi"
@@ -217,13 +218,8 @@ func SortMerge[T any](c *vmpi.Comm, items []T, key func(T) uint64) []T {
 	// spare ping-pongs with items through the merge-split rounds, so the
 	// whole network reuses two buffers instead of allocating per round.
 	var spare []T
-	for _, ce := range MergeExchangeSchedule(p) {
-		switch me {
-		case ce.I:
-			items, spare = mergeSplit(c, items, key, ce.J, true, spare)
-		case ce.J:
-			items, spare = mergeSplit(c, items, key, ce.I, false, spare)
-		}
+	for _, st := range rankSchedule(p, me) {
+		items, spare = mergeSplit(c, items, key, st.partner, st.keepLow, spare)
 	}
 	// Batcher's network provably sorts equal-size blocks; with unequal
 	// per-rank counts (and in particular with empty ranks, through which no
@@ -417,6 +413,46 @@ func mergeSplit[T any](c *vmpi.Comm, items []T, key func(T) uint64, partner int,
 	vmpi.Release(theirHigh)
 	copy(items, merged[total-n:])
 	return items, merged[:0]
+}
+
+// rankStep is one comparator step of the merge-exchange network as seen by
+// a single rank: exchange with partner, keeping the low (comparator input
+// I) or high (input J) half.
+type rankStep struct {
+	partner int
+	keepLow bool
+}
+
+// mergeSchedMu guards mergeSchedByP: per network size p, the full
+// comparator sequence partitioned into per-rank step lists (preserving
+// each rank's step order exactly, so the message sequence — and therefore
+// virtual time — is identical to scanning the full schedule).
+//
+// Without the cache, every rank of every SortMerge call materialises the
+// whole ~(p/2)·log²p comparator list only to use its own ~log²p entries: at
+// p = 16384 that is ~14 MB of garbage per rank per sort, which dwarfs the
+// sort itself. The partitioned schedule is computed once per p for the
+// process lifetime.
+var (
+	mergeSchedMu  sync.Mutex
+	mergeSchedByP = map[int][][]rankStep{}
+)
+
+// rankSchedule returns rank r's comparator steps for an n-input
+// merge-exchange network, in network order.
+func rankSchedule(n, r int) []rankStep {
+	mergeSchedMu.Lock()
+	defer mergeSchedMu.Unlock()
+	sched, ok := mergeSchedByP[n]
+	if !ok {
+		sched = make([][]rankStep, n)
+		for _, ce := range MergeExchangeSchedule(n) {
+			sched[ce.I] = append(sched[ce.I], rankStep{partner: ce.J, keepLow: true})
+			sched[ce.J] = append(sched[ce.J], rankStep{partner: ce.I, keepLow: false})
+		}
+		mergeSchedByP[n] = sched
+	}
+	return sched[r]
 }
 
 // CE is one comparator of a sorting network: compare-exchange between

@@ -1,0 +1,434 @@
+// Package rankexec is an event-driven executor for the ranks of a virtual
+// machine: each rank is a resumable task with an explicit run/blocked
+// state, parked when it waits on a message (or anything built from
+// messages — collectives, barriers) and re-enqueued when its wakeup
+// condition is satisfied. Runnable tasks are multiplexed over a bounded
+// set of run slots instead of being handed to the Go scheduler all at
+// once, so a 16384-rank machine keeps a handful of ranks executing and
+// the rest parked at a fixed, metered cost.
+//
+// The executor decides only *where and when host execution happens*; it
+// must never influence what the tasks compute. vmpi's virtual clocks are a
+// pure function of the program's communication structure, so any park/wake
+// interleaving yields bit-identical virtual results — the property the
+// byte-identity gates (goroutine machine vs. executor, -j 1 vs. -j 8)
+// enforce end to end. For the same reason this package is part of the
+// parlint determinism hot set: no wall-clock reads, no map iteration, no
+// atomics in the rank-execution path.
+//
+// Tasks are Go goroutines — the only resumable stacks the language
+// offers — but a task's goroutine is spawned lazily on first dispatch and
+// its runnability is owned entirely by the executor:
+//
+//	pending ──dispatch(spawn)──▶ running ──Park──▶ parked
+//	   ▲                          ▲  │ return        │
+//	   └── initial enqueue        │  ▼               │ Unpark
+//	                              │ done             ▼
+//	                           dispatch ◀─────── runnable
+//
+// A wakeup that races with a park is never lost: Unpark of a task that is
+// not parked deposits a wake token, and Park consumes a pending token
+// instead of blocking, so the caller's recheck loop (test condition → Park
+// → retest) is sound without holding any executor lock across the test.
+//
+// Run slots come from two sources: a fixed base (at least one, so progress
+// never depends on anyone else's capacity) and optional extra units
+// try-acquired from a shared host-compute budget (hostpar.Budget — the
+// same pool the experiment scheduler and hostpar's tile workers draw
+// from). Extras are acquired only while runnable tasks are queued and
+// returned as soon as the queue drains, so an executor that is mostly
+// parked holds no capacity hostage.
+package rankexec
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Budget is the capacity source for run slots beyond the base slot.
+// hostpar.Budget satisfies it; acquisition must be non-blocking so an
+// executor can never deadlock on host capacity.
+type Budget interface {
+	TryAcquire() bool
+	Release()
+}
+
+// task states.
+const (
+	statePending  uint8 = iota // never dispatched; queued at Start
+	stateRunnable              // woken, waiting in the run queue
+	stateRunning               // holds a run slot
+	stateParked                // blocked in Park, waiting for Unpark
+	stateDone                  // body returned
+)
+
+// task is one resumable rank.
+type task struct {
+	state uint8
+	// wake is the pending-wakeup token: set by Unpark when the task is not
+	// parked, consumed by the next Park (which then returns immediately).
+	wake bool
+	// poisoned marks a parked task woken to deliver a deadlock verdict:
+	// its Park call reports the deadlock instead of resuming normally.
+	poisoned bool
+	// hasSlot reports whether the task currently holds a run slot; it keeps
+	// slot accounting exact across poisoned wakeups (which grant no slot).
+	hasSlot bool
+	// grant resumes a parked (or pending) task; buffered so the dispatcher
+	// never blocks while holding the executor lock.
+	grant chan struct{}
+	// started reports whether the task's goroutine exists yet.
+	started bool
+}
+
+// Stats meters the executor. All values are host-side quantities: they
+// depend on scheduling and must never feed a virtual result (they are kept
+// out of the golden observability exports).
+type Stats struct {
+	// Parks counts blocking parks (token-consuming no-op parks excluded).
+	Parks int64
+	// Wakeups counts Unpark calls that made a task runnable or deposited a
+	// wake token.
+	Wakeups int64
+	// Spawned counts task goroutines actually created.
+	Spawned int64
+	// MaxRunnable is the high-water mark of the runnable queue depth.
+	MaxRunnable int
+	// PeakResident is the high-water mark of live task goroutines
+	// (spawned and not yet finished) — the executor's memory footprint
+	// driver at large rank counts.
+	PeakResident int
+	// MaxSlots is the high-water mark of concurrently held run slots
+	// (base + budget extras).
+	MaxSlots int
+}
+
+// Options configures an Executor.
+type Options struct {
+	// Workers fixes the base slot count (minimum 1). Zero selects one base
+	// slot; extra capacity then comes only from Budget.
+	Workers int
+	// Budget, if non-nil, provides extra run slots beyond the base via
+	// non-blocking acquisition. Extras are capped by MaxWorkers and
+	// released whenever the runnable queue drains.
+	Budget Budget
+	// MaxWorkers caps total slots (base + extras). Zero means the task
+	// count.
+	MaxWorkers int
+	// OnDeadlock is invoked (outside the executor lock) when every live
+	// task is parked and no wakeup is pending, with the parked task ids in
+	// ascending order. Every parked task is woken poisoned and invokes it,
+	// so the verdict surfaces on goroutines that have the caller's panic
+	// recovery up-stack. It must panic; the executor panics itself if it
+	// returns.
+	OnDeadlock func(parked []int)
+}
+
+// Executor multiplexes n resumable tasks over a bounded set of run slots.
+type Executor struct {
+	mu    sync.Mutex
+	tasks []*task
+	run   func(id int)
+	opts  Options
+
+	// runQ is the FIFO of runnable task ids; qHead indexes its front.
+	runQ  []int
+	qHead int
+
+	baseSlots int
+	maxSlots  int
+	freeSlots int
+	extras    int // budget units currently held
+
+	parked   int
+	finished int
+	resident int
+	aborted  bool
+	// deadIDs is the parked-id set of a declared deadlock; written once
+	// (under mu, before any poisoned grant) and then read by the poisoned
+	// wakers, ordered by their grant-channel receives.
+	deadIDs []int
+
+	stats Stats
+	wg    sync.WaitGroup
+}
+
+// New creates an executor for n tasks whose bodies are run(id). Tasks are
+// enqueued but nothing executes until Start.
+func New(n int, run func(id int), opts Options) *Executor {
+	if n < 1 {
+		panic("rankexec: need at least 1 task")
+	}
+	base := opts.Workers
+	if base < 1 {
+		base = 1
+	}
+	max := opts.MaxWorkers
+	if max <= 0 || max > n {
+		max = n
+	}
+	if base > max {
+		base = max
+	}
+	ex := &Executor{
+		tasks:     make([]*task, n),
+		run:       run,
+		opts:      opts,
+		runQ:      make([]int, 0, n),
+		baseSlots: base,
+		maxSlots:  max,
+		freeSlots: base,
+	}
+	for i := range ex.tasks {
+		ex.tasks[i] = &task{state: statePending, grant: make(chan struct{}, 1)}
+	}
+	ex.wg.Add(n)
+	return ex
+}
+
+// Start enqueues every task and begins dispatching.
+func (ex *Executor) Start() {
+	ex.mu.Lock()
+	for id := range ex.tasks {
+		ex.enqueueLocked(id)
+	}
+	ex.dispatchLocked()
+	ex.mu.Unlock()
+}
+
+// Wait blocks until every task's body has returned, then returns all extra
+// budget units.
+func (ex *Executor) Wait() {
+	ex.wg.Wait()
+	ex.mu.Lock()
+	ex.trimExtrasLocked(true)
+	ex.mu.Unlock()
+}
+
+// Park blocks the calling task (which must be running) until Unpark, or
+// returns immediately when a wake token is pending. Callers use it inside
+// a condition-recheck loop: test, Park, retest.
+func (ex *Executor) Park(id int) {
+	ex.mu.Lock()
+	t := ex.tasks[id]
+	if t.wake {
+		t.wake = false
+		ex.mu.Unlock()
+		return
+	}
+	ex.stats.Parks++
+	t.state = stateParked
+	ex.parked++
+	t.hasSlot = false
+	ex.releaseSlotLocked()
+	if ex.deadlockedLocked() {
+		ex.declareDeadlockLocked()
+	}
+	ex.mu.Unlock()
+	<-t.grant
+	// poisoned was written before the grant send; the channel receive
+	// orders this read after it.
+	if t.poisoned {
+		ex.reportDeadlock(ex.deadIDs)
+	}
+}
+
+// Unpark marks the task runnable (or deposits a wake token when it is not
+// parked) and dispatches. Safe to call from any goroutine.
+func (ex *Executor) Unpark(id int) {
+	ex.mu.Lock()
+	t := ex.tasks[id]
+	switch t.state {
+	case stateParked:
+		ex.stats.Wakeups++
+		t.state = stateRunnable
+		ex.parked--
+		ex.enqueueLocked(id)
+		ex.dispatchLocked()
+	case statePending, stateRunnable, stateRunning:
+		ex.stats.Wakeups++
+		t.wake = true
+	case stateDone:
+		// A message to a finished rank: the receive that would consume it
+		// can never run; nothing to wake.
+	}
+	ex.mu.Unlock()
+}
+
+// Abort stops all dispatching and returns every free budget unit. Parked
+// tasks are left parked forever (exactly like the goroutine machine's
+// blocked ranks when a sibling rank panics); units held by still-running
+// tasks are returned as their slots free. Idempotent.
+func (ex *Executor) Abort() {
+	ex.mu.Lock()
+	ex.abortLocked()
+	ex.mu.Unlock()
+}
+
+// Snapshot returns the current stats.
+func (ex *Executor) Snapshot() Stats {
+	ex.mu.Lock()
+	st := ex.stats
+	ex.mu.Unlock()
+	return st
+}
+
+// --- internals (every *Locked method runs under ex.mu) ---
+
+func (ex *Executor) enqueueLocked(id int) {
+	ex.runQ = append(ex.runQ, id)
+	if d := len(ex.runQ) - ex.qHead; d > ex.stats.MaxRunnable {
+		ex.stats.MaxRunnable = d
+	}
+}
+
+// dispatchLocked grants run slots to queued tasks, growing capacity from
+// the budget while the queue is non-empty.
+func (ex *Executor) dispatchLocked() {
+	if ex.aborted {
+		return
+	}
+	for ex.qHead < len(ex.runQ) {
+		if ex.freeSlots == 0 && !ex.growLocked() {
+			return
+		}
+		id := ex.runQ[ex.qHead]
+		ex.qHead++
+		if ex.qHead == len(ex.runQ) {
+			ex.runQ = ex.runQ[:0]
+			ex.qHead = 0
+		}
+		ex.freeSlots--
+		t := ex.tasks[id]
+		t.state = stateRunning
+		t.hasSlot = true
+		if held := ex.baseSlots + ex.extras - ex.freeSlots; held > ex.stats.MaxSlots {
+			ex.stats.MaxSlots = held
+		}
+		if !t.started {
+			t.started = true
+			ex.stats.Spawned++
+			ex.resident++
+			if ex.resident > ex.stats.PeakResident {
+				ex.stats.PeakResident = ex.resident
+			}
+			go ex.taskMain(id)
+		} else {
+			t.grant <- struct{}{}
+		}
+	}
+}
+
+// growLocked try-acquires one extra budget unit. Reports whether a slot
+// became free.
+func (ex *Executor) growLocked() bool {
+	if ex.opts.Budget == nil || ex.baseSlots+ex.extras >= ex.maxSlots {
+		return false
+	}
+	if !ex.opts.Budget.TryAcquire() {
+		return false
+	}
+	ex.extras++
+	ex.freeSlots++
+	return true
+}
+
+// releaseSlotLocked frees the caller's slot, dispatches, and returns idle
+// extra capacity to the budget.
+func (ex *Executor) releaseSlotLocked() {
+	ex.freeSlots++
+	if ex.aborted {
+		ex.trimExtrasLocked(true)
+		return
+	}
+	ex.dispatchLocked()
+	ex.trimExtrasLocked(false)
+}
+
+// trimExtrasLocked returns extra budget units that have no queued work to
+// serve. With force, every free unit beyond none is returned (teardown).
+func (ex *Executor) trimExtrasLocked(force bool) {
+	if !force && ex.qHead < len(ex.runQ) {
+		return
+	}
+	for ex.extras > 0 && ex.freeSlots > 0 {
+		if !force && ex.freeSlots <= ex.baseSlots {
+			return
+		}
+		ex.extras--
+		ex.freeSlots--
+		ex.opts.Budget.Release()
+	}
+}
+
+func (ex *Executor) taskMain(id int) {
+	ex.run(id)
+	ex.mu.Lock()
+	t := ex.tasks[id]
+	t.state = stateDone
+	ex.finished++
+	ex.resident--
+	if t.hasSlot {
+		t.hasSlot = false
+		ex.releaseSlotLocked()
+	}
+	// A finishing task can strand the rest: if everyone left alive is now
+	// parked with no wakeup in flight, the verdict is declared here.
+	if ex.deadlockedLocked() {
+		ex.declareDeadlockLocked()
+	}
+	ex.mu.Unlock()
+	ex.wg.Done()
+}
+
+// declareDeadlockLocked records the verdict, stops dispatching, and wakes
+// every parked task poisoned. Each poisoned task reports the deadlock from
+// its own Park call — on a goroutine that has the caller's panic recovery
+// machinery up-stack — and can then finish, so Wait terminates when the
+// task bodies recover. A parked task never has a pending grant, so the
+// buffered sends cannot block.
+func (ex *Executor) declareDeadlockLocked() {
+	ids := ex.parkedIDsLocked()
+	ex.deadIDs = ids
+	ex.abortLocked()
+	for _, id := range ids {
+		t := ex.tasks[id]
+		t.poisoned = true
+		t.state = stateRunning // off the parked set; holds no slot
+		ex.parked--
+		t.grant <- struct{}{}
+	}
+}
+
+// deadlockedLocked reports the all-parked condition: every unfinished task
+// is parked and none holds a wake token. Tokens can only belong to
+// non-parked tasks (Park consumes them before blocking), so parked+finished
+// covering all tasks is exact.
+func (ex *Executor) deadlockedLocked() bool {
+	return !ex.aborted && ex.parked > 0 && ex.parked+ex.finished == len(ex.tasks)
+}
+
+func (ex *Executor) parkedIDsLocked() []int {
+	var ids []int
+	for id, t := range ex.tasks {
+		if t.state == stateParked {
+			ids = append(ids, id)
+		}
+	}
+	return ids
+}
+
+func (ex *Executor) abortLocked() {
+	if ex.aborted {
+		return
+	}
+	ex.aborted = true
+	ex.trimExtrasLocked(true)
+}
+
+func (ex *Executor) reportDeadlock(parked []int) {
+	if ex.opts.OnDeadlock != nil {
+		ex.opts.OnDeadlock(parked)
+	}
+	panic(fmt.Sprintf("rankexec: deadlock: all live tasks parked: %v", parked))
+}

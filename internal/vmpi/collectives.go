@@ -200,23 +200,71 @@ func ScatterBlocks[T any](c *Comm, blocks [][]T, root int) []T {
 	return Recv[T](c, root, tagScatter)
 }
 
+// allgatherRingMax is the largest communicator for which AllgatherBlocks
+// uses the ring algorithm. The ring costs p-1 steps per rank — O(p²)
+// messages in total — which is fine at the paper-figure scales but
+// dominates everything at paper-machine rank counts, so larger
+// communicators switch to a gather+broadcast tree (O(p) messages), as real
+// MPI implementations switch collective algorithms by communicator size.
+// The threshold keeps every ≤32-rank configuration — including all golden
+// configs — on the ring, byte-identical to before.
+const allgatherRingMax = 32
+
 // AllgatherBlocks collects every rank's (variable-length) slice on every
-// rank using the ring algorithm (p-1 neighbor exchange steps). The result is
-// indexed by source rank.
+// rank. The result is indexed by source rank. Small communicators use the
+// ring algorithm (p-1 neighbor exchange steps); large ones gather to rank
+// 0 and broadcast the lengths and the concatenation down the binomial
+// tree.
 func AllgatherBlocks[T any](c *Comm, data []T) [][]T {
 	defer collSpan(c, obs.KindCollective, "allgather")()
 	p := c.Size()
-	blocks := make([][]T, p)
-	blocks[c.rank] = copySlice(data)
-	right := (c.rank + 1) % p
-	left := (c.rank - 1 + p) % p
-	cur := c.rank
-	for step := 1; step < p; step++ {
-		Send(c, blocks[cur], right, tagGatherA)
-		cur = (cur - 1 + p) % p // after this step we hold left neighbor's block chain
-		blocks[cur] = Recv[T](c, left, tagGatherA)
+	if p <= allgatherRingMax {
+		blocks := make([][]T, p)
+		blocks[c.rank] = copySlice(data)
+		right := (c.rank + 1) % p
+		left := (c.rank - 1 + p) % p
+		cur := c.rank
+		for step := 1; step < p; step++ {
+			Send(c, blocks[cur], right, tagGatherA)
+			cur = (cur - 1 + p) % p // after this step we hold left neighbor's block chain
+			blocks[cur] = Recv[T](c, left, tagGatherA)
+		}
+		return blocks
 	}
-	return blocks
+	const root = 0
+	var lens []int64
+	var flat []T
+	if c.rank == root {
+		blocks := make([][]T, p)
+		blocks[root] = copySlice(data)
+		for r := 1; r < p; r++ {
+			blocks[r] = Recv[T](c, r, tagGatherA)
+		}
+		lens = make([]int64, p)
+		for r, b := range blocks {
+			lens[r] = int64(len(b))
+		}
+		flat = concat(blocks)
+		ReleaseBlocks(blocks)
+	} else {
+		Send(c, data, root, tagGatherA)
+	}
+	lens = Bcast(c, lens, root)
+	flat = Bcast(c, flat, root)
+	out := make([][]T, p)
+	off := 0
+	for r := range out {
+		n := int(lens[r])
+		// Copy each segment into its own buffer: result blocks must be
+		// independently releasable, never subslices of one shared array.
+		out[r] = copySlice(flat[off : off+n])
+		off += n
+	}
+	if c.rank != root {
+		Release(flat) // the received broadcast buffer; root's is concat-local
+		Release(lens)
+	}
+	return out
 }
 
 // Allgather collects every rank's slice on every rank, concatenated in rank

@@ -1,0 +1,246 @@
+package vmpi
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/netmodel"
+)
+
+// Engine equivalence and edge-case coverage. The event engine changes only
+// where and when rank host code executes; everything virtual — clocks,
+// phases, traffic counters, traces — must be bit-identical to the
+// goroutine machine.
+
+// engines lists both rank-execution machines for table-driven tests.
+var engines = []struct {
+	name   string
+	engine Engine
+}{
+	{"event", EngineEvent},
+	{"goroutine", EngineGoroutine},
+}
+
+// mixedWorkload is a nontrivial program touching p2p, collectives,
+// communicator splitting, phases, and compute.
+func mixedWorkload(c *Comm) {
+	me := c.Rank()
+	p := c.Size()
+	c.Phase("work", func() {
+		c.Compute(float64(me+1) * 1e-6)
+		// Ring sendrecv.
+		got := Sendrecv(c, []int{me}, (me+1)%p, (me-1+p)%p, 7)
+		if got[0] != (me-1+p)%p {
+			panic("ring mismatch")
+		}
+		// Pairwise alltoall with skewed sizes.
+		parts := make([][]float64, p)
+		for dst := range parts {
+			parts[dst] = make([]float64, (me*7+dst*3)%13)
+		}
+		recv := Alltoall(c, parts)
+		ReleaseBlocks(recv)
+		// Collectives.
+		sum := AllreduceVal(c, int64(me), Sum[int64])
+		c.Counter("sum", float64(sum))
+		Barrier(c)
+	})
+	sub := c.Split(me%2, me)
+	if sub != nil {
+		v := AllreduceVal(sub, int64(1), Sum[int64])
+		c.Gauge("subsize", float64(v))
+	}
+	c.SetResult(c.Time())
+}
+
+// TestEngineVirtualEquivalence checks that both engines produce identical
+// Stats for the mixed workload, including the traced event log.
+func TestEngineVirtualEquivalence(t *testing.T) {
+	run := func(e Engine) *Stats {
+		return Run(Config{Ranks: 12, Model: netmodel.NewTorus(12), Trace: true, Engine: e}, mixedWorkload)
+	}
+	ev := run(EngineEvent)
+	gr := run(EngineGoroutine)
+	if !reflect.DeepEqual(ev.Clocks, gr.Clocks) {
+		t.Fatalf("clocks differ:\nevent:     %v\ngoroutine: %v", ev.Clocks, gr.Clocks)
+	}
+	if !reflect.DeepEqual(ev.Phases, gr.Phases) {
+		t.Fatalf("phases differ")
+	}
+	if !reflect.DeepEqual(ev.BytesSent, gr.BytesSent) || !reflect.DeepEqual(ev.MessagesSent, gr.MessagesSent) {
+		t.Fatalf("traffic counters differ")
+	}
+	if !reflect.DeepEqual(ev.Values, gr.Values) {
+		t.Fatalf("rank results differ")
+	}
+	if !reflect.DeepEqual(ev.Trace, gr.Trace) {
+		t.Fatalf("traces differ")
+	}
+	if ev.Exec == nil {
+		t.Fatalf("event engine reported no exec stats")
+	}
+	if gr.Exec != nil {
+		t.Fatalf("goroutine engine reported exec stats")
+	}
+	if ev.Exec.Spawned != 12 {
+		t.Fatalf("event engine spawned %d rank goroutines, want 12", ev.Exec.Spawned)
+	}
+}
+
+// TestEngineEquivalenceFixedWorkers checks the equivalence holds for any
+// fixed slot count, including fully serialized execution.
+func TestEngineEquivalenceFixedWorkers(t *testing.T) {
+	ref := Run(Config{Ranks: 8, Engine: EngineGoroutine}, mixedWorkload)
+	for _, w := range []int{1, 2, 8} {
+		got := Run(Config{Ranks: 8, Engine: EngineEvent, Workers: w}, mixedWorkload)
+		if !reflect.DeepEqual(got.Clocks, ref.Clocks) {
+			t.Fatalf("workers=%d: clocks differ from goroutine engine", w)
+		}
+		if got.Exec.MaxSlots > w {
+			t.Fatalf("workers=%d: MaxSlots %d exceeds the fixed bound", w, got.Exec.MaxSlots)
+		}
+	}
+}
+
+// TestSelfSendBothEngines checks a rank sending to itself: the delivery
+// unparks (or deposits a wake token on) the running receiver itself.
+func TestSelfSendBothEngines(t *testing.T) {
+	for _, e := range engines {
+		t.Run(e.name, func(t *testing.T) {
+			st := Run(Config{Ranks: 3, Engine: e.engine}, func(c *Comm) {
+				me := c.Rank()
+				Send(c, []int{me * 10}, me, 5)
+				Send(c, []int{me*10 + 1}, me, 5)
+				a := Recv[int](c, me, 5)
+				b := Recv[int](c, me, 5)
+				if a[0] != me*10 || b[0] != me*10+1 {
+					panic(fmt.Sprintf("self-send order broken: %v %v", a, b))
+				}
+				c.SetResult(a[0] + b[0])
+			})
+			for r, v := range st.Values {
+				if v.(int) != r*20+1 {
+					t.Fatalf("rank %d result %v", r, v)
+				}
+			}
+		})
+	}
+}
+
+// TestZeroByteBothEngines checks zero-length payloads flow, match, and
+// cost only latency on both engines.
+func TestZeroByteBothEngines(t *testing.T) {
+	clocks := make([][]float64, 0, 2)
+	for _, e := range engines {
+		t.Run(e.name, func(t *testing.T) {
+			st := Run(Config{Ranks: 4, Engine: e.engine}, func(c *Comm) {
+				me := c.Rank()
+				p := c.Size()
+				// Empty payloads through p2p and a collective.
+				got := Sendrecv(c, []byte{}, (me+1)%p, (me-1+p)%p, 3)
+				if len(got) != 0 {
+					panic("zero-byte payload grew")
+				}
+				empty := Alltoall(c, make([][]byte, p))
+				for _, b := range empty {
+					if len(b) != 0 {
+						panic("zero-byte alltoall grew")
+					}
+				}
+				Barrier(c)
+			})
+			if st.TotalBytes() != 0 {
+				t.Fatalf("zero-byte run sent %d bytes", st.TotalBytes())
+			}
+			if st.MaxClock() <= 0 {
+				t.Fatalf("zero-byte messages should still cost latency")
+			}
+			clocks = append(clocks, st.Clocks)
+		})
+	}
+	if len(clocks) == 2 && !reflect.DeepEqual(clocks[0], clocks[1]) {
+		t.Fatalf("zero-byte clocks differ across engines")
+	}
+}
+
+// TestDeadlockDumpBothEngines checks both engines panic — rather than hang
+// — with a per-rank blocked-state dump when all ranks wait forever.
+func TestDeadlockDumpBothEngines(t *testing.T) {
+	for _, e := range engines {
+		t.Run(e.name, func(t *testing.T) {
+			defer func() {
+				p := recover()
+				if p == nil {
+					t.Fatalf("expected deadlock panic")
+				}
+				msg, ok := p.(string)
+				if !ok {
+					t.Fatalf("deadlock panic is %T, want string", p)
+				}
+				if !strings.Contains(msg, "vmpi: deadlock: all ranks blocked in receive:") {
+					t.Fatalf("unexpected deadlock message: %q", msg)
+				}
+				for r := 0; r < 3; r++ {
+					want := fmt.Sprintf("rank %d waiting for", r)
+					if !strings.Contains(msg, want) {
+						t.Fatalf("dump misses %q: %q", want, msg)
+					}
+				}
+			}()
+			Run(Config{Ranks: 3, Engine: e.engine}, func(c *Comm) {
+				// Everyone receives from a rank that never sends.
+				Recv[int](c, (c.Rank()+1)%c.Size(), 9)
+			})
+		})
+	}
+}
+
+// TestDeadlockAfterSomeFinishEventEngine checks the event engine's
+// finish-path verdict: ranks that return normally must not mask a deadlock
+// among the rest.
+func TestDeadlockAfterSomeFinishEventEngine(t *testing.T) {
+	defer func() {
+		p := recover()
+		if p == nil {
+			t.Fatalf("expected deadlock panic")
+		}
+		msg := p.(string)
+		if !strings.Contains(msg, "deadlock") || !strings.Contains(msg, "rank 0 waiting for") {
+			t.Fatalf("unexpected message: %q", msg)
+		}
+		if strings.Contains(msg, "rank 2 waiting for") {
+			t.Fatalf("finished rank listed in dump: %q", msg)
+		}
+	}()
+	Run(Config{Ranks: 3, Engine: EngineEvent}, func(c *Comm) {
+		if c.Rank() == 2 {
+			return // finishes; ranks 0 and 1 wait forever
+		}
+		Recv[int](c, 2, 9)
+	})
+}
+
+// TestEventEngineLargeP sanity-checks a paper-scale rank count: a 4096-rank
+// neighbor exchange completes quickly with bounded resident goroutines.
+func TestEventEngineLargeP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large-P smoke test")
+	}
+	const ranks = 4096
+	st := Run(Config{Ranks: ranks, Engine: EngineEvent, Workers: 2}, func(c *Comm) {
+		me := c.Rank()
+		p := c.Size()
+		got := Sendrecv(c, []int{me}, (me+1)%p, (me-1+p)%p, 1)
+		if got[0] != (me-1+p)%p {
+			panic("ring mismatch")
+		}
+	})
+	if st.Exec.Spawned != ranks {
+		t.Fatalf("spawned %d, want %d", st.Exec.Spawned, ranks)
+	}
+	if st.Exec.PeakResident >= ranks {
+		t.Fatalf("peak resident %d not bounded below rank count", st.Exec.PeakResident)
+	}
+}

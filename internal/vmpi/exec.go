@@ -1,0 +1,195 @@
+package vmpi
+
+import (
+	"fmt"
+
+	"repro/internal/hostpar"
+	"repro/internal/rankexec"
+)
+
+// Event-driven rank execution.
+//
+// The goroutine machine hands every rank to the Go scheduler at once: P
+// goroutines, each with a stack, all runnable whenever their mailbox has
+// data. That is fine at the 16 ranks of the paper-figure configs and
+// hopeless at the paper's 16384 processes. The event engine keeps the
+// ranks-as-goroutines model (a rank's body is arbitrary Go code, so a
+// goroutine is the only resumable stack available) but moves runnability
+// under an explicit executor (internal/rankexec): a rank is parked when
+// its receive finds no matching message and re-enqueued when a delivery
+// arrives, and runnable ranks are multiplexed over a bounded set of run
+// slots — one base slot plus extras try-acquired from the process-wide
+// hostpar budget, the same pool the experiment scheduler and hostpar's
+// tile helpers draw from. Rank goroutines are spawned lazily on first
+// dispatch, so peak resident stacks track the slot bound, not P.
+//
+// The engines are interchangeable because virtual time is a pure function
+// of the program's communication structure and charged compute: parking a
+// rank changes when its host code runs, never what it computes. The
+// byte-identity gate in paperbench (figures, Chrome trace, Prometheus
+// export compared across engines at 16 ranks) enforces this end to end.
+
+// Engine selects the rank-execution machinery of a Run.
+type Engine int
+
+const (
+	// EngineEvent is the default: ranks as resumable tasks multiplexed
+	// over a bounded worker pool drawing from the shared hostpar budget.
+	EngineEvent Engine = iota
+	// EngineGoroutine is the legacy machine: one free-running goroutine
+	// per rank, all scheduled by the Go runtime. Kept for comparison
+	// benchmarks and as the reference for the engine-equivalence tests.
+	EngineGoroutine
+)
+
+// ExecStats meters the event engine's host-side behaviour for one Run.
+// These are host-domain quantities — they depend on scheduling and never
+// enter the virtual event stream or the golden exports.
+type ExecStats struct {
+	// Parks counts blocking receive waits (a receive that found its
+	// message queued parks zero times).
+	Parks int64
+	// Wakeups counts deliveries that woke (or pre-empted the park of) a
+	// waiting rank.
+	Wakeups int64
+	// Spawned counts rank goroutines actually created (== ranks, unless
+	// the run aborted before every rank was first dispatched).
+	Spawned int64
+	// MaxRunnable is the high-water mark of the runnable-rank queue.
+	MaxRunnable int
+	// PeakResident is the high-water mark of live rank goroutines — the
+	// executor's host-memory footprint driver at large P.
+	PeakResident int
+	// MaxSlots is the high-water mark of concurrently held run slots
+	// (base + budget extras).
+	MaxSlots int
+}
+
+// runEvent executes the ranks under the event-driven executor. It mirrors
+// the goroutine engine's panic contract: the first rank panic (including
+// the deadlock verdict) is re-raised in the caller's goroutine.
+func runEvent(rt *Runtime, cfg Config, comms []*Comm, f func(c *Comm)) {
+	n := rt.size
+	panicCh := make(chan any, 1)
+	body := func(r int) {
+		defer func() {
+			if p := recover(); p != nil {
+				// Stop dispatching and return budget extras before the
+				// caller unwinds; parked sibling ranks stay parked, as
+				// blocked ranks do under the goroutine engine.
+				rt.exec.Abort()
+				select {
+				case panicCh <- p:
+				default:
+				}
+			}
+		}()
+		f(comms[r])
+	}
+	opts := rankexec.Options{
+		OnDeadlock: func([]int) { panic(rt.deadlockDump()) },
+	}
+	if cfg.Workers > 0 {
+		// Fixed slot count, no budget: deterministic host concurrency for
+		// tests and benchmarks.
+		opts.Workers = cfg.Workers
+	} else {
+		// One guaranteed slot (progress must never depend on the budget)
+		// plus extras up to the host's capacity.
+		b := hostpar.SharedBudget()
+		opts.Workers = 1
+		opts.Budget = b
+		opts.MaxWorkers = b.Capacity()
+	}
+	ex := rankexec.New(n, body, opts)
+	rt.exec = ex
+	ex.Start()
+	done := make(chan struct{})
+	go func() {
+		ex.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		// A deadlock verdict lets every poisoned rank finish after its
+		// recover, so Wait can return with a panic pending — check.
+		select {
+		case p := <-panicCh:
+			panic(p)
+		default:
+		}
+	case p := <-panicCh:
+		panic(p)
+	}
+	rt.execStats = execStatsFrom(ex.Snapshot())
+}
+
+func execStatsFrom(s rankexec.Stats) *ExecStats {
+	return &ExecStats{
+		Parks:        s.Parks,
+		Wakeups:      s.Wakeups,
+		Spawned:      s.Spawned,
+		MaxRunnable:  s.MaxRunnable,
+		PeakResident: s.PeakResident,
+		MaxSlots:     s.MaxSlots,
+	}
+}
+
+// takeEvent is the event engine's receive wait: instead of sleeping on the
+// mailbox condition variable, the rank parks itself in the executor and is
+// re-enqueued by the delivering send. The recheck loop plus the executor's
+// wake-token protocol make the park race-free: a delivery between the
+// queue check and the park deposits a token that the park consumes.
+func (mb *mailbox) takeEvent(rt *Runtime, rank, src, tag int, ctx int64) *message {
+	k := mkey{src: src, tag: tag, ctx: ctx}
+	for {
+		mb.mu.Lock()
+		if q := mb.queues[k]; q != nil && q.head < len(q.msgs) {
+			m := q.msgs[q.head]
+			q.msgs[q.head] = nil
+			q.head++
+			if q.head == len(q.msgs) {
+				q.head = 0
+				q.msgs = q.msgs[:0]
+			}
+			mb.mu.Unlock()
+			return m
+		}
+		mb.mu.Unlock()
+		rt.noteWaiting(rank, src, tag)
+		rt.exec.Park(rank)
+		rt.clearWaiting(rank)
+	}
+}
+
+// noteWaiting records what a rank is about to park for, feeding the
+// deadlock verdict's per-rank blocked-state dump.
+func (rt *Runtime) noteWaiting(rank, src, tag int) {
+	d := &rt.deadlock
+	d.mu.Lock()
+	d.waitingOn[rank] = fmt.Sprintf("rank %d waiting for (src %d, tag %d)", rank, src, tag)
+	d.mu.Unlock()
+}
+
+// clearWaiting erases a rank's wait record after it resumed.
+func (rt *Runtime) clearWaiting(rank int) {
+	d := &rt.deadlock
+	d.mu.Lock()
+	d.waitingOn[rank] = ""
+	d.mu.Unlock()
+}
+
+// deadlockDump renders the all-parked verdict in the same format as the
+// goroutine engine's detector, so callers can treat both engines alike.
+func (rt *Runtime) deadlockDump() string {
+	d := &rt.deadlock
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	msg := "vmpi: deadlock: all ranks blocked in receive:\n"
+	for _, w := range d.waitingOn {
+		if w != "" {
+			msg += "  " + w + "\n"
+		}
+	}
+	return msg
+}

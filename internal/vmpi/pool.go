@@ -3,6 +3,7 @@ package vmpi
 import (
 	"reflect"
 	"sync"
+	"sync/atomic"
 )
 
 // Message-buffer pooling.
@@ -30,6 +31,60 @@ const (
 	poolMinBits = 5  // smallest pooled class: 32 elements
 	poolMaxBits = 24 // largest pooled class: 16M elements
 )
+
+// poolCounters meter the pool process-wide. They are host-domain
+// statistics (they depend on GC timing and host scheduling, not on the
+// virtual machine) and must never feed the virtual event stream or golden
+// exports; paperbench surfaces them through the host-side observability
+// buffer and BENCH json. Atomics keep the hot path lock-free — vmpi is not
+// part of the determinism-analyzer hot set precisely because its host-side
+// machinery may use them.
+var poolCounters struct {
+	gets     atomic.Int64
+	puts     atomic.Int64
+	misses   atomic.Int64
+	unpooled atomic.Int64
+	waste    atomic.Int64
+}
+
+// PoolStats is a snapshot of the message-buffer pool counters since
+// process start (or the last ResetPoolStats).
+type PoolStats struct {
+	// Gets counts pooled-range buffer requests; Misses of them found no
+	// recycled buffer and allocated fresh.
+	Gets, Misses int64
+	// Puts counts buffers handed back via Release.
+	Puts int64
+	// Unpooled counts requests outside the pooled size-class range
+	// (always freshly allocated, never recycled).
+	Unpooled int64
+	// WasteBytes accumulates, over all pooled gets, the size-class
+	// capacity minus the requested length — the oversized-class overhead
+	// that grows when message sizes sit just above a power of two. At
+	// 1024+ ranks this is the number to watch: a high waste-to-payload
+	// ratio means the size classes are mis-sized for the traffic.
+	WasteBytes int64
+}
+
+// PoolStatsSnapshot returns the current pool counters.
+func PoolStatsSnapshot() PoolStats {
+	return PoolStats{
+		Gets:       poolCounters.gets.Load(),
+		Misses:     poolCounters.misses.Load(),
+		Puts:       poolCounters.puts.Load(),
+		Unpooled:   poolCounters.unpooled.Load(),
+		WasteBytes: poolCounters.waste.Load(),
+	}
+}
+
+// ResetPoolStats zeroes the pool counters (benchmark bracketing).
+func ResetPoolStats() {
+	poolCounters.gets.Store(0)
+	poolCounters.puts.Store(0)
+	poolCounters.misses.Store(0)
+	poolCounters.unpooled.Store(0)
+	poolCounters.waste.Store(0)
+}
 
 // typedPool holds one sync.Pool per size class for a single element type.
 // Entries are *[]T stored as any.
@@ -69,14 +124,18 @@ func classBits(n int) int {
 func getSlice[T any](n int) []T {
 	b := classBits(n)
 	if b < 0 {
+		poolCounters.unpooled.Add(1)
 		return make([]T, n)
 	}
+	poolCounters.gets.Add(1)
+	poolCounters.waste.Add(int64(1<<b-n) * int64(sizeOf[T]()))
 	p := poolOf[T]()
 	if v := p.classes[b].Get(); v != nil {
 		s := (*v.(*[]T))[:n]
 		debugGet(s)
 		return s
 	}
+	poolCounters.misses.Add(1)
 	return make([]T, n, 1<<b)
 }
 
@@ -93,6 +152,7 @@ func Release[T any](s []T) {
 	if b < 0 {
 		return
 	}
+	poolCounters.puts.Add(1)
 	full := s[:0:c]
 	debugRelease(full)
 	poolOf[T]().classes[b].Put(&full)

@@ -35,6 +35,7 @@ import (
 
 	"repro/internal/netmodel"
 	"repro/internal/obs"
+	"repro/internal/rankexec"
 )
 
 // Fixed per-message CPU overheads in seconds (the "o" of the LogP family).
@@ -87,9 +88,11 @@ func newMailbox() *mailbox {
 	return mb
 }
 
-// put enqueues a message and wakes receivers. rt and dst feed the deadlock
-// detector: a delivery to a currently blocked rank defers any all-blocked
-// verdict until that rank has rescanned its queue.
+// put enqueues a message and wakes receivers. Under the event engine the
+// wakeup is an executor unpark of the destination rank; under the
+// goroutine engine it is a condition broadcast, and rt/dst additionally
+// feed the legacy deadlock detector (a delivery to a currently blocked
+// rank defers any all-blocked verdict until that rank has rescanned).
 func (mb *mailbox) put(rt *Runtime, dst int, m *message) {
 	k := mkey{src: m.src, tag: m.tag, ctx: m.ctx}
 	mb.mu.Lock()
@@ -100,6 +103,10 @@ func (mb *mailbox) put(rt *Runtime, dst int, m *message) {
 	}
 	q.msgs = append(q.msgs, m)
 	mb.mu.Unlock()
+	if rt.exec != nil {
+		rt.exec.Unpark(dst)
+		return
+	}
 	rt.notePut(dst)
 	mb.cond.Broadcast()
 }
@@ -113,6 +120,9 @@ func (mb *mailbox) put(rt *Runtime, dst int, m *message) {
 // then panics with a description of what each rank is waiting for instead
 // of hanging the process.
 func (mb *mailbox) take(rt *Runtime, rank, src, tag int, ctx int64) *message {
+	if rt.exec != nil {
+		return mb.takeEvent(rt, rank, src, tag, ctx)
+	}
 	k := mkey{src: src, tag: tag, ctx: ctx}
 	mb.mu.Lock()
 	defer mb.mu.Unlock()
@@ -233,8 +243,15 @@ type Runtime struct {
 	// traceMsgs additionally records every point-to-point message into the
 	// event stream (Config.Trace) — the high-volume part of the stream.
 	traceMsgs bool
-	// deadlock tracks blocked/finished ranks for deadlock detection.
+	// deadlock tracks blocked/finished ranks for deadlock detection (and,
+	// under the event engine, just the per-rank wait descriptions that
+	// feed the verdict dump).
 	deadlock deadlockState
+	// exec is the event-driven rank executor; nil selects the legacy
+	// goroutine machine. Written once before any rank runs.
+	exec *rankexec.Executor
+	// execStats is the executor's final meter snapshot (event engine only).
+	execStats *ExecStats
 }
 
 // Config parameterizes a virtual machine.
@@ -248,6 +265,15 @@ type Config struct {
 	// Trace records every point-to-point message for post-run analysis
 	// (Stats.Trace).
 	Trace bool
+	// Engine selects the rank-execution machinery; the zero value is the
+	// event-driven executor. Both engines produce bit-identical virtual
+	// results.
+	Engine Engine
+	// Workers, when positive, fixes the event engine's run-slot count
+	// instead of drawing one base slot plus budget extras. It bounds host
+	// concurrency only; virtual results are unaffected. Ignored by the
+	// goroutine engine.
+	Workers int
 }
 
 // Stats aggregates the outcome of a Run.
@@ -269,6 +295,10 @@ type Stats struct {
 	// phase, collective, barrier, counter/gauge — and, when Config.Trace
 	// is set, message — events.
 	Events *obs.Log
+	// Exec holds the event engine's host-side execution meters (nil under
+	// the goroutine engine). Host-domain only: these values depend on the
+	// host's scheduling and must never feed golden exports.
+	Exec *ExecStats
 }
 
 // MaxClock returns the maximum final clock — the virtual wall-clock time of
@@ -371,19 +401,56 @@ func Run(cfg Config, f func(c *Comm)) *Stats {
 	rt.deadlock.waitingOn = make([]string, n)
 	rt.deadlock.isBlocked = make([]bool, n)
 	rt.deadlock.wakePending = make([]bool, n)
-	var wg sync.WaitGroup
-	wg.Add(n)
-	// Rank panics (including the deadlock detector's) are re-raised in the
-	// caller's goroutine so they are recoverable and carry a useful value.
-	panicCh := make(chan any, n)
+	// All world communicators share one read-only members slice: Comm
+	// never mutates members (Split/Dup build fresh slices), and a per-rank
+	// copy would cost O(P²) memory at paper-scale rank counts.
+	world := identity(n)
+	comms := make([]*Comm, n)
 	for r := 0; r < n; r++ {
-		c := &Comm{
+		comms[r] = &Comm{
 			rt:      rt,
 			rank:    r,
-			members: identity(n),
+			members: world,
 			ctx:     0,
 			st:      rt.state[r],
 		}
+	}
+	if cfg.Engine == EngineGoroutine {
+		runGoroutine(rt, comms, f)
+	} else {
+		runEvent(rt, cfg, comms, f)
+	}
+	st := &Stats{
+		Clocks:       make([]float64, n),
+		Phases:       make([]map[string]float64, n),
+		BytesSent:    make([]int64, n),
+		MessagesSent: make([]int64, n),
+		Values:       make([]any, n),
+	}
+	for r, s := range rt.state {
+		st.Clocks[r] = s.clock
+		st.Phases[r] = s.phases
+		st.BytesSent[r] = s.bytesSent
+		st.MessagesSent[r] = s.msgsSent
+		st.Values[r] = s.result
+	}
+	st.Events = obs.NewLog(rt.obsBufs)
+	if cfg.Trace {
+		st.Trace = traceFromLog(st.Events)
+	}
+	st.Exec = rt.execStats
+	return st
+}
+
+// runGoroutine executes the ranks on the legacy machine: one free-running
+// goroutine per rank, woken by mailbox condition broadcasts. Rank panics
+// (including the deadlock detector's) are re-raised in the caller's
+// goroutine so they are recoverable and carry a useful value.
+func runGoroutine(rt *Runtime, comms []*Comm, f func(c *Comm)) {
+	var wg sync.WaitGroup
+	wg.Add(len(comms))
+	panicCh := make(chan any, len(comms))
+	for _, c := range comms {
 		go func(c *Comm) {
 			defer func() {
 				if p := recover(); p != nil {
@@ -409,25 +476,6 @@ func Run(cfg Config, f func(c *Comm)) *Stats {
 	case p := <-panicCh:
 		panic(p)
 	}
-	st := &Stats{
-		Clocks:       make([]float64, n),
-		Phases:       make([]map[string]float64, n),
-		BytesSent:    make([]int64, n),
-		MessagesSent: make([]int64, n),
-		Values:       make([]any, n),
-	}
-	for r, s := range rt.state {
-		st.Clocks[r] = s.clock
-		st.Phases[r] = s.phases
-		st.BytesSent[r] = s.bytesSent
-		st.MessagesSent[r] = s.msgsSent
-		st.Values[r] = s.result
-	}
-	st.Events = obs.NewLog(rt.obsBufs)
-	if cfg.Trace {
-		st.Trace = traceFromLog(st.Events)
-	}
-	return st
 }
 
 func identity(n int) []int {

@@ -46,8 +46,10 @@ bench-fig10:
 vet:
 	$(GO) vet ./...
 
-# Repo-specific analyzers: buffer ownership (ownedbuf), hot-path
-# determinism (determinism), SPMD collective symmetry (collsym).
+# Repo-specific analyzers (see DESIGN.md §9): buffer ownership
+# (ownedbuf), hot-path determinism (determinism), SPMD collective
+# symmetry (collsym), run-slot blocking (parkblock), host-budget leaks
+# (budgetleak), and hot-kernel allocations (hotalloc).
 lint:
 	$(GO) run ./cmd/parlint ./...
 

@@ -1,0 +1,36 @@
+package analysis_test
+
+import (
+	"go/ast"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+// markerAnalyzer reports every call to a function named trigger — a
+// minimal diagnostic source for exercising the //parlint:allow comment
+// forms (same-line and line-above placement, multi-analyzer lists, and
+// non-suppression when the analyzer is not listed).
+var markerAnalyzer = &analysis.Analyzer{
+	Name: "marker",
+	Doc:  "reports calls to trigger() (test-only)",
+	Run: func(pass *analysis.Pass) {
+		for _, file := range pass.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if fn := analysis.CalleeFunc(pass.Info, call); fn != nil && fn.Name() == "trigger" {
+					pass.Reportf(call.Pos(), "call to trigger")
+				}
+				return true
+			})
+		}
+	},
+}
+
+func TestAllowCommentForms(t *testing.T) {
+	analysistest.Run(t, "testdata/src", markerAnalyzer, "allowcase")
+}

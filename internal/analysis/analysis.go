@@ -3,6 +3,15 @@
 // golang.org/x/tools/go/analysis, reduced to what the repo-specific
 // analyzers under internal/analysis/... need.
 //
+// The driver is two-phase and interprocedural. Phase 1 walks every loaded
+// package in dependency order and computes per-function fact summaries
+// (FuncFacts in facts.go: does this function enter a collective, return
+// the rank, block the host, allocate on every call, acquire or release
+// host budget, ...), seeded by intrinsic axioms for vmpi, hostpar, time,
+// sync, and the OS/I/O packages. Phase 2 re-runs the analyzers over the
+// target packages with the completed global fact table, so a helper's
+// behavior is visible at its call sites across package boundaries.
+//
 // The analyzers machine-check the contracts that the messaging layer and
 // the host-parallel kernels otherwise state only in comments:
 //
@@ -13,7 +22,15 @@
 //     wall-clock reads, math/rand, atomics, GOMAXPROCS-dependent branches)
 //     in hostpar kernel closures or the FMM / P2NFFT hot paths.
 //   - collsym: no vmpi collective calls inside branches conditioned on the
-//     rank (SPMD symmetry).
+//     rank (SPMD symmetry), including through rank-returning helpers.
+//   - parkblock: no host-blocking constructs (channel ops, sync waits,
+//     sleeps, real I/O, blocking budget acquisition) in rank-task code,
+//     where only the vmpi/rankexec park protocol may block a run slot.
+//   - budgetleak: every acquired hostpar/rankexec budget slot is released
+//     on every path of the acquiring function frame.
+//   - hotalloc: functions marked //parlint:hotalloc must not allocate on
+//     every call (fresh composite literals, make/new, appends to fresh
+//     backing, calls to always-allocating helpers).
 //
 // A diagnostic can be suppressed by a trailing or preceding line comment
 // of the form
@@ -51,6 +68,9 @@ type Pass struct {
 	Files    []*ast.File
 	Pkg      *types.Package
 	Info     *types.Info
+	// Facts is the global interprocedural fact table computed in phase 1
+	// over every loaded package (dependencies included); see facts.go.
+	Facts *Facts
 
 	diags *[]Diagnostic
 }
@@ -176,9 +196,19 @@ func suppressedLines(fset *token.FileSet, files []*ast.File) map[string]map[stri
 
 // RunAnalyzers applies each analyzer to each package and returns the
 // deduplicated, suppression-filtered findings in source order.
+//
+// The run is two-phase: phase 1 computes per-function fact summaries over
+// every package — including FactsOnly dependency packages, which are
+// type-checked for their facts but never report diagnostics — in the
+// dependency order pkgs arrives in; phase 2 runs the analyzers with the
+// completed table in Pass.Facts.
 func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	facts := ComputeFacts(pkgs)
 	var all []Diagnostic
 	for _, pkg := range pkgs {
+		if pkg.FactsOnly {
+			continue
+		}
 		suppressed := suppressedLines(pkg.Fset, pkg.Files)
 		var diags []Diagnostic
 		for _, a := range analyzers {
@@ -188,6 +218,7 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 				Files:    pkg.Files,
 				Pkg:      pkg.Pkg,
 				Info:     pkg.Info,
+				Facts:    facts,
 				diags:    &diags,
 			}
 			a.Run(pass)

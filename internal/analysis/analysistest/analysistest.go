@@ -43,14 +43,23 @@ func Run(t *testing.T, srcRoot string, a *analysis.Analyzer, pkgPath string) {
 	if err != nil {
 		t.Fatalf("loading fixture %s: %v", pkgPath, err)
 	}
-	diags := analysis.RunAnalyzers([]*analysis.Package{{
-		ImportPath: pkgPath,
-		Dir:        filepath.Join(srcRoot, pkgPath),
-		Fset:       ld.fset,
-		Files:      target.files,
-		Pkg:        target.pkg,
-		Info:       target.info,
-	}}, []*analysis.Analyzer{a})
+	// The loader records packages in completion order — dependencies
+	// before importers — which is exactly the order interprocedural fact
+	// computation needs. Stub dependencies contribute facts only; the
+	// target package alone is analyzed.
+	var pkgs []*analysis.Package
+	for _, l := range ld.order {
+		pkgs = append(pkgs, &analysis.Package{
+			ImportPath: l.path,
+			Dir:        filepath.Join(srcRoot, l.path),
+			Fset:       ld.fset,
+			Files:      l.files,
+			Pkg:        l.pkg,
+			Info:       l.info,
+			FactsOnly:  l != target,
+		})
+	}
+	diags := analysis.RunAnalyzers(pkgs, []*analysis.Analyzer{a})
 
 	wants := collectWants(t, ld.fset, target.files)
 	for _, d := range diags {
@@ -77,15 +86,17 @@ func Run(t *testing.T, srcRoot string, a *analysis.Analyzer, pkgPath string) {
 }
 
 type loaded struct {
+	path  string
 	pkg   *types.Package
 	files []*ast.File
 	info  *types.Info
 }
 
 type loader struct {
-	root string
-	fset *token.FileSet
-	pkgs map[string]*loaded
+	root  string
+	fset  *token.FileSet
+	pkgs  map[string]*loaded
+	order []*loaded // completion order: dependencies first
 }
 
 func (l *loader) load(path string) (*loaded, error) {
@@ -134,8 +145,9 @@ func (l *loader) load(path string) (*loaded, error) {
 	if err != nil {
 		return nil, err
 	}
-	res := &loaded{pkg: pkg, files: files, info: info}
+	res := &loaded{path: path, pkg: pkg, files: files, info: info}
 	l.pkgs[path] = res
+	l.order = append(l.order, res)
 	return res, nil
 }
 

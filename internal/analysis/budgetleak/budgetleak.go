@@ -1,0 +1,261 @@
+// Package budgetleak enforces the accounting contract of the shared
+// hostpar.Budget (see internal/hostpar/governor.go): every acquired
+// unit — a blocking Acquire or a successful TryAcquire — must reach a
+// Release, or the global host-parallelism pool shrinks for the rest of
+// the process. The three production consumers (sched workers,
+// hostpar.For helpers, the rankexec extras pool) all pair their
+// acquisitions; this analyzer keeps it that way.
+//
+// Witnesses are recognized through the fact layer: a direct
+// Budget.Release, a call to a helper whose summary releases the budget
+// (ReleasesBudget) or releases a budget parameter (ReleasesBudgetParam),
+// or a deferred form of either. The checks are positional:
+//
+//   - Acquire requires a witness later in the same function frame (the
+//     enclosing declaration or function literal — the sched worker
+//     pattern acquires and releases inside one literal). A return
+//     between the Acquire and its first witness leaks the slot on that
+//     path.
+//   - `if b.TryAcquire() { ... }` requires a witness inside the success
+//     body; `if !b.TryAcquire() { ... }` requires one in the remainder
+//     of the enclosing block. Witnesses inside nested literals count:
+//     hostpar.For releases from the goroutine it spawns.
+//   - A TryAcquire in a return statement transfers the acquisition to
+//     the caller and is not checked here.
+//
+// Two escapes keep the analyzer honest about long-lived pools: methods
+// of a type that also declares a releasing method (the rankexec
+// executor grows in growLocked and trims in trimExtrasLocked) are
+// exempt — the pairing is a type invariant, not a function-local one —
+// and test files are exempt.
+package budgetleak
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "budgetleak",
+	Doc: "reports hostpar.Budget acquisitions (Acquire, successful TryAcquire) " +
+		"with no reachable Release: a leaked unit shrinks the shared " +
+		"host-parallelism pool for the rest of the process",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) {
+	for _, file := range pass.Files {
+		if pass.IsTestFile(file.Pos()) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || poolingMethod(pass, fd) {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+}
+
+// poolingMethod reports whether fd is a method on a type that also
+// declares a budget-releasing method: acquisitions there follow a type
+// invariant (pool grow / trim), not function-local pairing.
+func poolingMethod(pass *analysis.Pass, fd *ast.FuncDecl) bool {
+	if fd.Recv == nil {
+		return false
+	}
+	fn, _ := pass.Info.Defs[fd.Name].(*types.Func)
+	if fn == nil {
+		return false
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil {
+		return false
+	}
+	t := types.Unalias(sig.Recv().Type())
+	if p, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(p.Elem())
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	for i := 0; i < named.NumMethods(); i++ {
+		m := named.Method(i)
+		if m != fn && pass.Facts.Of(m).ReleasesBudget {
+			return true
+		}
+	}
+	return false
+}
+
+type span struct{ lo, hi token.Pos }
+
+func (s span) contains(p token.Pos) bool { return s.lo <= p && p < s.hi }
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	info := pass.Info
+	body := fd.Body
+
+	// Witness positions: anything that releases a budget unit.
+	var witnesses []token.Pos
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if analysis.IsBudgetMethod(info, call, "Release") {
+			witnesses = append(witnesses, call.Pos())
+			return true
+		}
+		if fn := analysis.CalleeFunc(info, call); fn != nil {
+			if ff := pass.Facts.Of(fn); ff.ReleasesBudget || ff.ReleasesBudgetParam != 0 {
+				witnesses = append(witnesses, call.Pos())
+			}
+		}
+		return true
+	})
+	witnessIn := func(lo, hi token.Pos) bool {
+		for _, w := range witnesses {
+			if lo <= w && w < hi {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Function frames, for the same-frame rule on blocking Acquire.
+	frames := []span{{body.Pos(), body.End()}}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			frames = append(frames, span{lit.Pos(), lit.End()})
+		}
+		return true
+	})
+	innermost := func(p token.Pos) span {
+		best := frames[0]
+		for _, fr := range frames[1:] {
+			if fr.contains(p) && fr.lo > best.lo {
+				best = fr
+			}
+		}
+		return best
+	}
+	// A witness or return is in frame fr (not in a nested literal) when
+	// fr is its innermost frame.
+	sameFrame := func(p token.Pos, fr span) bool { return innermost(p) == fr }
+
+	// TryAcquire calls appearing as (possibly negated) if conditions get
+	// branch-shaped checks; collect the handled set first.
+	handled := map[*ast.CallExpr]bool{}
+	afterIf := map[*ast.IfStmt][]ast.Stmt{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		var list []ast.Stmt
+		switch n := n.(type) {
+		case *ast.BlockStmt:
+			list = n.List
+		case *ast.CaseClause:
+			list = n.Body
+		case *ast.CommClause:
+			list = n.Body
+		default:
+			return true
+		}
+		for i, s := range list {
+			if ifs, ok := s.(*ast.IfStmt); ok {
+				afterIf[ifs] = list[i+1:]
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		ifs, ok := n.(*ast.IfStmt)
+		if !ok {
+			return true
+		}
+		cond := ast.Unparen(ifs.Cond)
+		if call, ok := cond.(*ast.CallExpr); ok && analysis.IsBudgetMethod(info, call, "TryAcquire") {
+			handled[call] = true
+			if !witnessIn(ifs.Body.Pos(), ifs.Body.End()) {
+				pass.Reportf(call.Pos(), "Budget.TryAcquire success branch has no Release: the acquired host slot leaks")
+			}
+		}
+		if neg, ok := cond.(*ast.UnaryExpr); ok && neg.Op == token.NOT {
+			if call, ok := ast.Unparen(neg.X).(*ast.CallExpr); ok && analysis.IsBudgetMethod(info, call, "TryAcquire") {
+				handled[call] = true
+				found := false
+				for _, s := range afterIf[ifs] {
+					if witnessIn(s.Pos(), s.End()) {
+						found = true
+					}
+				}
+				if !found {
+					pass.Reportf(call.Pos(), "Budget.TryAcquire success path (after the negated check) has no Release: the acquired host slot leaks")
+				}
+			}
+		}
+		return true
+	})
+
+	// Return statements, for the Acquire positional check.
+	var returns []token.Pos
+	ast.Inspect(body, func(n ast.Node) bool {
+		if r, ok := n.(*ast.ReturnStmt); ok {
+			returns = append(returns, r.Pos())
+		}
+		return true
+	})
+
+	// Transfer wrappers: an acquisition inside a return statement hands
+	// the unit to the caller.
+	inReturn := map[*ast.CallExpr]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		r, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		ast.Inspect(r, func(m ast.Node) bool {
+			if c, ok := m.(*ast.CallExpr); ok {
+				inReturn[c] = true
+			}
+			return true
+		})
+		return false
+	})
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch {
+		case analysis.IsBudgetMethod(info, call, "Acquire"):
+			fr := innermost(call.Pos())
+			first := token.NoPos
+			for _, w := range witnesses {
+				if w > call.Pos() && fr.contains(w) && sameFrame(w, fr) && (first == token.NoPos || w < first) {
+					first = w
+				}
+			}
+			if first == token.NoPos {
+				pass.Reportf(call.Pos(), "Budget.Acquire with no reachable Release in the same function frame: the acquired host slot leaks")
+				return true
+			}
+			for _, r := range returns {
+				if r > call.Pos() && r < first && sameFrame(r, fr) {
+					pass.Reportf(r, "return between Budget.Acquire and its Release leaks the acquired host slot")
+				}
+			}
+		case analysis.IsBudgetMethod(info, call, "TryAcquire") && !handled[call] && !inReturn[call]:
+			if !witnessIn(body.Pos(), body.End()) {
+				pass.Reportf(call.Pos(), "Budget.TryAcquire result is consumed without any Release in this function: the acquired host slot leaks")
+			}
+		}
+		return true
+	})
+}

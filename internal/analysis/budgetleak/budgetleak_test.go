@@ -1,0 +1,12 @@
+package budgetleak_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/budgetleak"
+)
+
+func TestBudgetPairing(t *testing.T) {
+	analysistest.Run(t, "testdata/src", budgetleak.Analyzer, "q")
+}

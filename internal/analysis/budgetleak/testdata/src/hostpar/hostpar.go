@@ -1,0 +1,11 @@
+// Package hostpar is a fixture stub of the real host-parallelism layer
+// (repro/internal/hostpar): the Budget surface parkblock cares about.
+package hostpar
+
+type Budget struct{}
+
+func (b *Budget) Acquire()         {}
+func (b *Budget) TryAcquire() bool { return true }
+func (b *Budget) Release()         {}
+
+func For(n, grain int, fn func(lo, hi int)) { fn(0, n) }

@@ -1,0 +1,126 @@
+// Package q exercises the budgetleak analyzer: acquisitions that never
+// reach a Release are reported; the production pairing idioms (defer,
+// releasing helpers, goroutine release, pooling types, transfer
+// wrappers) are accepted.
+package q
+
+import "hostpar"
+
+func work() {}
+
+// put releases its budget parameter: its ReleasesBudgetParam fact makes
+// a call to it a witness.
+func put(b *hostpar.Budget) { b.Release() }
+
+// leakDirect: acquired, never released.
+func leakDirect(b *hostpar.Budget) {
+	b.Acquire() // want `Budget\.Acquire with no reachable Release in the same function frame`
+	work()
+}
+
+// returnWhileHolding: the early return path leaks the slot.
+func returnWhileHolding(b *hostpar.Budget, bail bool) {
+	b.Acquire()
+	if bail {
+		return // want `return between Budget\.Acquire and its Release leaks the acquired host slot`
+	}
+	work()
+	b.Release()
+}
+
+// tryLeak: the success branch never releases.
+func tryLeak(b *hostpar.Budget) {
+	if b.TryAcquire() { // want `Budget\.TryAcquire success branch has no Release`
+		work()
+	}
+}
+
+// tryNegLeak: the fall-through success path never releases.
+func tryNegLeak(b *hostpar.Budget) {
+	if !b.TryAcquire() { // want `Budget\.TryAcquire success path \(after the negated check\) has no Release`
+		return
+	}
+	work()
+}
+
+// tryLooseLeak: consumed outside an if condition, no release anywhere.
+func tryLooseLeak(b *hostpar.Budget) bool {
+	got := b.TryAcquire() // want `Budget\.TryAcquire result is consumed without any Release in this function`
+	work()
+	return got
+}
+
+// okDefer: the canonical pairing (negative case).
+func okDefer(b *hostpar.Budget) {
+	b.Acquire()
+	defer b.Release()
+	work()
+}
+
+// okHelperRelease: the release flows through a helper's fact (negative
+// case).
+func okHelperRelease(b *hostpar.Budget) {
+	b.Acquire()
+	work()
+	put(b)
+}
+
+// okGoLitRelease: the hostpar.For idiom — the spawned goroutine
+// releases (negative case).
+func okGoLitRelease(b *hostpar.Budget, done chan struct{}) {
+	if b.TryAcquire() {
+		go func() {
+			defer b.Release()
+			work()
+			done <- struct{}{}
+		}()
+	}
+}
+
+// okNegRest: the negated check with a deferred release in the success
+// path (negative case).
+func okNegRest(b *hostpar.Budget) {
+	if !b.TryAcquire() {
+		return
+	}
+	defer b.Release()
+	work()
+}
+
+// okWorkerFrame: the sched worker idiom — acquire and release inside
+// the same literal frame, with the return outside it (negative case).
+func okWorkerFrame(b *hostpar.Budget, jobs []func()) {
+	for range jobs {
+		go func() {
+			b.Acquire()
+			work()
+			b.Release()
+		}()
+	}
+}
+
+// pool grows and trims a long-lived slot pool: grow holds units past
+// the function boundary by design, and the trim method on the same type
+// exempts it (negative case; the rankexec executor idiom).
+type pool struct {
+	b      *hostpar.Budget
+	extras int
+}
+
+func (p *pool) grow() bool {
+	if !p.b.TryAcquire() {
+		return false
+	}
+	p.extras++
+	return true
+}
+
+func (p *pool) trim() {
+	for p.extras > 0 {
+		p.extras--
+		p.b.Release()
+	}
+}
+
+// grab transfers the acquisition to its caller (negative case).
+func grab(b *hostpar.Budget) bool { return b.TryAcquire() }

@@ -7,19 +7,32 @@
 // do, and with vmpi's tag-based matching the stragglers can instead pair
 // with a later collective's messages.
 //
-// Rank dependence is recognized syntactically: a condition that calls
-// Comm.Rank() / Comm.WorldRank(), or mentions a local variable assigned
-// directly from such a call anywhere in the same function. Rank-dependent
-// point-to-point communication is deliberately not flagged — asymmetric
-// sends and receives are the normal SPMD idiom.
+// Rank dependence is tracked through the interprocedural fact layer
+// (internal/analysis facts): a condition is rank-dependent when it calls
+// Comm.Rank() / Comm.WorldRank(), mentions a local derived from such a
+// call, or calls a helper whose result the fact table proves
+// rank-derived — including helpers in other packages, and through
+// parameter positions (isRoot(c), XRange(c.Rank())). Two divergence
+// shapes are reported:
 //
-// The check is lexical, so rank-dependent early returns followed by a
-// collective (`if c.Rank() != 0 { return }; vmpi.Barrier(c)`) are not
-// caught; the vmpi deadlock detector remains the runtime backstop for
-// those.
+//   - collectives (or calls to functions that transitively enter a
+//     collective) lexically inside a rank-dependent branch, and
+//   - collectives after a rank-dependent early exit — `if c.Rank() != 0
+//     { return }; vmpi.Barrier(c)` — where the remainder of the block
+//     runs on a rank-dependent subset.
+//
+// Rank-dependent point-to-point communication is deliberately not
+// flagged — asymmetric sends and receives are the normal SPMD idiom.
+// Also accepted are collectives whose communicator operand derives from
+// a rank-dependent Comm.Split: partitioning by rank and then operating
+// collectively inside one color is the sub-communicator idiom (§II-A
+// fcs_init takes the solver's process group), and symmetry within the
+// sub-communicator is the caller's stated intent. The analyzer does not
+// attempt to prove the branch condition matches the split color.
 package collsym
 
 import (
+	"fmt"
 	"go/ast"
 	"go/token"
 	"go/types"
@@ -29,104 +42,92 @@ import (
 
 var Analyzer = &analysis.Analyzer{
 	Name: "collsym",
-	Doc: "reports vmpi collective calls inside branches conditioned on the " +
-		"rank, which break SPMD collective symmetry (deadlock/corruption hazard)",
+	Doc: "reports vmpi collective calls (direct or through callees) inside " +
+		"rank-dependent branches or after rank-dependent early exits, which " +
+		"break SPMD collective symmetry (deadlock/corruption hazard)",
 	Run: run,
 }
-
-// collectives are the vmpi package-level operations every rank must enter
-// symmetrically.
-var collectives = map[string]bool{
-	"Barrier": true, "Bcast": true, "Reduce": true, "Allreduce": true,
-	"AllreduceVal": true, "Gather": true, "GatherBlocks": true,
-	"Allgather": true, "AllgatherBlocks": true, "ScatterBlocks": true,
-	"Alltoall": true, "AlltoallOwned": true, "Scan": true, "Exscan": true,
-}
-
-// collectiveMethods are Comm methods with collective semantics.
-var collectiveMethods = map[string]bool{"Split": true, "Dup": true}
 
 func run(pass *analysis.Pass) {
 	for _, file := range pass.Files {
 		for _, decl := range file.Decls {
 			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
-				checkFunc(pass, fd.Body)
+				checkFunc(pass, fd)
 			}
 		}
 	}
 }
 
-func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+// region is a source extent in which collective entry is asymmetric.
+type region struct {
+	lo, hi token.Pos
+	note   string
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
 	info := pass.Info
+	body := fd.Body
+	tracker := analysis.NewDepTracker(info, pass.Facts, fd, body)
 
-	// Pass 1: local variables assigned directly from a rank call, e.g.
-	// `me := c.Rank()`.
-	rankVars := map[types.Object]bool{}
-	ast.Inspect(body, func(n ast.Node) bool {
-		as, ok := n.(*ast.AssignStmt)
-		if !ok || len(as.Lhs) != len(as.Rhs) {
-			return true
-		}
-		for i, rhs := range as.Rhs {
-			if !isRankCall(info, ast.Unparen(rhs)) {
-				continue
-			}
-			if id, ok := ast.Unparen(as.Lhs[i]).(*ast.Ident); ok {
-				if obj := info.Defs[id]; obj != nil {
-					rankVars[obj] = true
-				} else if obj := info.Uses[id]; obj != nil {
-					rankVars[obj] = true
-				}
-			}
-		}
-		return true
-	})
-
-	rankDependent := func(cond ast.Expr) bool {
-		found := false
-		ast.Inspect(cond, func(n ast.Node) bool {
-			switch n := n.(type) {
-			case *ast.CallExpr:
-				if isRankCall(info, n) {
-					found = true
-				}
-			case *ast.Ident:
-				if obj := info.Uses[n]; obj != nil && rankVars[obj] {
-					found = true
-				}
-			}
-			return !found
-		})
-		return found
-	}
-
-	// Pass 2: extents of rank-conditional regions. The whole statement is
+	// Pass 1: extents of rank-conditional regions. The whole statement is
 	// covered — a collective in a short-circuit condition is conditional
 	// too.
-	var regions []struct{ lo, hi token.Pos }
+	var regions []region
 	ast.Inspect(body, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.IfStmt:
-			if rankDependent(n.Cond) {
-				regions = append(regions, struct{ lo, hi token.Pos }{n.Pos(), n.End()})
+			if tracker.RankDependent(n.Cond) {
+				regions = append(regions, region{n.Pos(), n.End(), "inside a rank-dependent branch"})
 			}
 		case *ast.SwitchStmt:
-			dep := n.Tag != nil && rankDependent(n.Tag)
+			dep := n.Tag != nil && tracker.RankDependent(n.Tag)
 			if !dep {
 				for _, cc := range n.Body.List {
 					for _, e := range cc.(*ast.CaseClause).List {
-						if rankDependent(e) {
+						if tracker.RankDependent(e) {
 							dep = true
 						}
 					}
 				}
 			}
 			if dep {
-				regions = append(regions, struct{ lo, hi token.Pos }{n.Pos(), n.End()})
+				regions = append(regions, region{n.Pos(), n.End(), "inside a rank-dependent branch"})
 			}
 		case *ast.ForStmt:
-			if n.Cond != nil && rankDependent(n.Cond) {
-				regions = append(regions, struct{ lo, hi token.Pos }{n.Pos(), n.End()})
+			if n.Cond != nil && tracker.RankDependent(n.Cond) {
+				regions = append(regions, region{n.Pos(), n.End(), "inside a rank-dependent branch"})
+			}
+		}
+		return true
+	})
+
+	// Pass 2: rank-dependent early exits. When a rank-dependent if-body
+	// unconditionally leaves the enclosing block (return, panic, break,
+	// continue, goto), only a rank-dependent subset executes the
+	// remainder of the statement list.
+	ast.Inspect(body, func(n ast.Node) bool {
+		var list []ast.Stmt
+		switch n := n.(type) {
+		case *ast.BlockStmt:
+			list = n.List
+		case *ast.CaseClause:
+			list = n.Body
+		case *ast.CommClause:
+			list = n.Body
+		default:
+			return true
+		}
+		for i, s := range list {
+			ifs, ok := s.(*ast.IfStmt)
+			if !ok || i+1 >= len(list) {
+				continue
+			}
+			if tracker.RankDependent(ifs.Cond) && diverges(ifs.Body) {
+				pos := pass.Fset.Position(ifs.Pos())
+				regions = append(regions, region{
+					lo: ifs.End(), hi: list[len(list)-1].End(),
+					note: fmt.Sprintf("after the rank-dependent early exit at line %d", pos.Line),
+				})
 			}
 		}
 		return true
@@ -134,49 +135,88 @@ func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
 	if len(regions) == 0 {
 		return
 	}
-	inRegion := func(p token.Pos) bool {
-		for _, r := range regions {
-			if r.lo <= p && p < r.hi {
-				return true
+	regionAt := func(p token.Pos) *region {
+		for i := range regions {
+			if regions[i].lo <= p && p < regions[i].hi {
+				return &regions[i]
 			}
 		}
-		return false
+		return nil
 	}
 
-	// Pass 3: collective calls inside those regions.
+	// Pass 3: collective entries inside those regions — direct vmpi
+	// collectives, and calls whose fact summary proves they transitively
+	// enter one. Collectives scoped to a rank-dependent sub-communicator
+	// (operand derives from Comm.Split with a rank-dependent color) are
+	// accepted.
 	ast.Inspect(body, func(n ast.Node) bool {
 		call, ok := n.(*ast.CallExpr)
-		if !ok || !inRegion(call.Pos()) {
+		if !ok {
+			return true
+		}
+		r := regionAt(call.Pos())
+		if r == nil {
 			return true
 		}
 		fn := analysis.CalleeFunc(info, call)
-		if fn == nil || !analysis.PkgIs(fn.Pkg(), "vmpi") {
+		if fn == nil {
 			return true
 		}
-		recv := fn.Type().(*types.Signature).Recv()
-		switch {
-		case recv == nil && collectives[fn.Name()]:
-			pass.Reportf(call.Pos(), "collective vmpi.%s inside a rank-dependent branch: every rank must call collectives in the same order (SPMD symmetry)", fn.Name())
-		case recv != nil && collectiveMethods[fn.Name()]:
-			pass.Reportf(call.Pos(), "collective Comm.%s inside a rank-dependent branch: every rank must call collectives in the same order (SPMD symmetry)", fn.Name())
+		isMethod := fn.Type().(*types.Signature).Recv() != nil
+		if analysis.PkgIs(fn.Pkg(), "vmpi") {
+			switch {
+			case !isMethod && analysis.VmpiCollectives[fn.Name()]:
+				if len(call.Args) > 0 && tracker.SubScoped(call.Args[0]) {
+					return true
+				}
+				pass.Reportf(call.Pos(), "collective vmpi.%s %s: every rank must call collectives in the same order (SPMD symmetry)", fn.Name(), r.note)
+			case isMethod && analysis.VmpiCollectiveMethods[fn.Name()]:
+				if recv := recvOperand(call); recv != nil && tracker.SubScoped(recv) {
+					return true
+				}
+				pass.Reportf(call.Pos(), "collective Comm.%s %s: every rank must call collectives in the same order (SPMD symmetry)", fn.Name(), r.note)
+			}
+			return true
+		}
+		if pass.Facts.Of(fn).EntersCollective {
+			if isMethod {
+				if recv := recvOperand(call); recv != nil && tracker.SubScoped(recv) {
+					return true
+				}
+			}
+			for _, a := range call.Args {
+				if tracker.SubScoped(a) {
+					return true
+				}
+			}
+			pass.Reportf(call.Pos(), "call to %s, which enters a vmpi collective, %s: every rank must call collectives in the same order (SPMD symmetry)", fn.Name(), r.note)
 		}
 		return true
 	})
 }
 
-// isRankCall reports whether e is a call of Comm.Rank or Comm.WorldRank
-// (any receiver whose method is defined in package vmpi).
-func isRankCall(info *types.Info, e ast.Expr) bool {
-	call, ok := e.(*ast.CallExpr)
-	if !ok {
+// diverges reports whether the block leaves the enclosing statement
+// list while the run continues: its last statement is a return or a
+// branch statement (break/continue/goto). A rank-dependent panic guard
+// does NOT count — a panicking rank aborts the whole virtual run rather
+// than silently skipping collectives, so the size-assertion idiom
+// (`if len(a) != lx*ny*nz { panic(...) }` before a transpose) stays
+// symmetric on every run that survives it.
+func diverges(body *ast.BlockStmt) bool {
+	if len(body.List) == 0 {
 		return false
 	}
-	fn := analysis.CalleeFunc(info, call)
-	if fn == nil {
-		return false
+	switch body.List[len(body.List)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
 	}
-	if fn.Name() != "Rank" && fn.Name() != "WorldRank" {
-		return false
+	return false
+}
+
+// recvOperand returns the receiver expression of a method call, or nil.
+func recvOperand(call *ast.CallExpr) ast.Expr {
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		return sel.X
 	}
-	return fn.Type().(*types.Signature).Recv() != nil && analysis.PkgIs(fn.Pkg(), "vmpi")
+	return nil
 }

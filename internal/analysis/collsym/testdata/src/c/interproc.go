@@ -1,0 +1,128 @@
+// Cases for the interprocedural fact layer: rank dependence through
+// helper results and parameters, collective entry through callees,
+// rank-dependent early exits, and the sub-communicator escape.
+package c
+
+import (
+	"helpers"
+	"vmpi"
+)
+
+// isRoot: local helper whose result is rank-derived (RankResult fact).
+func isRoot(c *vmpi.Comm) bool { return c.Rank() == 0 }
+
+// syncAll: local helper that enters a collective (EntersCollective fact).
+func syncAll(c *vmpi.Comm) { vmpi.Barrier(c) }
+
+// half: rank dependence flowing through a parameter (ParamResult fact).
+func half(r int) int { return r / 2 }
+
+// earlyReturn: the documented gap of the old lexical analyzer — a
+// rank-dependent early return followed by a collective.
+func earlyReturn(c *vmpi.Comm) {
+	if c.Rank() != 0 {
+		return
+	}
+	vmpi.Barrier(c) // want `collective vmpi.Barrier after the rank-dependent early exit at line \d+`
+}
+
+// helperPredicate: rank dependence through a local helper's result.
+func helperPredicate(c *vmpi.Comm) {
+	if isRoot(c) {
+		vmpi.Barrier(c) // want `collective vmpi.Barrier inside a rank-dependent branch`
+	}
+}
+
+// helperCollective: collective entry through a callee.
+func helperCollective(c *vmpi.Comm) {
+	if c.Rank() == 0 {
+		syncAll(c) // want `call to syncAll, which enters a vmpi collective, inside a rank-dependent branch`
+	}
+}
+
+// crossPackage: both facts cross a package boundary.
+func crossPackage(c *vmpi.Comm) {
+	if helpers.IsRoot(c) {
+		helpers.SyncAll(c) // want `call to SyncAll, which enters a vmpi collective, inside a rank-dependent branch`
+	}
+}
+
+// paramFlow: the rank flows through a helper's parameter into a local.
+func paramFlow(c *vmpi.Comm) {
+	h := half(c.Rank())
+	if h == 0 {
+		vmpi.Barrier(c) // want `collective vmpi.Barrier inside a rank-dependent branch`
+	}
+}
+
+// earlyContinue: a rank-dependent continue poisons the rest of the loop
+// body.
+func earlyContinue(c *vmpi.Comm) {
+	for i := 0; i < 3; i++ {
+		if c.Rank() == 0 {
+			continue
+		}
+		vmpi.Barrier(c) // want `collective vmpi.Barrier after the rank-dependent early exit at line \d+`
+	}
+}
+
+// okPanicGuard: a rank-dependent assertion that panics aborts the whole
+// run instead of desynchronizing it — the size-check idiom before a
+// collective transpose (negative case).
+func okPanicGuard(c *vmpi.Comm, n int) {
+	if c.Rank()+1 > n {
+		panic("local size mismatch")
+	}
+	vmpi.Barrier(c)
+}
+
+// okEarlyNoExit: a rank-dependent if whose body falls through does not
+// poison the rest of the block (negative case).
+func okEarlyNoExit(c *vmpi.Comm) {
+	n := 0
+	if c.Rank() == 0 {
+		n++
+	}
+	vmpi.Barrier(c)
+	_ = n
+}
+
+// okDataReturn: an early return on non-rank data is symmetric
+// (negative case).
+func okDataReturn(c *vmpi.Comm, n int) {
+	if n == 0 {
+		return
+	}
+	vmpi.Barrier(c)
+}
+
+// okHelperPure: calling a rank-independent helper in a branch on its
+// result is fine (negative case).
+func okHelperPure(c *vmpi.Comm, n int) {
+	if half(n) == 0 {
+		vmpi.Barrier(c)
+	}
+}
+
+// okSubComm: collectives on a rank-scoped sub-communicator are the
+// sub-communicator idiom — accepted in the branch and after the early
+// exit. This precision rule is what let the core_test waiver be
+// deleted.
+func okSubComm(c *vmpi.Comm) {
+	sub := c.Split(c.Rank()%2, c.Rank())
+	if c.Rank()%2 == 1 {
+		_ = vmpi.AllreduceVal(sub, 1)
+		vmpi.Barrier(sub)
+		return
+	}
+	_ = vmpi.Allreduce(sub, []float64{1})
+}
+
+// okHelperSub: a collective-entering helper taking the sub-communicator
+// is accepted too (negative case).
+func okHelperSub(c *vmpi.Comm) {
+	sub := c.Split(c.Rank()%2, c.Rank())
+	if c.Rank()%2 == 0 {
+		syncAll(sub)
+	}
+}

@@ -1,0 +1,12 @@
+// Package helpers provides cross-package rank helpers for the collsym
+// interprocedural fixtures: their fact summaries (rank-dependent result,
+// enters-collective) must survive the package boundary.
+package helpers
+
+import "vmpi"
+
+// IsRoot reports whether the calling rank is rank 0 (RankResult fact).
+func IsRoot(c *vmpi.Comm) bool { return c.Rank() == 0 }
+
+// SyncAll enters a barrier on c (EntersCollective fact).
+func SyncAll(c *vmpi.Comm) { vmpi.Barrier(c) }

@@ -126,7 +126,7 @@ func checkFile(pass *analysis.Pass, file *ast.File, hot bool) {
 				return true
 			}
 			if tv, ok := info.Types[n.X]; ok {
-				if _, isMap := tv.Type.Underlying().(*types.Map); isMap && !isCollectOnly(info, n.Body) {
+				if _, isMap := tv.Type.Underlying().(*types.Map); isMap && !analysis.IsCollectOnly(info, n.Body) {
 					ctx := "in a hot path"
 					if inKernel {
 						ctx = "in a hostpar kernel closure"
@@ -154,6 +154,12 @@ func checkFile(pass *analysis.Pass, file *ast.File, hot bool) {
 				}
 			case inKernel && analysis.PkgIs(fn.Pkg(), "vmpi"):
 				pass.Reportf(n.Pos(), "vmpi call inside a hostpar kernel closure: communicators are bound to the rank goroutine; charge virtual cost outside the parallel section")
+			case nondetCallee(pass, fn):
+				ctx := "in a hot path"
+				if inKernel {
+					ctx = "in a hostpar kernel closure"
+				}
+				pass.Reportf(n.Pos(), "call to %s, which transitively reads a nondeterminism source (wall clock, atomics, or unsorted map iteration), %s", fn.Name(), ctx)
 			}
 		case *ast.SelectorExpr:
 			inScope, _ := where(n.Pos())
@@ -177,25 +183,19 @@ func pkgFunc(fn *types.Func, pkg, name string) bool {
 	return fn.Name() == name && fn.Type().(*types.Signature).Recv() == nil && analysis.PkgIs(fn.Pkg(), pkg)
 }
 
-// isCollectOnly reports whether a map-range body only appends the
-// iteration variables to a slice — the collect-then-sort idiom, whose
-// result is order-independent up to the subsequent sort.
-func isCollectOnly(info *types.Info, body *ast.BlockStmt) bool {
-	if len(body.List) != 1 {
-		return false
+// nondetCallee reports whether calling fn drags a nondeterminism source
+// into the hot scope: its fact summary is transitively nondeterministic
+// and it is defined outside the hot set and outside the contracted
+// layers. The vmpi clock injection and hostpar's scheduling counters are
+// documented exceptions, and direct sources (time, atomic, rand,
+// runtime) are reported by the lexical cases above with a sharper
+// message. Hot-set callees are held to the bar where they are defined,
+// not at every call site.
+func nondetCallee(pass *analysis.Pass, fn *types.Func) bool {
+	for _, name := range append([]string{"vmpi", "hostpar", "time", "atomic", "rand", "runtime"}, hotPackages...) {
+		if analysis.PkgIs(fn.Pkg(), name) {
+			return false
+		}
 	}
-	as, ok := body.List[0].(*ast.AssignStmt)
-	if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
-		return false
-	}
-	call, ok := as.Rhs[0].(*ast.CallExpr)
-	if !ok {
-		return false
-	}
-	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
-	if !ok {
-		return false
-	}
-	b, ok := info.Uses[id].(*types.Builtin)
-	return ok && b.Name() == "append"
+	return pass.Facts.Of(fn).Nondet
 }

@@ -1,0 +1,26 @@
+// Cases for the interprocedural fact layer inside kernel closures.
+package b
+
+import (
+	"hostpar"
+	"time"
+)
+
+// stampNow is nondeterministic (Nondet fact via time.Now).
+func stampNow() time.Time { return time.Now() }
+
+// scale is deterministic (negative case).
+func scale(x float64) float64 { return x * 2 }
+
+func kernelViaHelper(data []float64) {
+	hostpar.For(len(data), 64, func(lo, hi int) {
+		_ = stampNow() // want `call to stampNow, which transitively reads a nondeterminism source \(wall clock, atomics, or unsorted map iteration\), in a hostpar kernel closure`
+		data[lo] = scale(data[lo])
+	})
+}
+
+// okHelperOutsideKernel: calling the nondeterministic helper outside any
+// kernel in a non-hot package is fine (negative case).
+func okHelperOutsideKernel() {
+	_ = stampNow()
+}

@@ -1,0 +1,24 @@
+// Cases for the interprocedural fact layer: nondeterminism reaching a
+// hot package through helper calls.
+package fmm
+
+import "util"
+
+// localNondet: an in-package helper is held to the hot bar where it is
+// defined, so its direct time.Now report (in the other file's scope)
+// covers it — but callers outside the hot set would see its fact.
+
+func viaHelper(out []float64) {
+	_ = util.Stamp() // want `call to Stamp, which transitively reads a nondeterminism source \(wall clock, atomics, or unsorted map iteration\), in a hot path`
+	out[0] = 1
+}
+
+func viaChain(out []float64) {
+	_ = util.Indirect() // want `call to Indirect, which transitively reads a nondeterminism source`
+	out[0] = 2
+}
+
+// okPureHelper: a deterministic helper is fine (negative case).
+func okPureHelper(out []float64) {
+	out[0] = float64(util.Pure(3))
+}

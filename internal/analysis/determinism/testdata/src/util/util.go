@@ -1,0 +1,16 @@
+// Package util provides helper stubs for the determinism analyzer's
+// interprocedural fixtures: Stamp carries a Nondet fact across the
+// package boundary, Pure does not.
+package util
+
+import "time"
+
+// Stamp reads the wall clock — its Nondet fact must reach hot-package
+// call sites.
+func Stamp() time.Time { return time.Now() }
+
+// Indirect is nondeterministic only through Stamp — the fact composes.
+func Indirect() time.Time { return Stamp() }
+
+// Pure is deterministic (negative case).
+func Pure(x int) int { return x + 1 }

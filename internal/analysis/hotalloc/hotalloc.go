@@ -1,0 +1,93 @@
+// Package hotalloc enforces the steady-state allocation contract of the
+// plan-cached kernels (see internal/fft's plan cache and the
+// 0 allocs/op benchmark assertions): a function marked with a
+// //parlint:hotalloc directive in its doc comment must not allocate on
+// the hot path once plans and scratch are warm. Inside a marked
+// function the analyzer reports
+//
+//   - make / new and slice or map composite literals — fresh heap
+//     traffic on every call;
+//   - append whose base is neither a parameter nor derived from the
+//     receiver — growing a function-local slice allocates, while
+//     appending into caller-provided or plan scratch (dst, p.scratch,
+//     s := scratch[:0]) reuses warmed capacity;
+//   - calls to functions that allocate on every call (the
+//     AllocatesAlways fact: an allocation in the straight-line prefix
+//     before any branch). Cache-miss fill helpers — check the cache,
+//     allocate only on a miss — allocate conditionally, so the fact
+//     stays false and the cached steady state passes.
+//
+// Function literals are not scanned: creating one is a closure
+// allocation only when it escapes, which is the optimizer's call, and
+// the sort.Search predicate idiom inside kernels is non-escaping in
+// practice. Test files are exempt.
+package hotalloc
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "hotalloc",
+	Doc: "reports per-call allocations (make, new, slice/map literals, " +
+		"local-growing append, always-allocating callees) in functions " +
+		"marked //parlint:hotalloc, which promise 0 allocs/op when plans are warm",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) {
+	for _, file := range pass.Files {
+		if pass.IsTestFile(file.Pos()) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, _ := pass.Info.Defs[fd.Name].(*types.Func); fn == nil || !pass.Facts.Of(fn).HotAlloc {
+				continue
+			}
+			checkKernel(pass, fd)
+		}
+	}
+}
+
+func checkKernel(pass *analysis.Pass, fd *ast.FuncDecl) {
+	info := pass.Info
+	tracker := analysis.NewDepTracker(info, pass.Facts, fd, fd.Body)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CompositeLit:
+			if tv, ok := info.Types[n]; ok {
+				switch tv.Type.Underlying().(type) {
+				case *types.Slice, *types.Map:
+					pass.Reportf(n.Pos(), "composite literal allocates on every call in a //parlint:hotalloc kernel; reuse plan or scratch buffers")
+				}
+			}
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok {
+				if b, ok := info.Uses[id].(*types.Builtin); ok {
+					switch b.Name() {
+					case "make", "new":
+						pass.Reportf(n.Pos(), "%s allocates on every call in a //parlint:hotalloc kernel; reuse plan or scratch buffers", b.Name())
+					case "append":
+						if len(n.Args) > 0 && !tracker.ParamDerived(n.Args[0]) {
+							pass.Reportf(n.Pos(), "append to a function-local slice grows fresh backing in a //parlint:hotalloc kernel; append into caller-provided or plan scratch instead")
+						}
+					}
+					return true
+				}
+			}
+			if fn := analysis.CalleeFunc(info, n); fn != nil && pass.Facts.Of(fn).AllocatesAlways {
+				pass.Reportf(n.Pos(), "call to %s, which allocates on every call, in a //parlint:hotalloc kernel", fn.Name())
+			}
+		}
+		return true
+	})
+}

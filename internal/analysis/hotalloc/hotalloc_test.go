@@ -1,0 +1,12 @@
+package hotalloc_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/hotalloc"
+)
+
+func TestHotKernelAllocations(t *testing.T) {
+	analysistest.Run(t, "testdata/src", hotalloc.Analyzer, "h")
+}

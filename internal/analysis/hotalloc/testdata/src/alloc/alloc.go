@@ -1,0 +1,20 @@
+// Package alloc provides cross-package callees for the hotalloc
+// fixtures: Fresh allocates unconditionally (AllocatesAlways fact),
+// Cached only on a miss.
+package alloc
+
+var cache = map[int][]float64{}
+
+// Fresh allocates in its straight-line prefix: every call allocates.
+func Fresh(n int) []float64 { return make([]float64, n) }
+
+// Cached follows the cache-miss fill idiom: in the warm steady state it
+// does not allocate, so its AllocatesAlways fact is false.
+func Cached(n int) []float64 {
+	if b, ok := cache[n]; ok {
+		return b
+	}
+	b := make([]float64, n)
+	cache[n] = b
+	return b
+}

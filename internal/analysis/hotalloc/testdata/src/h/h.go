@@ -1,0 +1,53 @@
+// Package h exercises the hotalloc analyzer: per-call allocations in
+// //parlint:hotalloc kernels are reported; scratch reuse, cache-miss
+// fill callees, closures, and unmarked functions are not.
+package h
+
+import "alloc"
+
+type plan struct {
+	scratch []float64
+}
+
+// kernel is a marked hot kernel: every per-call allocation shape is
+// reported.
+//
+//parlint:hotalloc
+func kernel(dst, src []float64) []float64 {
+	tmp := make([]float64, 8) // want `make allocates on every call in a //parlint:hotalloc kernel`
+	counts := map[int]int{}   // want `composite literal allocates on every call in a //parlint:hotalloc kernel`
+	seed := []float64{1, 2}   // want `composite literal allocates on every call in a //parlint:hotalloc kernel`
+	var grown []int
+	grown = append(grown, 1) // want `append to a function-local slice grows fresh backing in a //parlint:hotalloc kernel`
+	out := alloc.Fresh(4)    // want `call to Fresh, which allocates on every call, in a //parlint:hotalloc kernel`
+	_, _, _, _ = tmp, counts, seed, grown
+	_ = out
+	dst = append(dst, src...)
+	return dst
+}
+
+// run reuses receiver scratch: the append bases derive from the
+// receiver and a parameter (negative cases), and the warm-path callee
+// allocates only on a miss.
+//
+//parlint:hotalloc
+func (p *plan) run(dst, src []float64) []float64 {
+	p.scratch = p.scratch[:0]
+	for _, v := range src {
+		p.scratch = append(p.scratch, v*2)
+	}
+	s := dst[:0]
+	s = append(s, p.scratch...)
+	_ = alloc.Cached(len(src))
+	pred := func(i int) bool { return src[i] >= 0 }
+	_ = pred
+	return s
+}
+
+// cold is unmarked: allocations are fine outside the contract
+// (negative case).
+func cold(n int) []float64 {
+	out := make([]float64, n)
+	out = append(out, 1)
+	return out
+}

@@ -26,6 +26,11 @@ type Package struct {
 	Files      []*ast.File
 	Pkg        *types.Package
 	Info       *types.Info
+	// FactsOnly marks packages loaded solely so phase 1 can compute their
+	// function summaries (in-module dependencies of the analyzed targets,
+	// and plain packages shadowed by their test variant). Phase 2 skips
+	// them: they produce facts, never diagnostics.
+	FactsOnly bool
 }
 
 // listEntry is the subset of `go list -json` output the loader consumes.
@@ -87,17 +92,20 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 	sizes := types.SizesFor("gc", runtime.GOARCH)
 	var pkgs []*Package
 	for _, e := range entries {
-		if e.Standard || e.DepOnly || len(e.GoFiles) == 0 {
+		if e.Standard || len(e.GoFiles) == 0 {
 			continue
 		}
-		// Skip synthesized test mains and plain packages shadowed by their
-		// test variant (the variant's GoFiles are a superset).
+		// Skip synthesized test mains.
 		if strings.HasSuffix(e.ImportPath, ".test") {
 			continue
 		}
-		if e.ForTest == "" && variants[e.ImportPath] {
-			continue
-		}
+		// In-module dependencies of the targets are loaded facts-only, so
+		// interprocedural summaries exist even under narrow patterns.
+		// Plain packages shadowed by their test variant (whose GoFiles
+		// are a superset) are also kept facts-only: they appear in
+		// dependency order before packages that import them, where the
+		// later-listed test variant would be too late to supply facts.
+		factsOnly := e.DepOnly || (e.ForTest == "" && variants[e.ImportPath])
 		files, err := parseFiles(fset, e.Dir, e.GoFiles)
 		if err != nil {
 			return nil, err
@@ -129,6 +137,7 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 			Files:      files,
 			Pkg:        tpkg,
 			Info:       info,
+			FactsOnly:  factsOnly,
 		})
 	}
 	return pkgs, nil

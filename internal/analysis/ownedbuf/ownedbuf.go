@@ -7,11 +7,16 @@
 //   - A slice handed back with vmpi.Release / vmpi.ReleaseBlocks may be
 //     released at most once and must not be used afterwards.
 //
-// The analysis is intra-procedural and positional: within each function
-// (including its nested closures, whose captured variables share the
-// enclosing frame), a tracked slice variable — or a whole-slice alias of
-// it — that is used at a source position after its transfer or release is
-// reported. Reassigning the variable (`buf = ...`, `buf := ...`) ends the
+// The analysis is positional within each function (including its nested
+// closures, whose captured variables share the enclosing frame): a
+// tracked slice variable — or a whole-slice alias of it — that is used
+// at a source position after its transfer or release is reported.
+// Transfers and releases are recognized interprocedurally through the
+// fact layer: a call to a helper whose summary proves it passes
+// parameter i to SendOwned/AlltoallOwned (TransfersParam) or to
+// Release/ReleaseBlocks (ReleasesParam) — possibly through further
+// helpers, across package boundaries — consumes the argument in that
+// position exactly like the direct vmpi call would. Reassigning the variable (`buf = ...`, `buf := ...`) ends the
 // tracking, because the name then denotes a fresh buffer. A transfer
 // inside a block that ends with return or panic only poisons the rest of
 // that block: the code after it runs only on paths that never transferred
@@ -167,37 +172,74 @@ func analyzeFunc(pass *analysis.Pass, body *ast.BlockStmt) {
 		switch n := n.(type) {
 		case *ast.CallExpr:
 			fn := analysis.CalleeFunc(info, n)
-			if fn == nil || !analysis.PkgIs(fn.Pkg(), "vmpi") {
+			if fn == nil {
 				return true
 			}
-			var argIdx int
-			switch fn.Name() {
-			case "SendOwned", "AlltoallOwned":
-				argIdx = 1
-			case "Release", "ReleaseBlocks":
-				argIdx = 0
-			default:
+			if analysis.PkgIs(fn.Pkg(), "vmpi") {
+				var argIdx int
+				switch fn.Name() {
+				case "SendOwned", "AlltoallOwned":
+					argIdx = 1
+				case "Release", "ReleaseBlocks":
+					argIdx = 0
+				default:
+					return true
+				}
+				if argIdx >= len(n.Args) {
+					return true
+				}
+				arg, _ := ast.Unparen(n.Args[argIdx]).(*ast.Ident)
+				if arg == nil {
+					return true
+				}
+				obj := sliceVar(arg)
+				if obj == nil {
+					return true
+				}
+				consumed[arg] = true
+				kind := evTransfer
+				if fn.Name() == "Release" || fn.Name() == "ReleaseBlocks" {
+					kind = evRelease
+				}
+				events = append(events, event{kind: kind, pos: n.Pos(), obj: obj, what: fn.Name()})
+				if end := resetAt(n.Pos()); end != token.NoPos {
+					events = append(events, event{kind: evReset, pos: end, obj: obj})
+				}
 				return true
 			}
-			if argIdx >= len(n.Args) {
+			// Interprocedural: a helper whose fact summary proves it
+			// relinquishes or releases a parameter consumes the argument
+			// passed there, exactly like the underlying vmpi call would.
+			ff := pass.Facts.Of(fn)
+			if ff.TransfersParam == 0 && ff.ReleasesParam == 0 {
 				return true
 			}
-			arg, _ := ast.Unparen(n.Args[argIdx]).(*ast.Ident)
-			if arg == nil {
-				return true
-			}
-			obj := sliceVar(arg)
-			if obj == nil {
-				return true
-			}
-			consumed[arg] = true
-			kind := evTransfer
-			if fn.Name() == "Release" || fn.Name() == "ReleaseBlocks" {
-				kind = evRelease
-			}
-			events = append(events, event{kind: kind, pos: n.Pos(), obj: obj, what: fn.Name()})
-			if end := resetAt(n.Pos()); end != token.NoPos {
-				events = append(events, event{kind: evReset, pos: end, obj: obj})
+			for j, a := range n.Args {
+				if j >= 64 {
+					break
+				}
+				transfers := ff.TransfersParam&(1<<uint(j)) != 0
+				releases := ff.ReleasesParam&(1<<uint(j)) != 0
+				if !transfers && !releases {
+					continue
+				}
+				arg, _ := ast.Unparen(a).(*ast.Ident)
+				if arg == nil {
+					continue
+				}
+				obj := sliceVar(arg)
+				if obj == nil {
+					continue
+				}
+				consumed[arg] = true
+				kind := evTransfer
+				if releases && !transfers {
+					kind = evRelease
+				}
+				events = append(events, event{kind: kind, pos: n.Pos(), obj: obj, what: "call to " + fn.Name()})
+				if end := resetAt(n.Pos()); end != token.NoPos {
+					events = append(events, event{kind: evReset, pos: end, obj: obj})
+				}
 			}
 		case *ast.AssignStmt:
 			for i, lhs := range n.Lhs {

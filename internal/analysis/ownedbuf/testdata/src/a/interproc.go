@@ -1,0 +1,72 @@
+// Cases for the interprocedural fact layer: ownership transfer and
+// release through helper calls, in-package and across packages.
+package a
+
+import (
+	"bufutil"
+	"vmpi"
+)
+
+// sendHelper relinquishes its buffer argument (TransfersParam fact).
+func sendHelper(c *vmpi.Comm, b []float64) { vmpi.SendOwned(c, b, 1, 0) }
+
+// dropHelper releases its buffer argument (ReleasesParam fact).
+func dropHelper(b []float64) { vmpi.Release(b) }
+
+// chainHelper forwards through another helper — the facts compose.
+func chainHelper(c *vmpi.Comm, b []float64) { sendHelper(c, b) }
+
+// peek only reads its argument: no consumption fact (negative case
+// support).
+func peek(b []float64) float64 { return b[0] }
+
+func useAfterHelperSend(c *vmpi.Comm) {
+	buf := make([]float64, 4)
+	sendHelper(c, buf)
+	_ = buf[0] // want `use of buf after ownership was transferred by call to sendHelper at`
+}
+
+func doubleReleaseViaHelper(c *vmpi.Comm) {
+	buf := make([]float64, 4)
+	dropHelper(buf)
+	vmpi.Release(buf) // want `second Release of buf \(already released at`
+}
+
+func useAfterChain(c *vmpi.Comm) {
+	buf := make([]float64, 4)
+	chainHelper(c, buf)
+	buf[0] = 1 // want `use of buf after ownership was transferred by call to chainHelper at`
+}
+
+func useAfterCrossPackageSend(c *vmpi.Comm) {
+	buf := make([]float64, 4)
+	bufutil.Ship(c, buf)
+	_ = len(buf) // want `use of buf after ownership was transferred by call to Ship at`
+}
+
+func releaseAfterCrossPackageDrop(c *vmpi.Comm) {
+	buf := make([]float64, 4)
+	bufutil.Drop(buf)
+	vmpi.Release(buf) // want `second Release of buf \(already released at`
+}
+
+// okPeekThenUse: a helper that only reads does not consume (negative
+// case).
+func okPeekThenUse(c *vmpi.Comm) {
+	buf := make([]float64, 4)
+	_ = peek(buf)
+	buf[0] = 2
+	vmpi.Release(buf)
+}
+
+// okHelperTerm: a helper transfer inside a returning branch only
+// poisons that branch — the fall-through path still owns the buffer
+// (negative case).
+func okHelperTerm(c *vmpi.Comm, sender bool) []float64 {
+	buf := make([]float64, 4)
+	if sender {
+		sendHelper(c, buf)
+		return nil
+	}
+	return buf
+}

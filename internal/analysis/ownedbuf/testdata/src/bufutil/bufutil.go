@@ -1,0 +1,12 @@
+// Package bufutil provides cross-package buffer helpers for the
+// ownedbuf interprocedural fixtures: their TransfersParam /
+// ReleasesParam facts must survive the package boundary.
+package bufutil
+
+import "vmpi"
+
+// Ship relinquishes b via SendOwned (TransfersParam bit 1).
+func Ship(c *vmpi.Comm, b []float64) { vmpi.SendOwned(c, b, 1, 0) }
+
+// Drop releases b (ReleasesParam bit 0).
+func Drop(b []float64) { vmpi.Release(b) }

@@ -1,0 +1,250 @@
+// Package parkblock enforces the run-slot contract of the event-driven
+// rank executor (see internal/rankexec's package comment): rank-task
+// code — every function reachable from a function handed to vmpi.Run —
+// executes on a pooled host run slot, and only the vmpi / rankexec park
+// protocol may block that slot. A rank goroutine that blocks on its own
+// (a bare channel op, a sync wait, a sleep, real I/O) holds its slot
+// hostage without parking, which at worst deadlocks the engine and at
+// best serialises ranks that the executor believes are runnable.
+//
+// The analyzer reports direct blocking constructs inside rank-reachable
+// function declarations and inside function literals passed to vmpi.Run.
+// Reachability comes from the interprocedural fact layer, so helpers
+// called from rank tasks are checked in the package that declares them.
+// Accepted as non-blocking:
+//
+//   - the blessed layers themselves (vmpi, rankexec, hostpar, obs),
+//     which implement the park protocol;
+//   - goroutines spawned with `go func(){...}()` — they run off the
+//     slot (the spawner is still checked);
+//   - select statements with a default case;
+//   - hostpar Budget.TryAcquire (non-blocking by contract); blocking
+//     Acquire is always reported, because a rank task already holds its
+//     base slot and a blocking acquire can deadlock slot accounting;
+//   - mutex locks guarding leaf critical sections: a Lock / RLock is
+//     reported only when the innermost enclosing function also
+//     communicates through vmpi or contains another blocking construct,
+//     approximating "lock held across communication". The FMM
+//     derivative cache and the psort schedule cache are the blessed
+//     leaf patterns.
+//
+// Test files and package main are exempt: they run on the host side of
+// vmpi.Run, not on run slots.
+package parkblock
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "parkblock",
+	Doc: "reports host-blocking constructs (channel ops, sync waits, sleeps, " +
+		"OS I/O, blocking budget acquisition) in rank-task code, where only " +
+		"the vmpi/rankexec park protocol may block a run slot",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) {
+	if pass.Pkg.Name() == "main" || analysis.RankBlessedPkg(pass.Pkg) {
+		return
+	}
+	for _, file := range pass.Files {
+		if pass.IsTestFile(file.Pos()) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, _ := pass.Info.Defs[fd.Name].(*types.Func); fn != nil && pass.Facts.RankReachable(fn) {
+				checkBody(pass, fd.Body)
+				continue
+			}
+			// Literals handed to vmpi.Run are rank-task entry points even
+			// when the enclosing driver function is not itself reachable.
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok && analysis.IsPkgFunc(pass.Info, call, "vmpi", "Run") {
+					for _, a := range call.Args {
+						if lit, ok := ast.Unparen(a).(*ast.FuncLit); ok {
+							checkBody(pass, lit.Body)
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+type span struct{ lo, hi token.Pos }
+
+func (s span) contains(p token.Pos) bool { return s.lo <= p && p < s.hi }
+
+// frame is a function extent (the checked body or a nested literal)
+// carrying the flags the leaf-critical-section rule needs.
+type frame struct {
+	span
+	communicates bool // calls vmpi, or a callee whose facts say it does
+	blocksOther  bool // contains a blocking construct other than a mutex lock
+}
+
+// candidate is a potential report, held back until frame flags are
+// complete so lock reports can consult them.
+type candidate struct {
+	pos    token.Pos
+	msg    string
+	isLock bool
+}
+
+func checkBody(pass *analysis.Pass, body *ast.BlockStmt) {
+	info := pass.Info
+
+	// Extents exempt from reporting: go-statement literals (off-slot) and
+	// the comm positions of select clauses (reported via the select).
+	var skips []span
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			if lit, ok := ast.Unparen(n.Call.Fun).(*ast.FuncLit); ok {
+				skips = append(skips, span{lit.Pos(), lit.End()})
+			}
+		case *ast.CommClause:
+			if n.Comm != nil {
+				skips = append(skips, span{n.Comm.Pos(), n.Comm.End()})
+			}
+		}
+		return true
+	})
+	skipped := func(p token.Pos) bool {
+		for _, s := range skips {
+			if s.contains(p) {
+				return true
+			}
+		}
+		return false
+	}
+
+	frames := []*frame{{span: span{body.Pos(), body.End()}}}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok && !skipped(lit.Pos()) {
+			frames = append(frames, &frame{span: span{lit.Pos(), lit.End()}})
+		}
+		return true
+	})
+	innermost := func(p token.Pos) *frame {
+		best := frames[0]
+		for _, fr := range frames[1:] {
+			if fr.contains(p) && fr.lo > best.lo {
+				best = fr
+			}
+		}
+		return best
+	}
+
+	var cands []candidate
+	blocking := func(pos token.Pos, msg string) {
+		cands = append(cands, candidate{pos: pos, msg: msg})
+		innermost(pos).blocksOther = true
+	}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n != nil && skipped(n.Pos()) {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			blocking(n.Pos(), "channel send in rank-task code blocks a host run slot; use vmpi messaging so the engine can park the rank")
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				blocking(n.Pos(), "channel receive in rank-task code blocks a host run slot; use vmpi messaging so the engine can park the rank")
+			}
+		case *ast.RangeStmt:
+			if tv, ok := info.Types[n.X]; ok {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					blocking(n.Pos(), "range over a channel in rank-task code blocks a host run slot; use vmpi messaging so the engine can park the rank")
+				}
+			}
+		case *ast.SelectStmt:
+			hasDefault := false
+			for _, c := range n.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+					hasDefault = true
+				}
+			}
+			if !hasDefault {
+				blocking(n.Pos(), "select without a default case in rank-task code blocks a host run slot; use vmpi messaging so the engine can park the rank")
+			}
+		case *ast.CallExpr:
+			fn := analysis.CalleeFunc(info, n)
+			if fn == nil {
+				return true
+			}
+			fr := innermost(n.Pos())
+			if pass.Facts.Of(fn).Communicates {
+				fr.communicates = true
+			}
+			switch {
+			case analysis.IsBudgetMethod(info, n, "Acquire"):
+				blocking(n.Pos(), "blocking Budget.Acquire in rank-task code can deadlock run-slot accounting (the rank already holds its base slot); use TryAcquire or the rankexec extras protocol")
+			case syncMethod(fn, "Wait", "WaitGroup", "Cond"):
+				blocking(n.Pos(), "sync."+recvName(fn)+".Wait in rank-task code blocks a host run slot; host parallelism belongs in hostpar.For")
+			case syncMethod(fn, "Lock", "Mutex", "RWMutex") || syncMethod(fn, "RLock", "RWMutex"):
+				cands = append(cands, candidate{
+					pos:    n.Pos(),
+					msg:    "sync." + recvName(fn) + "." + fn.Name() + " in a rank-task function that communicates or blocks; only leaf critical sections (lock, touch local state, unlock) are safe on a run slot",
+					isLock: true,
+				})
+			case analysis.PkgIs(fn.Pkg(), "time") && fn.Name() == "Sleep":
+				blocking(n.Pos(), "time.Sleep in rank-task code blocks a host run slot; virtual time advances through vmpi charges, not wall sleeping")
+			case analysis.IntrinsicBlocker(fn):
+				blocking(n.Pos(), "call to "+fn.Pkg().Name()+"."+fn.Name()+" in rank-task code blocks a host run slot on real I/O; rank tasks must stay compute-and-vmpi only")
+			}
+		}
+		return true
+	})
+
+	for _, c := range cands {
+		if c.isLock {
+			if fr := innermost(c.pos); !fr.communicates && !fr.blocksOther {
+				continue
+			}
+		}
+		pass.Reportf(c.pos, "%s", c.msg)
+	}
+}
+
+// syncMethod reports whether fn is the named method on one of the given
+// sync receiver types.
+func syncMethod(fn *types.Func, name string, recvs ...string) bool {
+	if fn.Name() != name || !analysis.PkgIs(fn.Pkg(), "sync") {
+		return false
+	}
+	rn := recvName(fn)
+	for _, r := range recvs {
+		if rn == r {
+			return true
+		}
+	}
+	return false
+}
+
+// recvName returns the bare name of fn's receiver type, or "".
+func recvName(fn *types.Func) string {
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil {
+		return ""
+	}
+	t := types.Unalias(sig.Recv().Type())
+	if p, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(p.Elem())
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return ""
+}

@@ -1,0 +1,12 @@
+package parkblock_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/parkblock"
+)
+
+func TestRankTaskBlocking(t *testing.T) {
+	analysistest.Run(t, "testdata/src", parkblock.Analyzer, "p")
+}

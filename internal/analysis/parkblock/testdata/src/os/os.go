@@ -1,0 +1,4 @@
+// Package os is a fixture stub of the standard library's os package.
+package os
+
+func ReadFile(name string) ([]byte, error) { return nil, nil }

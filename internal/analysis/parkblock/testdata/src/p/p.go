@@ -1,0 +1,125 @@
+// Package p exercises the parkblock analyzer: blocking constructs in
+// rank-task code (functions reachable from vmpi.Run) are reported; the
+// same constructs off the rank path, off the slot, or in blessed shapes
+// are not.
+package p
+
+import (
+	"hostpar"
+	"os"
+	"sync"
+	"time"
+
+	"vmpi"
+)
+
+var (
+	mu     sync.Mutex
+	cache  = map[int]int{}
+	budget hostpar.Budget
+)
+
+// driver is host-side code: not itself reachable, but the literal it
+// hands to vmpi.Run is rank-task code, and the named functions the
+// literal calls become reachability roots.
+func driver() {
+	vmpi.Run(vmpi.Config{Ranks: 4}, func(c *vmpi.Comm) {
+		time.Sleep(time.Millisecond) // want `time.Sleep in rank-task code blocks a host run slot`
+		solverStep(c)
+		waitHelper()
+		lockAcrossComm(c)
+		budgetAcquire()
+		readInput()
+		okSelectDefault(nil)
+		okLeafLock(1, 2)
+		okTryAcquire()
+		okGoLit(nil)
+	})
+	vmpi.Run(vmpi.Config{Ranks: 2}, rankMain)
+}
+
+// rankMain is a named rank-task entry point (reachable via the vmpi.Run
+// argument).
+func rankMain(c *vmpi.Comm) {
+	var wg sync.WaitGroup
+	wg.Wait() // want `sync\.WaitGroup\.Wait in rank-task code blocks a host run slot`
+	vmpi.Barrier(c)
+}
+
+// solverStep is reachable through the Run literal: a bare channel
+// receive blocks the slot without parking.
+func solverStep(c *vmpi.Comm) {
+	ch := make(chan int, 1)
+	ch <- 1  // want `channel send in rank-task code blocks a host run slot`
+	_ = <-ch // want `channel receive in rank-task code blocks a host run slot`
+	vmpi.Send(c, []float64{1}, 0, 0)
+}
+
+func waitHelper() {
+	var cond sync.Cond
+	cond.Wait() // want `sync\.Cond\.Wait in rank-task code blocks a host run slot`
+}
+
+// lockAcrossComm holds a mutex in a function that also communicates:
+// not a leaf critical section.
+func lockAcrossComm(c *vmpi.Comm) {
+	mu.Lock() // want `sync\.Mutex\.Lock in a rank-task function that communicates or blocks`
+	cache[0] = 1
+	mu.Unlock()
+	vmpi.Barrier(c)
+}
+
+func budgetAcquire() {
+	budget.Acquire() // want `blocking Budget\.Acquire in rank-task code can deadlock run-slot accounting`
+	budget.Release()
+}
+
+func readInput() {
+	_, _ = os.ReadFile("input.dat") // want `call to os\.ReadFile in rank-task code blocks a host run slot on real I/O`
+}
+
+// unreachedSleeper blocks, but nothing on the rank path calls it
+// (negative case).
+func unreachedSleeper() {
+	time.Sleep(time.Millisecond)
+	var wg sync.WaitGroup
+	wg.Wait()
+}
+
+// okSelectDefault: a select with a default case polls without blocking
+// (negative case).
+func okSelectDefault(ch chan int) {
+	select {
+	case <-ch:
+	default:
+	}
+}
+
+// okLeafLock: a leaf critical section — lock, touch shared state,
+// unlock, nothing blocking or communicating in the function (negative
+// case; the FMM derivative-cache idiom).
+func okLeafLock(k, v int) int {
+	mu.Lock()
+	defer mu.Unlock()
+	if prev, ok := cache[k]; ok {
+		return prev
+	}
+	cache[k] = v
+	return v
+}
+
+// okTryAcquire: non-blocking budget acquisition is the sanctioned form
+// (negative case).
+func okTryAcquire() {
+	if budget.TryAcquire() {
+		budget.Release()
+	}
+}
+
+// okGoLit: a goroutine spawned off the slot may block on its own; the
+// spawning rank task does not (negative case).
+func okGoLit(ch chan int) {
+	go func() {
+		<-ch
+	}()
+}

@@ -1,0 +1,8 @@
+// Package time is a fixture stub of the standard library's time package.
+package time
+
+type Duration int64
+
+const Millisecond Duration = 1e6
+
+func Sleep(d Duration) {}

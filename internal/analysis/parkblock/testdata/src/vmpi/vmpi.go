@@ -1,0 +1,15 @@
+// Package vmpi is a fixture stub of the real messaging layer
+// (repro/internal/vmpi): just enough surface for the parkblock fixtures.
+package vmpi
+
+type Config struct{ Ranks int }
+
+type Comm struct{}
+
+func (c *Comm) Rank() int { return 0 }
+
+func Run(cfg Config, body func(c *Comm)) {}
+
+func Barrier(c *Comm)                             {}
+func Send[T any](c *Comm, data []T, dst, tag int) {}
+func Recv[T any](c *Comm, src, tag int) []T       { return nil }

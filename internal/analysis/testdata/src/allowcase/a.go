@@ -1,0 +1,25 @@
+// Package allowcase exercises the //parlint:allow comment forms: same
+// line, line above, multi-analyzer lists with and without spaces, and
+// the non-suppression of diagnostics whose analyzer is not listed.
+package allowcase
+
+func trigger() {}
+
+func cases() {
+	trigger() //parlint:allow marker -- same-line suppression
+
+	//parlint:allow marker -- line-above suppression
+	trigger()
+
+	trigger() //parlint:allow marker,other -- multi-analyzer list
+
+	//parlint:allow other, marker -- spaced list, line above
+	trigger()
+
+	trigger() //parlint:allow marker
+
+	//parlint:allow other -- wrong analyzer: marker is not listed
+	trigger() // want `call to trigger`
+
+	trigger() // want `call to trigger`
+}

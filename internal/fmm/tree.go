@@ -174,6 +174,8 @@ func (e *Engine) cellSize(l int) [3]float64 {
 
 // minImage is Box.MinImage against the cached geometry: the same arithmetic
 // without re-validating the box per pair.
+//
+//parlint:hotalloc
 func (e *Engine) minImage(dx, dy, dz float64) (float64, float64, float64) {
 	if e.boxPer[0] {
 		dx -= e.boxLen[0] * math.Round(dx/e.boxLen[0])
@@ -501,8 +503,11 @@ func (e *Engine) EvalNearField(pot, field []float64) {
 	ownedC := make([]int, nt)
 	ghostC := make([]int, nt)
 	hostpar.ForTiles(len(e.leaves), nearGrain, func(t, lo, hi int) {
+		// One scratch set per tile: nearLeaf itself is then allocation-free,
+		// and tiles never share (no cross-goroutine races).
+		var ns nearScratch
 		for li := lo; li < hi; li++ {
-			o, g := e.nearLeaf(e.leaves[li], pot, field)
+			o, g := e.nearLeaf(e.leaves[li], &ns, pot, field)
 			ownedC[t] += o
 			ghostC[t] += g
 		}
@@ -515,22 +520,42 @@ func (e *Engine) EvalNearField(pot, field []float64) {
 	e.CostSeconds += float64(own/2+gh) * costs.Pair
 }
 
+// nearRange is one hoisted neighbor lookup of the near-field gather: an
+// owned leaf range or a ghost range, in gather order.
+type nearRange struct {
+	ghost  bool
+	lo, hi int
+}
+
+// nearScratch holds the per-tile reusable buffers of nearLeaf, so the
+// per-leaf kernel allocates nothing once a tile is warm.
+type nearScratch struct {
+	nbs     []uint64
+	earlier []leafRange
+	later   []nearRange
+}
+
 // nearLeaf gathers the near-field contributions of every particle in leaf
 // lr and returns the number of owned and ghost contributions with nonzero
-// displacement.
-func (e *Engine) nearLeaf(lr leafRange, pot, field []float64) (own, gh int) {
-	nbs := zorder.Neighbors3(lr.key, e.Level, e.Periodic)
+// displacement. ns is caller-provided scratch, reused across the leaves
+// of a tile.
+//
+//parlint:hotalloc
+func (e *Engine) nearLeaf(lr leafRange, ns *nearScratch, pot, field []float64) (own, gh int) {
+	ns.nbs = zorder.Neighbors3Into(ns.nbs, lr.key, e.Level, e.Periodic)
+	nbs := ns.nbs
 	// Owned neighbor leaves with smaller keys: in the symmetric traversal
 	// their contributions arrived during their own (earlier) leaf turns, in
 	// ascending key order.
-	var earlier []leafRange
+	ns.earlier = ns.earlier[:0]
 	for _, nb := range nbs {
 		if nb < lr.key {
 			if rr, ok := e.findLeaf(0, nb); ok {
-				earlier = append(earlier, rr)
+				ns.earlier = append(ns.earlier, rr)
 			}
 		}
 	}
+	earlier := ns.earlier
 	sort.Slice(earlier, func(a, b int) bool { return earlier[a].key < earlier[b].key })
 	// Hoist the later-neighbor range lookups out of the particle loop: the
 	// binary search and ghost-map probe per neighbor are invariant across the
@@ -538,23 +563,20 @@ func (e *Engine) nearLeaf(lr leafRange, pot, field []float64) (own, gh int) {
 	// for each neighbor in Neighbors3 order, the owned range (keys above
 	// ours) then the ghost range — so every particle accumulates in the same
 	// sequence as the inline lookups did.
-	type nearRange struct {
-		ghost  bool
-		lo, hi int
-	}
-	var later []nearRange
+	ns.later = ns.later[:0]
 	for _, nb := range nbs {
 		if nb > lr.key {
 			if rr, ok := e.findLeaf(0, nb); ok {
-				later = append(later, nearRange{false, rr.lo, rr.hi})
+				ns.later = append(ns.later, nearRange{false, rr.lo, rr.hi})
 			}
 		}
 		// Ghosts in the neighbor box (including the same key: a leaf
 		// split across processes).
 		if gr, ok := e.gleaves[nb]; ok {
-			later = append(later, nearRange{true, gr[0], gr[1]})
+			ns.later = append(ns.later, nearRange{true, gr[0], gr[1]})
 		}
 	}
+	later := ns.later
 	for i := lr.lo; i < lr.hi; i++ {
 		for _, rr := range earlier {
 			own += e.gatherOwned(i, rr.lo, rr.hi, pot, field)
@@ -575,6 +597,8 @@ func (e *Engine) nearLeaf(lr leafRange, pot, field []float64) (own, gh int) {
 
 // findLeaf locates an owned leaf range by key; hint is the index of the
 // current leaf for locality.
+//
+//parlint:hotalloc
 func (e *Engine) findLeaf(hint int, key uint64) (leafRange, bool) {
 	i := sort.Search(len(e.leaves), func(i int) bool { return e.leaves[i].key >= key })
 	if i < len(e.leaves) && e.leaves[i].key == key {
@@ -587,6 +611,8 @@ func (e *Engine) findLeaf(hint int, key uint64) (leafRange, bool) {
 // owned particles in [jlo, jhi), returning how many had nonzero
 // displacement. The j == i term (and any exactly coincident particle) is
 // skipped on both sides of a pair, as in the symmetric update.
+//
+//parlint:hotalloc
 func (e *Engine) gatherOwned(i, jlo, jhi int, pot, field []float64) int {
 	n := 0
 	xi, yi, zi := e.pos[3*i], e.pos[3*i+1], e.pos[3*i+2]
@@ -613,6 +639,8 @@ func (e *Engine) gatherOwned(i, jlo, jhi int, pot, field []float64) int {
 
 // gatherGhost accumulates onto owned particle i the contributions of the
 // ghost particles in [jlo, jhi).
+//
+//parlint:hotalloc
 func (e *Engine) gatherGhost(i, jlo, jhi int, pot, field []float64) int {
 	n := 0
 	xi, yi, zi := e.pos[3*i], e.pos[3*i+1], e.pos[3*i+2]

@@ -23,6 +23,8 @@ func splineSupport(order int) int { return order }
 // coordinate u (in units of mesh spacing) for the given spline order. It
 // returns the first mesh index i0; w[k] is the weight of mesh point i0+k.
 // Supported orders: 2 (cloud-in-cell) and 3 (triangular-shaped cloud).
+//
+//parlint:hotalloc
 func splineWeights(order int, u float64, w []float64) (i0 int) {
 	switch order {
 	case 2:
@@ -70,6 +72,8 @@ func signedMode(k, n int) int {
 //
 // with one deconvolution factor U for charge assignment and one for
 // back-interpolation. The zero mode and Nyquist modes return 0.
+//
+//parlint:hotalloc
 func influence(mx, my, mz, n int, l, alpha float64, order int) float64 {
 	if mx == 0 && my == 0 && mz == 0 {
 		return 0

@@ -282,13 +282,18 @@ func TestResortIntsRandomPermutation(t *testing.T) {
 
 func TestResortDropsInvalid(t *testing.T) {
 	st := vmpi.Run(vmpi.Config{Ranks: 2}, func(c *vmpi.Comm) {
+		// Rank-dependent data, symmetric collective call.
+		var (
+			vals    []float64
+			indices []Index
+			outLen  = 1
+		)
 		if c.Rank() == 0 {
-			vals := []float64{1, 2, 3}
-			indices := []Index{MakeIndex(0, 1), Invalid, MakeIndex(1, 0)}
-			c.SetResult(ResortFloats(c, vals, 1, indices, 2))
-		} else {
-			c.SetResult(ResortFloats(c, nil, 1, nil, 1))
+			vals = []float64{1, 2, 3}
+			indices = []Index{MakeIndex(0, 1), Invalid, MakeIndex(1, 0)}
+			outLen = 2
 		}
+		c.SetResult(ResortFloats(c, vals, 1, indices, outLen))
 	})
 	r0 := st.Values[0].([]float64)
 	r1 := st.Values[1].([]float64)

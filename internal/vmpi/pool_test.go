@@ -46,7 +46,7 @@ func TestReleaseIgnoresForeignSlices(t *testing.T) {
 	backing := make([]int, 100)
 	Release(backing)
 	// Subslice with pow2 cap view cut off: cap(s) is 100-4=96, not pow2.
-	//parlint:allow ownedbuf -- deliberately re-releasing a foreign slice the pool must ignore
+	//parlint:allow ownedbuf -- this test deliberately double-releases a foreign (non-pooled) slice to prove the pool ignores it; production code must never re-release, and the interprocedural analyzer is right to flag the shape
 	Release(backing[4:10])
 	// Tiny and huge slices are outside the class range.
 	Release(make([]byte, 8))

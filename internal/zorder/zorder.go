@@ -90,10 +90,20 @@ func AtLevel(key uint64, from, to int) uint64 {
 // wrap around (boxes that wrap onto the same cell are reported once);
 // otherwise out-of-range neighbors are omitted.
 func Neighbors3(key uint64, level int, periodic bool) []uint64 {
+	return Neighbors3Into(make([]uint64, 0, 27), key, level, periodic)
+}
+
+// Neighbors3Into is Neighbors3 appending into dst[:0] (grown as needed),
+// for hot paths that reuse a scratch slice across calls. Duplicates from
+// periodic wrapping are filtered by a linear scan over the at-most-27
+// keys already emitted, so the result and its order are identical to
+// Neighbors3's and no per-call map is built.
+//
+//parlint:hotalloc
+func Neighbors3Into(dst []uint64, key uint64, level int, periodic bool) []uint64 {
 	n := uint32(1) << uint(level)
 	x, y, z := Decode(key)
-	out := make([]uint64, 0, 27)
-	seen := make(map[uint64]bool, 27)
+	out := dst[:0]
 	for dx := -1; dx <= 1; dx++ {
 		for dy := -1; dy <= 1; dy++ {
 			for dz := -1; dz <= 1; dz++ {
@@ -102,8 +112,14 @@ func Neighbors3(key uint64, level int, periodic bool) []uint64 {
 				nz, okz := wrap(int64(z)+int64(dz), n, periodic)
 				if okx && oky && okz {
 					k := Encode(nx, ny, nz)
-					if !seen[k] {
-						seen[k] = true
+					dup := false
+					for _, prev := range out {
+						if prev == k {
+							dup = true
+							break
+						}
+					}
+					if !dup {
 						out = append(out, k)
 					}
 				}

@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-json bench-fig10 vet lint debugtest golden golden-par fig10 golden-bigp golden-bigp-update check
+.PHONY: all build test race bench bench-json bench-fig10 vet lint debugtest golden golden-par fig10 golden-bigp golden-bigp-update golden-resize golden-resize-update check
 
 all: build
 
@@ -108,4 +108,20 @@ golden-bigp:
 golden-bigp-update:
 	$(GO) run ./cmd/paperbench -fig 10 -ranks-list 1024 -j $(JOBS) > paperbench_fig10_1024.txt
 
-check: build vet lint test debugtest race golden golden-bigp
+# Elastic-worlds golden: the resize cost figure (live vmpi.Resize with
+# particle remapping vs static peak over-provisioning, both machine
+# models) must stay byte-identical to the checked-in baseline. The same
+# invocation exports the elastic grow leg's Chrome trace and metrics dump,
+# which carry the resize epochs (vmpi/resize and elastic/remap spans,
+# resize counter, world-size gauge).
+golden-resize:
+	$(GO) run ./cmd/paperbench -fig resize -j $(JOBS) \
+		-trace-out obs_resize_trace.json -metrics-out obs_resize_metrics.txt \
+		> paperbench_resize.got.txt
+	diff -u paperbench_resize.txt paperbench_resize.got.txt
+	rm -f paperbench_resize.got.txt
+
+golden-resize-update:
+	$(GO) run ./cmd/paperbench -fig resize -j $(JOBS) > paperbench_resize.txt
+
+check: build vet lint test debugtest race golden golden-bigp golden-resize

@@ -37,6 +37,14 @@
 // byte-identical under both. -bench-fig10 writes the sweep's
 // per-rank-count host report (wall clock, memory, executor meters).
 //
+// -fig resize (also outside -fig all) is the elastic-worlds cost figure:
+// live vmpi.Resize with particle remapping versus static peak
+// over-provisioning, on both machine models (see EXPERIMENTS.md). With
+// -trace-out/-metrics-out it exports the elastic grow leg's own timeline,
+// so the resize epochs (vmpi/resize and elastic/remap spans, resize
+// counter, world-size gauge) are visible in the Chrome trace and the
+// metrics dump.
+//
 // -j sets how many experiments (virtual machine runs) execute concurrently
 // on the host (default: the core count). Every figure, trace, and metrics
 // byte is identical at any -j value — the experiment scheduler collects
@@ -60,7 +68,7 @@ import (
 
 func main() {
 	var (
-		fig       = flag.String("fig", "all", "figure to regenerate: 6, 7, 8, 9l, 9r, 10, or all (all = the paper's 6-9)")
+		fig       = flag.String("fig", "all", "figure to regenerate: 6, 7, 8, 9l, 9r, 10, resize, or all (all = the paper's 6-9)")
 		particles = flag.Int("particles", 6000, "global particle count (rounded to an even lattice cube)")
 		ranks     = flag.Int("ranks", 8, "virtual MPI ranks")
 		steps     = flag.Int("steps", 0, "MD time steps (0 = figure-specific default)")
@@ -210,6 +218,13 @@ func main() {
 				fmt.Println()
 			}
 			return
+		case "resize":
+			for _, m := range []paperbench.Machine{paperbench.JuRoPA(), paperbench.Juqueen()} {
+				pts := paperbench.FigResize(m, engine)
+				fmt.Print(paperbench.RenderFigResize(m.Name, pts))
+				fmt.Println()
+			}
+			return
 		default:
 			fmt.Fprintf(os.Stderr, "paperbench: unknown figure %q\n", which)
 			os.Exit(2)
@@ -221,8 +236,18 @@ func main() {
 		for _, f := range []string{"6", "7", "8", "9l", "9r"} {
 			run(f)
 		}
-	} else {
-		run(*fig)
+		writeObsExports(*traceOut, *metricOut)
+		return
+	}
+	run(*fig)
+	if *fig == "resize" {
+		// The resize figure exports its own timeline: the elastic grow leg,
+		// whose vmpi/resize and elastic/remap spans, resize counter, and
+		// world-size gauge show the resize epochs in both exports.
+		if *traceOut != "" || *metricOut != "" {
+			exportEventLog(*traceOut, *metricOut, "elastic resize", paperbench.FigResizeObs(engine))
+		}
+		return
 	}
 	writeObsExports(*traceOut, *metricOut)
 }
@@ -239,7 +264,13 @@ func writeObsExports(traceOut, metricsOut string) {
 		fmt.Fprintf(os.Stderr, "paperbench: observability run: %v\n", err)
 		os.Exit(1)
 	}
-	write := func(path, what string, export func(f *os.File) error) {
+	exportEventLog(traceOut, metricsOut, "canonical run", res.Events)
+}
+
+// exportEventLog writes an event log as a Chrome trace and/or a metrics
+// dump. All notices go to stderr so figure bytes on stdout stay stable.
+func exportEventLog(traceOut, metricsOut, what string, events *obs.Log) {
+	write := func(path, kind string, export func(f *os.File) error) {
 		if path == "" {
 			return
 		}
@@ -257,10 +288,10 @@ func writeObsExports(traceOut, metricsOut string) {
 			fmt.Fprintf(os.Stderr, "paperbench: writing %s: %v\n", path, err)
 			os.Exit(1)
 		}
-		fmt.Fprintf(os.Stderr, "paperbench: wrote %s to %s\n", what, path)
+		fmt.Fprintf(os.Stderr, "paperbench: wrote %s %s to %s\n", what, kind, path)
 	}
-	write(traceOut, "Chrome trace", func(f *os.File) error { return obs.WriteChromeTrace(f, res.Events) })
-	write(metricsOut, "metrics dump", func(f *os.File) error { return obs.WriteMetrics(f, res.Events) })
+	write(traceOut, "Chrome trace", func(f *os.File) error { return obs.WriteChromeTrace(f, events) })
+	write(metricsOut, "metrics dump", func(f *os.File) error { return obs.WriteMetrics(f, events) })
 }
 
 func parseInts(s string) ([]int, error) {

@@ -1,6 +1,6 @@
 // Quickstart: compute the Coulomb potentials and fields of a small ionic
 // system with the coupling library, following the fcs call sequence of the
-// paper's §II-A: Init → SetCommon → Tune → Run → Destroy.
+// paper's §II-A: Init (with options) → Tune → Run → Destroy.
 //
 // Run with: go run ./examples/quickstart
 package main

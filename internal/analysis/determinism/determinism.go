@@ -53,8 +53,11 @@ var Analyzer = &analysis.Analyzer{
 // to the same bar. The event-driven rank executor (rankexec) schedules the
 // rank bodies themselves — any wall-clock read, racing atomic, or map-order
 // dispatch there could leak the host schedule into execution order, so it
-// is checked in its entirety as well.
-var hotPackages = []string{"fmm", "pnfft", "coupling", "obs", "sched", "fft", "rankexec"}
+// is checked in its entirety as well. The elastic package remaps the full
+// particle state across world resizes — its output must be a pure function
+// of the pre-resize distribution (the resize goldens and the cross-engine
+// byte identity depend on it), so it joins the hot set too.
+var hotPackages = []string{"fmm", "pnfft", "coupling", "obs", "sched", "fft", "rankexec", "elastic"}
 
 func run(pass *analysis.Pass) {
 	hot := false

@@ -34,3 +34,7 @@ func TestFFTHotPackage(t *testing.T) {
 func TestRankExecHotPackage(t *testing.T) {
 	analysistest.Run(t, "testdata/src", determinism.Analyzer, "rankexechot")
 }
+
+func TestElasticHotPackage(t *testing.T) {
+	analysistest.Run(t, "testdata/src", determinism.Analyzer, "elastichot")
+}

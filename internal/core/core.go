@@ -8,7 +8,7 @@
 //     (application-specific) particle order and distribution. The
 //     application's data handling is untouched, but each run pays the full
 //     redistribution back to the application's layout.
-//   - Method B (SetResortEnabled(true)): solver runs return the changed
+//   - Method B (WithResort(true)): solver runs return the changed
 //     (solver-specific) order and distribution. The application adapts its
 //     additional per-particle data (velocities, accelerations, ...) with
 //     ResortFloats/ResortInts, driven by the resort indices the solver
@@ -16,8 +16,9 @@
 //     actually happened — if any process's arrays were too small, the
 //     library restored the original order instead.
 //
-// The handle mirrors the fcs_* call sequence: Init → SetCommon → Tune →
-// Run (repeatedly) → Destroy.
+// The handle mirrors the fcs_* call sequence: Init (with options) → Tune →
+// Run (repeatedly) → Destroy. On an elastic world, Rescale moves a handle
+// to a resized communicator between runs.
 package core
 
 import (
@@ -66,6 +67,7 @@ type FCS struct {
 
 	resortEnabled bool
 	maxMove       float64
+	resizePolicy  ResizePolicy
 
 	// recorder, when set (WithRecorder), receives a replay of the rank's
 	// observability events after every Tune/Run/resort call.
@@ -80,7 +82,8 @@ type FCS struct {
 
 // Init creates a new solver instance of the named method on the
 // communicator (fcs_init), configured by functional options (WithBox,
-// WithAccuracy, WithResort, WithMaxMove, WithRecorder). Options are
+// WithAccuracy, WithResort, WithMaxMove, WithResizePolicy, WithRecorder).
+// Options are
 // validated eagerly: Init returns the first option error. Every rank of
 // the communicator must call it identically.
 func Init(method string, comm *vmpi.Comm, opts ...Option) (*FCS, error) {
@@ -109,40 +112,27 @@ func (h *FCS) Method() string { return h.method }
 // Comm returns the communicator the handle was created on.
 func (h *FCS) Comm() *vmpi.Comm { return h.comm }
 
-// SetCommon sets the properties of the particle system: periodicity and the
-// shape of the system box (fcs_set_common). Must be called identically by
-// all ranks before Tune or Run.
-//
-// Deprecated: pass WithBox to Init instead. The setter remains for one
-// release as a thin wrapper and will then be removed.
-func (h *FCS) SetCommon(box particle.Box) error {
-	return WithBox(box)(h)
+// Rescale moves the handle to a resized communicator (vmpi.Resize). The
+// solver instance is dropped — its domain decomposition and tuning are
+// bound to the old world size — and the resort state of the previous Run
+// is cleared, since its indices reference ranks that may have retired.
+// Every rank of the new world must call Rescale (newly admitted ranks Init
+// a fresh handle instead) and then Tune collectively before the next Run.
+func (h *FCS) Rescale(c *vmpi.Comm) {
+	h.comm = c
+	h.solver = nil
+	h.tuned = false
+	h.lastResorted = false
+	h.lastIndices = nil
+	h.lastNOrig, h.lastNNew = 0, 0
 }
-
-// SetAccuracy sets the requested relative accuracy for subsequent tuning
-// (a solver-specific parameter in ScaFaCoS terms). Values outside (0, 1)
-// are silently ignored (historical behavior; WithAccuracy validates).
-//
-// Deprecated: pass WithAccuracy to Init instead. The setter remains for
-// one release as a thin wrapper and will then be removed.
-func (h *FCS) SetAccuracy(eps float64) {
-	if eps > 0 && eps < 1 {
-		h.accuracy = eps
-		h.solver = nil
-		h.tuned = false
-	}
-}
-
-// SetResortEnabled switches between method A (false, default) and method B
-// (true): whether solver runs may return the changed particle order and
-// distribution together with resort indices.
-//
-// Deprecated: pass WithResort to Init instead. The setter remains for one
-// release as a thin wrapper and will then be removed.
-func (h *FCS) SetResortEnabled(on bool) { h.resortEnabled = on }
 
 // ResortEnabled reports the current method selection.
 func (h *FCS) ResortEnabled() bool { return h.resortEnabled }
+
+// ResizePolicy returns the resize schedule attached with WithResizePolicy
+// (zero value when none was set).
+func (h *FCS) ResizePolicy() ResizePolicy { return h.resizePolicy }
 
 // SetMaxParticleMove passes the application's bound on the maximum particle
 // displacement since the previous Run (paper §III-B). It enables the
@@ -153,7 +143,7 @@ func (h *FCS) SetMaxParticleMove(d float64) { h.maxMove = d }
 
 func (h *FCS) ensureSolver() error {
 	if !h.boxSet {
-		return fmt.Errorf("core: %w: the box must be set (WithBox/SetCommon) before Tune/Run", ErrNotConfigured)
+		return fmt.Errorf("core: %w: the box must be set (WithBox) before Tune/Run", ErrNotConfigured)
 	}
 	if h.solver == nil {
 		h.solver = h.factory(h.comm, h.box, h.accuracy)

@@ -24,7 +24,7 @@ func TestInitUnknownMethod(t *testing.T) {
 	})
 }
 
-func TestRunRequiresSetCommon(t *testing.T) {
+func TestRunRequiresBox(t *testing.T) {
 	vmpi.Run(vmpi.Config{Ranks: 1}, func(c *vmpi.Comm) {
 		h, err := Init("fmm", c)
 		if err != nil {
@@ -32,40 +32,23 @@ func TestRunRequiresSetCommon(t *testing.T) {
 		}
 		n := 0
 		if err := h.Run(&n, 0, nil, nil, nil, nil); err == nil {
-			t.Error("Run before SetCommon should fail")
+			t.Error("Run before WithBox should fail")
 		}
 	})
 }
 
-func TestSetCommonRejectsSkewedBox(t *testing.T) {
-	vmpi.Run(vmpi.Config{Ranks: 1}, func(c *vmpi.Comm) {
-		h, _ := Init("fmm", c)
-		box := particle.NewCubicBox(10, true)
-		box.Base[0][1] = 1 // shear
-		if err := h.SetCommon(box); err == nil {
-			t.Error("non-orthorhombic box should be rejected")
-		}
-	})
-}
-
-// runFCS runs a full Init/SetCommon/Tune/Run cycle for a solver method.
+// runFCS runs a full Init/Tune/Run cycle for a solver method.
 func runFCS(t *testing.T, method string, ranks int, s *particle.System,
 	resort bool) []map[string]any {
 	t.Helper()
 	st := vmpi.Run(vmpi.Config{Ranks: ranks}, func(c *vmpi.Comm) {
 		l := particle.Distribute(c, s, particle.DistRandom, 7)
-		h, err := Init(method, c)
+		h, err := Init(method, c, WithBox(s.Box), WithAccuracy(1e-3), WithResort(resort))
 		if err != nil {
 			t.Errorf("init: %v", err)
 			return
 		}
 		defer h.Destroy()
-		if err := h.SetCommon(s.Box); err != nil {
-			t.Errorf("set common: %v", err)
-			return
-		}
-		h.SetAccuracy(1e-3)
-		h.SetResortEnabled(resort)
 		if err := h.Tune(l.N, l.ActivePos(), l.ActiveQ()); err != nil {
 			t.Errorf("tune: %v", err)
 			return
@@ -134,12 +117,8 @@ func TestResortWithoutAvailabilityFails(t *testing.T) {
 	s := particle.SilicaMelt(100, 8, true, 5)
 	vmpi.Run(vmpi.Config{Ranks: 2}, func(c *vmpi.Comm) {
 		l := particle.Distribute(c, s, particle.DistRandom, 7)
-		h, _ := Init("p2nfft", c)
+		h, _ := Init("p2nfft", c, WithBox(s.Box), WithResort(false)) // method A
 		defer h.Destroy()
-		if err := h.SetCommon(s.Box); err != nil {
-			t.Errorf("set common: %v", err)
-		}
-		h.SetResortEnabled(false) // method A
 		if err := h.Tune(l.N, l.ActivePos(), l.ActiveQ()); err != nil {
 			t.Errorf("tune: %v", err)
 		}
@@ -161,12 +140,8 @@ func TestResortValidatesArguments(t *testing.T) {
 	s := particle.SilicaMelt(100, 8, true, 5)
 	vmpi.Run(vmpi.Config{Ranks: 2}, func(c *vmpi.Comm) {
 		l := particle.Distribute(c, s, particle.DistRandom, 7)
-		h, _ := Init("p2nfft", c)
+		h, _ := Init("p2nfft", c, WithBox(s.Box), WithResort(true)) // method B
 		defer h.Destroy()
-		if err := h.SetCommon(s.Box); err != nil {
-			t.Errorf("set common: %v", err)
-		}
-		h.SetResortEnabled(true) // method B
 		if err := h.Tune(l.N, l.ActivePos(), l.ActiveQ()); err != nil {
 			t.Errorf("tune: %v", err)
 		}
@@ -210,12 +185,8 @@ func TestAccuracyKnobChangesTuning(t *testing.T) {
 	vmpi.Run(vmpi.Config{Ranks: 1}, func(c *vmpi.Comm) {
 		l := particle.Distribute(c, s, particle.DistSingle, 0)
 		run := func(eps float64) float64 {
-			h, _ := Init("p2nfft", c)
+			h, _ := Init("p2nfft", c, WithBox(s.Box), WithAccuracy(eps))
 			defer h.Destroy()
-			if err := h.SetCommon(s.Box); err != nil {
-				t.Fatalf("set common: %v", err)
-			}
-			h.SetAccuracy(eps)
 			if err := h.Tune(l.N, l.ActivePos(), l.ActiveQ()); err != nil {
 				t.Fatalf("tune: %v", err)
 			}
@@ -266,16 +237,12 @@ func TestSolverOnSubCommunicator(t *testing.T) {
 			return
 		}
 		l := particle.Distribute(sub, s, particle.DistRandom, 3)
-		h, err := Init("p2nfft", sub)
+		h, err := Init("p2nfft", sub, WithBox(s.Box))
 		if err != nil {
 			t.Errorf("init: %v", err)
 			return
 		}
 		defer h.Destroy()
-		if err := h.SetCommon(s.Box); err != nil {
-			t.Errorf("set common: %v", err)
-			return
-		}
 		if err := h.Tune(l.N, l.ActivePos(), l.ActiveQ()); err != nil {
 			t.Errorf("tune: %v", err)
 			return

@@ -11,7 +11,7 @@ var (
 	// Methods().
 	ErrUnknownMethod = errors.New("unknown solver method")
 	// ErrNotConfigured: Tune or Run was called before the box was set
-	// (WithBox / SetCommon).
+	// (WithBox).
 	ErrNotConfigured = errors.New("solver not configured")
 	// ErrBadBox: the particle system box is not orthorhombic.
 	ErrBadBox = errors.New("box must be orthorhombic")
@@ -29,4 +29,7 @@ var (
 	ErrResortUnavailable = errors.New("no resort available")
 	// ErrBadStride: a resort stride is not positive.
 	ErrBadStride = errors.New("bad resort stride")
+	// ErrBadResizePolicy: a resize policy has a negative interval or a
+	// world-size target below 1.
+	ErrBadResizePolicy = errors.New("bad resize policy")
 )

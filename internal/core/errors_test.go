@@ -28,11 +28,11 @@ func TestSentinelErrors(t *testing.T) {
 
 		box := particle.NewCubicBox(10, true)
 		box.Base[0][1] = 1 // shear
-		if err := h.SetCommon(box); !errors.Is(err, ErrBadBox) {
-			t.Errorf("SetCommon(skewed) error = %v, want ErrBadBox", err)
+		if err := WithBox(box)(h); !errors.Is(err, ErrBadBox) {
+			t.Errorf("WithBox(skewed) error = %v, want ErrBadBox", err)
 		}
 
-		if err := h.SetCommon(s.Box); err != nil {
+		if err := WithBox(s.Box)(h); err != nil {
 			t.Fatal(err)
 		}
 		l := particle.Distribute(c, s, particle.DistRandom, 7)

@@ -51,29 +51,45 @@ func TestInitOptionErrorsEagerly(t *testing.T) {
 	})
 }
 
-func TestDeprecatedSettersMatchOptions(t *testing.T) {
+func TestOptionsConfigureHandle(t *testing.T) {
 	vmpi.Run(vmpi.Config{Ranks: 1}, func(c *vmpi.Comm) {
 		box := particle.NewCubicBox(10, true)
-		ho, err := Init("fmm", c, WithBox(box), WithAccuracy(1e-4), WithResort(true))
+		h, err := Init("fmm", c, WithBox(box), WithAccuracy(1e-4), WithResort(true))
 		if err != nil {
 			t.Fatalf("init: %v", err)
 		}
-		hs, err := Init("fmm", c)
+		if h.accuracy != 1e-4 || !h.boxSet || !h.resortEnabled {
+			t.Errorf("options not applied: accuracy %g, boxSet %v, resort %v",
+				h.accuracy, h.boxSet, h.resortEnabled)
+		}
+	})
+}
+
+func TestWithResizePolicy(t *testing.T) {
+	vmpi.Run(vmpi.Config{Ranks: 1}, func(c *vmpi.Comm) {
+		pol := ResizePolicy{Every: 3, Sizes: []int{8, 2, 4}}
+		h, err := Init("fmm", c, WithResizePolicy(pol))
 		if err != nil {
 			t.Fatalf("init: %v", err)
 		}
-		if err := hs.SetCommon(box); err != nil {
-			t.Fatalf("SetCommon: %v", err)
+		got := h.ResizePolicy()
+		if !got.Enabled() || got.Every != 3 || len(got.Sizes) != 3 {
+			t.Errorf("ResizePolicy() = %+v", got)
 		}
-		hs.SetAccuracy(1e-4)
-		hs.SetResortEnabled(true)
-		if ho.accuracy != hs.accuracy || ho.boxSet != hs.boxSet || ho.resortEnabled != hs.resortEnabled {
-			t.Error("options and deprecated setters configure differently")
+		// Targets are consumed in order and the last one holds.
+		for k, want := range []int{8, 2, 4, 4, 4} {
+			if s := got.SizeAt(k); s != want {
+				t.Errorf("SizeAt(%d) = %d, want %d", k, s, want)
+			}
 		}
-		// The historical silent-ignore semantics of SetAccuracy survive.
-		hs.SetAccuracy(5)
-		if hs.accuracy != 1e-4 {
-			t.Errorf("SetAccuracy(5) changed accuracy to %g", hs.accuracy)
+		if (ResizePolicy{}).Enabled() {
+			t.Error("zero policy must be disabled")
+		}
+		if _, err := Init("fmm", c, WithResizePolicy(ResizePolicy{Every: -1})); !errors.Is(err, ErrBadResizePolicy) {
+			t.Errorf("negative interval error = %v, want ErrBadResizePolicy", err)
+		}
+		if _, err := Init("fmm", c, WithResizePolicy(ResizePolicy{Every: 2, Sizes: []int{4, 0}})); !errors.Is(err, ErrBadResizePolicy) {
+			t.Errorf("size 0 error = %v, want ErrBadResizePolicy", err)
 		}
 	})
 }

@@ -2,7 +2,7 @@
 // paper (§II-D): a second-order leapfrog integrator coupled to a long-range
 // solver from the core library, following the pseudocode of Fig. 3.
 //
-// With method B (core.SetResortEnabled), the integrator retrieves particles
+// With method B (core.WithResort), the integrator retrieves particles
 // in the solver's changed order and adapts its additional particle data —
 // velocities and accelerations — with the resort functions after every run
 // (§III-B). It also tracks the maximum particle movement during the
@@ -53,7 +53,7 @@ type Sim struct {
 }
 
 // New creates a simulation over the local particles. The caller configures
-// the FCS handle (SetCommon, SetResortEnabled, accuracy) beforehand.
+// the FCS handle (core.WithBox, core.WithResort, accuracy) beforehand.
 func New(comm *vmpi.Comm, fcs *core.FCS, l *particle.Local, dt float64) *Sim {
 	return &Sim{comm: comm, fcs: fcs, L: l, Dt: dt, Mass: 1}
 }
@@ -68,6 +68,22 @@ func (s *Sim) Init() error {
 		return err
 	}
 	s.updateAccelerations()
+	return nil
+}
+
+// Rescale moves the simulation to a resized world: c is the communicator
+// returned by an elastic resize and l the remapped local particle state
+// (velocities and accelerations travel with the particles, so no re-Init
+// is needed). The FCS handle is rescaled and re-tuned; every rank of the
+// new world must call Rescale collectively — survivors on their existing
+// Sim, newly admitted ranks on a fresh Sim built from a fresh handle.
+func (s *Sim) Rescale(c *vmpi.Comm, l *particle.Local) error {
+	s.comm = c
+	s.L = l
+	s.fcs.Rescale(c)
+	if err := s.fcs.Tune(l.N, l.ActivePos(), l.ActiveQ()); err != nil {
+		return fmt.Errorf("mdsim: rescale tune: %w", err)
+	}
 	return nil
 }
 

@@ -15,15 +15,11 @@ func setup(t *testing.T, c *vmpi.Comm, s *particle.System, method string,
 	dist particle.Dist, resort, track bool, dt float64) *Sim {
 	t.Helper()
 	l := particle.Distribute(c, s, dist, 7)
-	h, err := core.Init(method, c)
+	h, err := core.Init(method, c,
+		core.WithBox(s.Box), core.WithAccuracy(1e-3), core.WithResort(resort))
 	if err != nil {
 		t.Fatalf("init: %v", err)
 	}
-	if err := h.SetCommon(s.Box); err != nil {
-		t.Fatalf("set common: %v", err)
-	}
-	h.SetAccuracy(1e-3)
-	h.SetResortEnabled(resort)
 	sim := New(c, h, l, dt)
 	sim.TrackMovement = track
 	return sim

@@ -196,6 +196,43 @@ func (ex *Executor) Start() {
 	ex.mu.Unlock()
 }
 
+// Admit appends k new tasks to a running executor and returns the id of
+// the first. The new tasks are enqueued pending, spawn lazily on first
+// dispatch, and raise the slot cap exactly as if they had been present at
+// New. Admit must be called from a running task or before Wait has
+// returned; the admitted tasks keep Wait blocked until their bodies finish.
+//
+// Admission and the all-parked verdict compose without special cases: a
+// pending task is neither parked nor finished, so the verdict
+// (parked+finished == tasks) cannot fire while an admitted task has yet to
+// run — exactly right, since that task may still send wakeups.
+func (ex *Executor) Admit(k int) int {
+	if k < 1 {
+		panic("rankexec: Admit needs at least 1 task")
+	}
+	ex.wg.Add(k)
+	ex.mu.Lock()
+	first := len(ex.tasks)
+	for i := 0; i < k; i++ {
+		ex.tasks = append(ex.tasks, &task{state: statePending, grant: make(chan struct{}, 1)})
+	}
+	// Re-derive the slot cap for the grown task count (same rule as New).
+	max := ex.opts.MaxWorkers
+	if max <= 0 || max > len(ex.tasks) {
+		max = len(ex.tasks)
+	}
+	if max < ex.baseSlots {
+		max = ex.baseSlots
+	}
+	ex.maxSlots = max
+	for id := first; id < len(ex.tasks); id++ {
+		ex.enqueueLocked(id)
+	}
+	ex.dispatchLocked()
+	ex.mu.Unlock()
+	return first
+}
+
 // Wait blocks until every task's body has returned, then returns all extra
 // budget units.
 func (ex *Executor) Wait() {

@@ -217,20 +217,34 @@ const allgatherRingMax = 32
 // tree.
 func AllgatherBlocks[T any](c *Comm, data []T) [][]T {
 	defer collSpan(c, obs.KindCollective, "allgather")()
-	p := c.Size()
-	if p <= allgatherRingMax {
-		blocks := make([][]T, p)
-		blocks[c.rank] = copySlice(data)
-		right := (c.rank + 1) % p
-		left := (c.rank - 1 + p) % p
-		cur := c.rank
-		for step := 1; step < p; step++ {
-			Send(c, blocks[cur], right, tagGatherA)
-			cur = (cur - 1 + p) % p // after this step we hold left neighbor's block chain
-			blocks[cur] = Recv[T](c, left, tagGatherA)
-		}
-		return blocks
+	if c.Size() <= allgatherRingMax {
+		return allgatherRing(c, data)
 	}
+	return allgatherTree(c, data)
+}
+
+// allgatherRing is the small-communicator algorithm: p-1 steps in which
+// every rank forwards the newest block to its right neighbor.
+func allgatherRing[T any](c *Comm, data []T) [][]T {
+	p := c.Size()
+	blocks := make([][]T, p)
+	blocks[c.rank] = copySlice(data)
+	right := (c.rank + 1) % p
+	left := (c.rank - 1 + p) % p
+	cur := c.rank
+	for step := 1; step < p; step++ {
+		Send(c, blocks[cur], right, tagGatherA)
+		cur = (cur - 1 + p) % p // after this step we hold left neighbor's block chain
+		blocks[cur] = Recv[T](c, left, tagGatherA)
+	}
+	return blocks
+}
+
+// allgatherTree is the large-communicator algorithm: gather every block to
+// rank 0, then broadcast the lengths and the concatenation down the
+// binomial tree.
+func allgatherTree[T any](c *Comm, data []T) [][]T {
+	p := c.Size()
 	const root = 0
 	var lens []int64
 	var flat []T

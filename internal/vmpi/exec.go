@@ -67,9 +67,11 @@ type ExecStats struct {
 
 // runEvent executes the ranks under the event-driven executor. It mirrors
 // the goroutine engine's panic contract: the first rank panic (including
-// the deadlock verdict) is re-raised in the caller's goroutine.
-func runEvent(rt *Runtime, cfg Config, comms []*Comm, f func(c *Comm)) {
-	n := rt.size
+// the deadlock verdict) is re-raised in the caller's goroutine. Task ids
+// are instance ids: ranks admitted by a Resize join the executor as new
+// tasks (Admit) without disturbing the all-parked deadlock verdict, and
+// retired ranks simply finish.
+func runEvent(rt *Runtime, cfg Config, n int) {
 	panicCh := make(chan any, 1)
 	body := func(r int) {
 		defer func() {
@@ -84,7 +86,7 @@ func runEvent(rt *Runtime, cfg Config, comms []*Comm, f func(c *Comm)) {
 				}
 			}
 		}()
-		f(comms[r])
+		rt.f(rt.instComm(r))
 	}
 	opts := rankexec.Options{
 		OnDeadlock: func([]int) { panic(rt.deadlockDump()) },
@@ -145,13 +147,7 @@ func (mb *mailbox) takeEvent(rt *Runtime, rank, src, tag int, ctx int64) *messag
 	for {
 		mb.mu.Lock()
 		if q := mb.queues[k]; q != nil && q.head < len(q.msgs) {
-			m := q.msgs[q.head]
-			q.msgs[q.head] = nil
-			q.head++
-			if q.head == len(q.msgs) {
-				q.head = 0
-				q.msgs = q.msgs[:0]
-			}
+			m := mb.pop(k, q)
 			mb.mu.Unlock()
 			return m
 		}

@@ -110,14 +110,18 @@ func sendRaw(c *Comm, payload any, bytes, dst, tag int) {
 		panic(fmt.Sprintf("vmpi: Send to invalid rank %d (size %d)", dst, len(c.members)))
 	}
 	model := c.rt.model
-	srcW := c.world(c.rank)
+	srcInst := c.inst(c.rank)
+	dstInst := c.inst(dst)
 	dstW := c.world(dst)
 	start := c.st.clock + sendOverhead
 	c.st.clock = start + model.Injection(bytes)
 	c.st.bytesSent += int64(bytes)
 	c.st.msgsSent++
-	arrive := start + model.Cost(srcW, dstW, bytes)
-	c.rt.boxes[dstW].put(c.rt, dstW, &message{
+	// The model is charged by node position (world rank of the epoch the
+	// instance was admitted in), which stays physically meaningful across
+	// resizes — instance ids grow without bound, node positions are reused.
+	arrive := start + model.Cost(srcInst.node, dstInst.node, bytes)
+	dstInst.box.put(c.rt, dstW, &message{
 		src:     c.rank,
 		tag:     tag,
 		ctx:     c.ctx,
@@ -140,7 +144,7 @@ func recvRaw(c *Comm, src, tag int) *message {
 	if src < 0 || src >= len(c.members) {
 		panic(fmt.Sprintf("vmpi: Recv from invalid rank %d (size %d)", src, len(c.members)))
 	}
-	m := c.rt.boxes[c.world(c.rank)].take(c.rt, c.world(c.rank), src, tag, c.ctx)
+	m := c.inst(c.rank).box.take(c.rt, c.world(c.rank), src, tag, c.ctx)
 	if m.arrive > c.st.clock {
 		c.st.clock = m.arrive
 	}

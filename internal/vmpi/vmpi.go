@@ -23,6 +23,12 @@
 // neighborhood exchanges gain nothing; on a torus model they do — matching
 // the paper's JuRoPA vs. Juqueen observations.
 //
+// The world is elastic: Resize grows or shrinks the set of live ranks
+// mid-run (see resize.go). Each resize starts a new epoch — a fresh world
+// membership with its own communicator context — while rank identities
+// (instances) stay stable, so observability streams and final statistics
+// cover every rank that ever lived.
+//
 // Virtual time is deterministic: it depends only on the program's
 // communication structure and charged computation, never on host scheduling.
 package vmpi
@@ -62,14 +68,15 @@ type mkey struct {
 }
 
 // fifo is one match key's pending messages in arrival order. Consumed slots
-// are nilled and the buffer is reset whenever it drains, so a long-lived key
-// does not accumulate dead heads.
+// are nilled as they are popped; when a fifo drains its map entry is
+// deleted, so keys of retired communicator contexts (Split/Dup churn,
+// resize epochs) do not accumulate in the mailbox forever.
 type fifo struct {
 	head int
 	msgs []*message
 }
 
-// mailbox holds pending messages for one world rank, keyed by the receive
+// mailbox holds pending messages for one rank instance, keyed by the receive
 // match triple. Receives match on the exact (src, tag, ctx) only, and within
 // one key arrival order is the sender's program order, so a per-key FIFO
 // pops precisely the message the old first-match scan of a single arrival
@@ -111,6 +118,18 @@ func (mb *mailbox) put(rt *Runtime, dst int, m *message) {
 	mb.cond.Broadcast()
 }
 
+// pop removes and returns the head of q, deleting the map entry when the
+// fifo drains so the mailbox does not leak one key per retired context.
+func (mb *mailbox) pop(k mkey, q *fifo) *message {
+	m := q.msgs[q.head]
+	q.msgs[q.head] = nil
+	q.head++
+	if q.head == len(q.msgs) {
+		delete(mb.queues, k)
+	}
+	return m
+}
+
 // take blocks until a message matching (src, tag, ctx) is available and
 // removes the first such message in arrival order. Arrival order from a
 // single source is the source's program order, so matching is deterministic.
@@ -128,14 +147,7 @@ func (mb *mailbox) take(rt *Runtime, rank, src, tag int, ctx int64) *message {
 	defer mb.mu.Unlock()
 	for {
 		if q := mb.queues[k]; q != nil && q.head < len(q.msgs) {
-			m := q.msgs[q.head]
-			q.msgs[q.head] = nil
-			q.head++
-			if q.head == len(q.msgs) {
-				q.head = 0
-				q.msgs = q.msgs[:0]
-			}
-			return m
+			return mb.pop(k, q)
 		}
 		rt.noteBlocked(rank, src, tag)
 		mb.cond.Wait()
@@ -143,19 +155,35 @@ func (mb *mailbox) take(rt *Runtime, rank, src, tag int, ctx int64) *message {
 	}
 }
 
-// deadlockState tracks which ranks are blocked in a receive or have
-// finished, to detect all-blocked deadlocks. wakePending marks blocked
-// ranks that have received a message since blocking but have not yet
-// rescanned their queue; while any such token exists, an all-blocked state
-// is not (yet) a verdict.
+// deadlockState tracks which rank instances are blocked in a receive or
+// have finished, to detect all-blocked deadlocks. total counts every
+// instance ever admitted (retired ranks count as finished), so the verdict
+// stays exact across resizes. wakePending marks blocked ranks that have
+// received a message since blocking but have not yet rescanned their
+// queue; while any such token exists, an all-blocked state is not (yet) a
+// verdict.
 type deadlockState struct {
 	mu           sync.Mutex
+	total        int
 	blocked      int
 	finished     int
 	pendingCount int
 	isBlocked    []bool
 	wakePending  []bool
 	waitingOn    []string
+}
+
+// admit grows the detector's per-instance arrays for k newly admitted
+// ranks.
+func (d *deadlockState) admit(k int) {
+	d.mu.Lock()
+	d.total += k
+	for i := 0; i < k; i++ {
+		d.isBlocked = append(d.isBlocked, false)
+		d.wakePending = append(d.wakePending, false)
+		d.waitingOn = append(d.waitingOn, "")
+	}
+	d.mu.Unlock()
 }
 
 // noteBlocked registers that a rank is about to wait. If that makes every
@@ -168,15 +196,22 @@ func (rt *Runtime) noteBlocked(rank, src, tag int) {
 	d.blocked++
 	d.isBlocked[rank] = true
 	d.waitingOn[rank] = fmt.Sprintf("rank %d waiting for (src %d, tag %d)", rank, src, tag)
-	if d.blocked+d.finished == rt.size && d.pendingCount == 0 {
-		msg := "vmpi: deadlock: all ranks blocked in receive:\n"
-		for _, w := range d.waitingOn {
-			if w != "" {
-				msg += "  " + w + "\n"
-			}
-		}
-		panic(msg)
+	d.checkLocked()
+}
+
+// checkLocked panics with the wait set if every unfinished rank is blocked
+// with no wake-ups in flight. Callers hold d.mu.
+func (d *deadlockState) checkLocked() {
+	if d.blocked == 0 || d.blocked+d.finished != d.total || d.pendingCount != 0 {
+		return
 	}
+	msg := "vmpi: deadlock: all ranks blocked in receive:\n"
+	for _, w := range d.waitingOn {
+		if w != "" {
+			msg += "  " + w + "\n"
+		}
+	}
+	panic(msg)
 }
 
 // noteUnblocked registers that a rank woke up and consumed its wake token.
@@ -205,12 +240,16 @@ func (rt *Runtime) notePut(dst int) {
 	d.mu.Unlock()
 }
 
-// noteFinished registers that a rank's function returned.
+// noteFinished registers that a rank's function returned. A finishing rank
+// can strand the rest (retirement after a shrink is the canonical case), so
+// the all-blocked verdict is re-checked here, mirroring the event
+// executor's finish path.
 func (rt *Runtime) noteFinished() {
 	d := &rt.deadlock
 	d.mu.Lock()
+	defer d.mu.Unlock()
 	d.finished++
-	d.mu.Unlock()
+	d.checkLocked()
 }
 
 // rankState is the per-rank mutable state shared by all communicators that
@@ -223,26 +262,91 @@ type rankState struct {
 	msgsSent     int64
 	splitSeq     int64
 	result       any
+	// admit is the virtual time the rank was admitted (0 for founding
+	// ranks, the resize time t* for ranks admitted by a grow).
+	admit float64
+	// retire is the virtual time the rank was retired by a shrink, or -1
+	// while the rank is in the world.
+	retire float64
+	// joinEpoch is the world epoch the rank was admitted in (0 for
+	// founding ranks).
+	joinEpoch int
 	// rec is the rank's append-only observability buffer; all phase,
 	// collective, message, and counter events of the rank flow into it.
 	rec *obs.Buffer
 }
 
-// Runtime is a virtual machine of n ranks connected by a network model.
+// rankInstance is one rank identity over the whole life of the virtual
+// machine. Instance ids are dense, stable, and never reused: founding ranks
+// get ids 0..n-1, every rank admitted by a grow gets the next id. The
+// executor task id, the mailbox, the observability stream, and the final
+// Stats arrays are all indexed by instance id.
+type rankInstance struct {
+	box *mailbox
+	st  *rankState
+	// node is the instance's position in the network topology — its world
+	// rank in the epoch it was admitted. Survivors of a resize keep their
+	// world rank (the surviving prefix), so a node assignment is valid for
+	// the instance's whole life, and shrink-then-grow reuses the freed
+	// node positions for the admitted instances. The network model charges
+	// Cost(node, node, ...), so resized worlds keep physical locality.
+	node int
+	// comm is the world communicator the instance was admitted with; the
+	// engines hand it to the rank body on first dispatch.
+	comm *Comm
+}
+
+// epochWorld is one epoch's world membership. Worlds are immutable once
+// published: a resize builds a fresh epochWorld (sharing the rank
+// instances of survivors) and installs it as the runtime's current world,
+// so ranks still draining the previous epoch read a stable snapshot.
+type epochWorld struct {
+	// epoch numbers the world generations, starting at 0.
+	epoch int
+	// members maps world rank -> instance id.
+	members []int
+	// ctx is the world communicator's message context, distinct per epoch.
+	ctx int64
+	// insts indexes every instance admitted up to and including this
+	// epoch by instance id (a superset of members: retired instances
+	// remain, so stats and obs streams cover them).
+	insts []*rankInstance
+}
+
+// worldCtx returns the world communicator context for an epoch. Epoch 0 is
+// context 0 (the founding world); later epochs get widely spaced bases so
+// Split/Dup-derived contexts of different epochs never collide.
+func worldCtx(epoch int) int64 {
+	return int64(epoch) * 1_000_000_007
+}
+
+// Runtime is a virtual machine of ranks connected by a network model.
 type Runtime struct {
-	size  int
 	model netmodel.Model
-	boxes []*mailbox
-	state []*rankState
 	// computeScale multiplies all Compute charges, modelling slower or
 	// faster cores (e.g. Blue Gene/Q A2 vs. Xeon).
 	computeScale float64
-	// obsBufs holds the per-world-rank observability buffers (always
-	// allocated; phase/collective/counter events are always recorded).
-	obsBufs []*obs.Buffer
 	// traceMsgs additionally records every point-to-point message into the
 	// event stream (Config.Trace) — the high-volume part of the stream.
 	traceMsgs bool
+	// maxRanks bounds the world size Resize may grow to; the network model
+	// is validated against it once at Run.
+	maxRanks int
+	// f is the rank body; Resize re-invokes it for admitted ranks.
+	f func(c *Comm)
+	// wall injects host wall-clock stamps into new obs buffers.
+	wall func() int64
+	// engine records which machine runs the ranks (resize spawns through
+	// the matching path).
+	engine Engine
+
+	// mu guards world, which rank 0 of a resize swaps while every other
+	// rank is quiescent. All cross-goroutine reads go through a lock so
+	// the swap is race-free even though it is logically serialized by the
+	// resize collective.
+	mu    sync.Mutex
+	world *epochWorld
+
 	// deadlock tracks blocked/finished ranks for deadlock detection (and,
 	// under the event engine, just the per-rank wait descriptions that
 	// feed the verdict dump).
@@ -252,12 +356,40 @@ type Runtime struct {
 	exec *rankexec.Executor
 	// execStats is the executor's final meter snapshot (event engine only).
 	execStats *ExecStats
+	// goWG and goPanic are the goroutine engine's completion plumbing,
+	// held on the runtime so Resize can launch admitted ranks.
+	goWG    *sync.WaitGroup
+	goPanic chan any
+}
+
+// currentWorld returns the runtime's live world snapshot.
+func (rt *Runtime) currentWorld() *epochWorld {
+	rt.mu.Lock()
+	w := rt.world
+	rt.mu.Unlock()
+	return w
+}
+
+// setWorld installs a new world snapshot (resize, on world rank 0 only).
+func (rt *Runtime) setWorld(w *epochWorld) {
+	rt.mu.Lock()
+	rt.world = w
+	rt.mu.Unlock()
+}
+
+// instComm returns the admission communicator of an instance; the engines
+// call it when first dispatching the instance's task.
+func (rt *Runtime) instComm(id int) *Comm {
+	return rt.currentWorld().insts[id].comm
 }
 
 // Config parameterizes a virtual machine.
 type Config struct {
-	// Ranks is the number of MPI ranks (goroutines).
+	// Ranks is the number of MPI ranks (goroutines) the world starts with.
 	Ranks int
+	// MaxRanks bounds the world size Resize may grow to; 0 means Ranks
+	// (a fixed-capacity machine). The network model must cover MaxRanks.
+	MaxRanks int
 	// Model is the network model; nil selects netmodel.NewSwitched().
 	Model netmodel.Model
 	// ComputeScale multiplies computation charges; 0 means 1.0.
@@ -276,18 +408,36 @@ type Config struct {
 	Workers int
 }
 
-// Stats aggregates the outcome of a Run.
+// Stats aggregates the outcome of a Run. All per-rank slices are indexed by
+// instance id: the founding ranks 0..Ranks-1 followed by every rank
+// admitted by a Resize grow, in admission order. Without resizes this is
+// exactly the world rank.
 type Stats struct {
-	// Clocks holds each rank's final virtual clock in seconds.
+	// Clocks holds each rank's final virtual clock in seconds (for a
+	// retired rank: its clock at retirement).
 	Clocks []float64
+	// Admit holds each rank's admission time (0 for founding ranks).
+	Admit []float64
+	// Retire holds each rank's retirement time, or -1 for ranks still in
+	// the world at the end of the run. Retire[i] - Admit[i] is a retired
+	// rank's virtual lifetime, the node-seconds integrand of the resize
+	// cost curves.
+	Retire []float64
+	// JoinEpoch holds the world epoch each rank was admitted in.
+	JoinEpoch []int
 	// Phases holds each rank's accumulated named phase times.
 	Phases []map[string]float64
 	// BytesSent and MessagesSent are per-rank communication counters.
 	BytesSent    []int64
 	MessagesSent []int64
 	// Values holds each rank's result value (whatever the rank function
-	// stored via Comm.SetResult), indexed by rank.
+	// stored via Comm.SetResult), indexed by instance id.
 	Values []any
+	// Epochs is the number of world epochs the run went through (1 when
+	// Resize was never called).
+	Epochs int
+	// FinalSize is the world size of the last epoch.
+	FinalSize int
 	// Trace holds the communication record when Config.Trace was set. It
 	// is a pure view derived from Events (the send events of the stream).
 	Trace *Trace
@@ -311,6 +461,25 @@ func (s *Stats) MaxClock() float64 {
 		}
 	}
 	return max
+}
+
+// NodeSeconds returns the summed virtual node-allocation time of all
+// ranks — the machine cost of the run. A retired rank is billed from its
+// admission to its retirement; a rank alive in the final epoch is billed to
+// the end of the run (the machine holds its node until teardown). Shrinking
+// the world mid-run genuinely reduces the figure, while static
+// over-provisioning pays for idle ranks until the end.
+func (s *Stats) NodeSeconds() float64 {
+	end := s.MaxClock()
+	total := 0.0
+	for i := range s.Clocks {
+		stop := end
+		if i < len(s.Retire) && s.Retire[i] >= 0 {
+			stop = s.Retire[i]
+		}
+		total += stop - s.Admit[i]
+	}
+	return total
 }
 
 // MaxPhase returns the maximum across ranks of the accumulated time of the
@@ -359,6 +528,26 @@ func (s *Stats) TotalMessages() int64 {
 	return t
 }
 
+// newInstance builds a rank instance with a fresh mailbox, state, and
+// observability buffer. id is the instance id, node the network position,
+// admit/joinEpoch the admission coordinates.
+func (rt *Runtime) newInstance(id, node int, admit float64, joinEpoch int) *rankInstance {
+	buf := obs.NewBuffer(id)
+	buf.SetWallClock(rt.wall)
+	return &rankInstance{
+		box:  newMailbox(),
+		node: node,
+		st: &rankState{
+			phases:    map[string]float64{},
+			clock:     admit,
+			admit:     admit,
+			retire:    -1,
+			joinEpoch: joinEpoch,
+			rec:       buf,
+		},
+	}
+}
+
 // Run executes f on a virtual machine described by cfg, one goroutine per
 // rank, and returns aggregated statistics. It panics if the configuration is
 // invalid (e.g. a torus model that cannot cover the rank count).
@@ -367,11 +556,18 @@ func Run(cfg Config, f func(c *Comm)) *Stats {
 	if n < 1 {
 		panic("vmpi: Run needs at least 1 rank")
 	}
+	maxRanks := cfg.MaxRanks
+	if maxRanks == 0 {
+		maxRanks = n
+	}
+	if maxRanks < n {
+		panic("vmpi: MaxRanks below Ranks")
+	}
 	model := cfg.Model
 	if model == nil {
 		model = netmodel.NewSwitched()
 	}
-	if err := netmodel.Validate(model, n); err != nil {
+	if err := netmodel.Validate(model, maxRanks); err != nil {
 		panic(err)
 	}
 	scale := cfg.ComputeScale
@@ -379,62 +575,73 @@ func Run(cfg Config, f func(c *Comm)) *Stats {
 		scale = 1
 	}
 	rt := &Runtime{
-		size:         n,
 		model:        model,
-		boxes:        make([]*mailbox, n),
-		state:        make([]*rankState, n),
 		computeScale: scale,
-		obsBufs:      make([]*obs.Buffer, n),
+		maxRanks:     maxRanks,
 		traceMsgs:    cfg.Trace,
+		f:            f,
+		engine:       cfg.Engine,
 	}
 	// Wall-clock stamps are injected here so the obs package itself never
 	// reads the clock (it is part of the determinism-analyzer hot set);
 	// exporters that must be byte-deterministic ignore the wall stamps.
 	epoch := time.Now()
-	wall := func() int64 { return time.Since(epoch).Nanoseconds() }
-	for i := range rt.boxes {
-		rt.boxes[i] = newMailbox()
-		rt.obsBufs[i] = obs.NewBuffer(i)
-		rt.obsBufs[i].SetWallClock(wall)
-		rt.state[i] = &rankState{phases: map[string]float64{}, rec: rt.obsBufs[i]}
-	}
-	rt.deadlock.waitingOn = make([]string, n)
-	rt.deadlock.isBlocked = make([]bool, n)
-	rt.deadlock.wakePending = make([]bool, n)
+	rt.wall = func() int64 { return time.Since(epoch).Nanoseconds() }
 	// All world communicators share one read-only members slice: Comm
 	// never mutates members (Split/Dup build fresh slices), and a per-rank
 	// copy would cost O(P²) memory at paper-scale rank counts.
-	world := identity(n)
-	comms := make([]*Comm, n)
-	for r := 0; r < n; r++ {
-		comms[r] = &Comm{
+	w := &epochWorld{
+		epoch:   0,
+		members: identity(n),
+		ctx:     worldCtx(0),
+		insts:   make([]*rankInstance, n),
+	}
+	for i := range w.insts {
+		w.insts[i] = rt.newInstance(i, i, 0, 0)
+		w.insts[i].comm = &Comm{
 			rt:      rt,
-			rank:    r,
-			members: world,
-			ctx:     0,
-			st:      rt.state[r],
+			w:       w,
+			rank:    i,
+			members: w.members,
+			ctx:     w.ctx,
+			st:      w.insts[i].st,
 		}
 	}
+	rt.world = w
+	rt.deadlock.admit(n)
 	if cfg.Engine == EngineGoroutine {
-		runGoroutine(rt, comms, f)
+		runGoroutine(rt, n)
 	} else {
-		runEvent(rt, cfg, comms, f)
+		runEvent(rt, cfg, n)
 	}
+	final := rt.currentWorld()
+	total := len(final.insts)
 	st := &Stats{
-		Clocks:       make([]float64, n),
-		Phases:       make([]map[string]float64, n),
-		BytesSent:    make([]int64, n),
-		MessagesSent: make([]int64, n),
-		Values:       make([]any, n),
+		Clocks:       make([]float64, total),
+		Admit:        make([]float64, total),
+		Retire:       make([]float64, total),
+		JoinEpoch:    make([]int, total),
+		Phases:       make([]map[string]float64, total),
+		BytesSent:    make([]int64, total),
+		MessagesSent: make([]int64, total),
+		Values:       make([]any, total),
+		Epochs:       final.epoch + 1,
+		FinalSize:    len(final.members),
 	}
-	for r, s := range rt.state {
-		st.Clocks[r] = s.clock
-		st.Phases[r] = s.phases
-		st.BytesSent[r] = s.bytesSent
-		st.MessagesSent[r] = s.msgsSent
-		st.Values[r] = s.result
+	bufs := make([]*obs.Buffer, total)
+	for i, inst := range final.insts {
+		s := inst.st
+		st.Clocks[i] = s.clock
+		st.Admit[i] = s.admit
+		st.Retire[i] = s.retire
+		st.JoinEpoch[i] = s.joinEpoch
+		st.Phases[i] = s.phases
+		st.BytesSent[i] = s.bytesSent
+		st.MessagesSent[i] = s.msgsSent
+		st.Values[i] = s.result
+		bufs[i] = s.rec
 	}
-	st.Events = obs.NewLog(rt.obsBufs)
+	st.Events = obs.NewLog(bufs)
 	if cfg.Trace {
 		st.Trace = traceFromLog(st.Events)
 	}
@@ -442,38 +649,46 @@ func Run(cfg Config, f func(c *Comm)) *Stats {
 	return st
 }
 
-// runGoroutine executes the ranks on the legacy machine: one free-running
-// goroutine per rank, woken by mailbox condition broadcasts. Rank panics
-// (including the deadlock detector's) are re-raised in the caller's
-// goroutine so they are recoverable and carry a useful value.
-func runGoroutine(rt *Runtime, comms []*Comm, f func(c *Comm)) {
-	var wg sync.WaitGroup
-	wg.Add(len(comms))
-	panicCh := make(chan any, len(comms))
-	for _, c := range comms {
-		go func(c *Comm) {
-			defer func() {
-				if p := recover(); p != nil {
-					select {
-					case panicCh <- p:
-					default:
-					}
-					return // leave wg incomplete; Run returns via panicCh
+// launchRank starts one rank goroutine on the legacy machine. Rank panics
+// (including the deadlock detector's) are forwarded to the panic channel
+// so Run can re-raise them in the caller's goroutine.
+func (rt *Runtime) launchRank(c *Comm) {
+	rt.goWG.Add(1)
+	go func() {
+		defer func() {
+			if p := recover(); p != nil {
+				select {
+				case rt.goPanic <- p:
+				default:
 				}
-				rt.noteFinished()
-				wg.Done()
-			}()
-			f(c)
-		}(c)
+				return // leave goWG incomplete; Run returns via goPanic
+			}
+			rt.goWG.Done()
+		}()
+		rt.f(c)
+		// In the body, not the defer: noteFinished may deliver the deadlock
+		// verdict by panicking, which must reach the recover above.
+		rt.noteFinished()
+	}()
+}
+
+// runGoroutine executes the ranks on the legacy machine: one free-running
+// goroutine per rank, woken by mailbox condition broadcasts.
+func runGoroutine(rt *Runtime, n int) {
+	rt.goWG = &sync.WaitGroup{}
+	rt.goPanic = make(chan any, 1)
+	w := rt.currentWorld()
+	for i := 0; i < n; i++ {
+		rt.launchRank(w.insts[i].comm)
 	}
 	done := make(chan struct{})
 	go func() {
-		wg.Wait()
+		rt.goWG.Wait()
 		close(done)
 	}()
 	select {
 	case <-done:
-	case p := <-panicCh:
+	case p := <-rt.goPanic:
 		panic(p)
 	}
 }
@@ -492,9 +707,10 @@ func identity(n int) []int {
 // phase timers.
 type Comm struct {
 	rt      *Runtime
-	rank    int   // rank within this communicator
-	members []int // world rank of each communicator rank
-	ctx     int64 // context id separating message streams of communicators
+	w       *epochWorld // the world epoch this communicator derives from
+	rank    int         // rank within this communicator
+	members []int       // instance id of each communicator rank
+	ctx     int64       // context id separating message streams of communicators
 	st      *rankState
 }
 
@@ -504,8 +720,23 @@ func (c *Comm) Rank() int { return c.rank }
 // Size returns the number of ranks in the communicator.
 func (c *Comm) Size() int { return len(c.members) }
 
-// WorldRank returns the calling rank's index in the world communicator.
+// WorldRank returns the calling rank's global rank id — stable across the
+// whole run and across resizes. Without resizes it equals the rank's index
+// in the world communicator.
 func (c *Comm) WorldRank() int { return c.members[c.rank] }
+
+// Epoch returns the world epoch this communicator derives from (0 for the
+// founding world; each Resize starts a new epoch).
+func (c *Comm) Epoch() int { return c.w.epoch }
+
+// JoinEpoch returns the epoch the calling rank was admitted in: 0 for
+// founding ranks, the epoch created by the admitting Resize otherwise. A
+// rank body can use it to tell a fresh start from a resize admission.
+func (c *Comm) JoinEpoch() int { return c.st.joinEpoch }
+
+// AdmitTime returns the virtual time the calling rank was admitted (0 for
+// founding ranks).
+func (c *Comm) AdmitTime() float64 { return c.st.admit }
 
 // Time returns the rank's current virtual clock in seconds.
 func (c *Comm) Time() float64 { return c.st.clock }
@@ -613,6 +844,7 @@ func (c *Comm) Split(color, key int) *Comm {
 	}
 	return &Comm{
 		rt:      c.rt,
+		w:       c.w,
 		rank:    newRank,
 		members: members,
 		ctx:     c.ctx*1_000_003 + int64(color)*1009 + c.st.splitSeq,
@@ -627,6 +859,7 @@ func (c *Comm) Dup() *Comm {
 	c.st.splitSeq++
 	return &Comm{
 		rt:      c.rt,
+		w:       c.w,
 		rank:    c.rank,
 		members: append([]int(nil), c.members...),
 		ctx:     c.ctx*1_000_003 + 500_009 + c.st.splitSeq,
@@ -634,7 +867,12 @@ func (c *Comm) Dup() *Comm {
 	}
 }
 
-// world returns the world rank for a communicator rank.
+// world returns the global rank (instance) id for a communicator rank.
 func (c *Comm) world(rank int) int {
 	return c.members[rank]
+}
+
+// inst returns the rank instance behind a communicator rank.
+func (c *Comm) inst(rank int) *rankInstance {
+	return c.w.insts[c.members[rank]]
 }

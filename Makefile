@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-json bench-fig10 vet lint debugtest golden golden-par fig10 golden-bigp golden-bigp-update golden-resize golden-resize-update check
+.PHONY: all build test race bench bench-json bench-fig10 bench-mem vet lint debugtest golden golden-par fig10 golden-bigp golden-bigp-update golden-resize golden-resize-update golden-mem golden-mem-update check
 
 all: build
 
@@ -124,4 +124,25 @@ golden-resize:
 golden-resize-update:
 	$(GO) run ./cmd/paperbench -fig resize -j $(JOBS) > paperbench_resize.txt
 
-check: build vet lint test debugtest race golden golden-bigp golden-resize
+# Memory-budget golden: Figure M (the unbounded exchange exhausting the
+# staging budget vs the redist planner's bounded rounds, plus the three
+# sort strategies under the same budget, both machine models) must stay
+# byte-identical to the checked-in baseline. The same invocation exports
+# the planned exchange's Chrome trace and metrics dump, which carry the
+# redist/peak_bytes gauge and counter.
+golden-mem:
+	$(GO) run ./cmd/paperbench -fig mem -j $(JOBS) \
+		-trace-out obs_mem_trace.json -metrics-out obs_mem_metrics.txt \
+		> paperbench_mem.got.txt
+	diff -u paperbench_mem.txt paperbench_mem.got.txt
+	rm -f paperbench_mem.got.txt
+
+golden-mem-update:
+	$(GO) run ./cmd/paperbench -fig mem -j $(JOBS) > paperbench_mem.txt
+
+# Writes the Figure M benchmark report (memory-budget strategies, both
+# machine models: virtual times, metered staging peaks, wall clock).
+bench-mem:
+	$(GO) run ./cmd/paperbench -bench-mem BENCH_4.json
+
+check: build vet lint test debugtest race golden golden-bigp golden-resize golden-mem

@@ -45,6 +45,14 @@
 // counter, world-size gauge) are visible in the Chrome trace and the
 // metrics dump.
 //
+// -fig mem (also outside -fig all) is the memory-budget figure: a
+// fine-grained exchange whose classic single all-to-all stages four times
+// the configured budget, run unbounded (metered) and through the redist
+// planner's bounded rounds, next to the three sort strategies under the
+// same budget (see EXPERIMENTS.md). -bench-mem writes its benchmark
+// report; with -trace-out/-metrics-out the planned exchange's timeline
+// (redist/peak_bytes gauge and counter) is exported.
+//
 // -j sets how many experiments (virtual machine runs) execute concurrently
 // on the host (default: the core count). Every figure, trace, and metrics
 // byte is identical at any -j value — the experiment scheduler collects
@@ -68,7 +76,7 @@ import (
 
 func main() {
 	var (
-		fig       = flag.String("fig", "all", "figure to regenerate: 6, 7, 8, 9l, 9r, 10, resize, or all (all = the paper's 6-9)")
+		fig       = flag.String("fig", "all", "figure to regenerate: 6, 7, 8, 9l, 9r, 10, resize, mem, or all (all = the paper's 6-9)")
 		particles = flag.Int("particles", 6000, "global particle count (rounded to an even lattice cube)")
 		ranks     = flag.Int("ranks", 8, "virtual MPI ranks")
 		steps     = flag.Int("steps", 0, "MD time steps (0 = figure-specific default)")
@@ -80,6 +88,7 @@ func main() {
 		engineF   = flag.String("engine", "event", "vmpi rank-execution engine: event or goroutine (output is byte-identical under both)")
 		benchJSON = flag.String("bench-json", "", "write a wall-clock + virtual-seconds benchmark report for all figures to this file and exit")
 		benchF10  = flag.String("bench-fig10", "", "write a figure 10 benchmark report (wall clock, memory, and executor meters per rank count) to this file and exit")
+		benchMem  = flag.String("bench-mem", "", "write a figure M benchmark report (memory-budget strategies on both machines) to this file and exit")
 		stepScale = flag.Float64("step-scale", 1, "scale factor on the per-figure default step counts in -bench-json mode")
 		benchBase = flag.String("bench-baseline", "", "with -bench-json: print a delta report against this baseline benchmark JSON")
 		traceOut  = flag.String("trace-out", "", "write a Chrome trace-event JSON of the canonical observability run to this file")
@@ -167,6 +176,20 @@ func main() {
 		return
 	}
 
+	if *benchMem != "" {
+		rep := benchjson.CollectMem(engine)
+		if err := benchjson.WriteFile(rep, *benchMem); err != nil {
+			fmt.Fprintf(os.Stderr, "paperbench: writing %s: %v\n", *benchMem, err)
+			os.Exit(1)
+		}
+		wall := 0.0
+		for _, f := range rep.Figures {
+			wall += f.WallSeconds
+		}
+		fmt.Printf("wrote %s: %d figures, %.2fs wall clock total\n", *benchMem, len(rep.Figures), wall)
+		return
+	}
+
 	if *benchJSON != "" {
 		rep := benchjson.Collect(base, rankList, *stepScale)
 		if err := benchjson.WriteFile(rep, *benchJSON); err != nil {
@@ -225,6 +248,13 @@ func main() {
 				fmt.Println()
 			}
 			return
+		case "mem":
+			for _, m := range []paperbench.Machine{paperbench.JuRoPA(), paperbench.Juqueen()} {
+				rows := paperbench.FigMem(m, engine)
+				fmt.Print(paperbench.RenderFigMem(m.Name, rows))
+				fmt.Println()
+			}
+			return
 		default:
 			fmt.Fprintf(os.Stderr, "paperbench: unknown figure %q\n", which)
 			os.Exit(2)
@@ -246,6 +276,14 @@ func main() {
 		// world-size gauge show the resize epochs in both exports.
 		if *traceOut != "" || *metricOut != "" {
 			exportEventLog(*traceOut, *metricOut, "elastic resize", paperbench.FigResizeObs(engine))
+		}
+		return
+	}
+	if *fig == "mem" {
+		// The memory figure exports the planned exchange's own timeline,
+		// where the redist/peak_bytes gauge and counter are visible.
+		if *traceOut != "" || *metricOut != "" {
+			exportEventLog(*traceOut, *metricOut, "memory budget", paperbench.FigMemObs(engine))
 		}
 		return
 	}

@@ -38,3 +38,7 @@ func TestRankExecHotPackage(t *testing.T) {
 func TestElasticHotPackage(t *testing.T) {
 	analysistest.Run(t, "testdata/src", determinism.Analyzer, "elastichot")
 }
+
+func TestRedistHotPackage(t *testing.T) {
+	analysistest.Run(t, "testdata/src", determinism.Analyzer, "redisthot")
+}

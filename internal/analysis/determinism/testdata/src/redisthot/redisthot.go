@@ -1,0 +1,54 @@
+// Package redist (fixture) exercises the hot-package scope of the
+// determinism analyzer for the redistribution planner: matching is by
+// package name, so this stands in for repro/internal/redist. A plan's
+// round schedule and element routing must be a pure function of the
+// targets and the budget — the memory-budget figure golden and the
+// bounded/unbounded byte identity depend on it — so the planning path may
+// not read the wall clock, draw random round assignments, or walk maps.
+package redist
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// planViolations: stamping rounds with wall time, picking a round by
+// random draw, and draining a per-destination staging map in iteration
+// order would all make the round schedule depend on the host.
+func planViolations(staged map[int][]byte, emit func(dst int, buf []byte)) {
+	_ = time.Now()                 // want `time.Now reads the wall clock`
+	round := rand.Intn(4)          // want `math/rand in a hot path`
+	for dst, buf := range staged { // want `map iteration order is nondeterministic in a hot path`
+		emit(dst, buf)
+		_ = round
+	}
+}
+
+// planRounds is the accepted idiom (negative case): destinations are
+// walked in a canonical order and greedily packed into rounds while the
+// staged bytes fit the budget — pure arithmetic on the counts.
+func planRounds(order []int, counts []int64, elemBytes, budget int64) [][2]int {
+	var rounds [][2]int
+	lo, acc := 0, int64(0)
+	for k, d := range order {
+		b := counts[d] * elemBytes
+		if k > lo && acc+b > budget {
+			rounds = append(rounds, [2]int{lo, k})
+			lo, acc = k, 0
+		}
+		acc += b
+	}
+	return append(rounds, [2]int{lo, len(order)})
+}
+
+// sortedDests is the sortedKeys idiom (negative case): collecting map
+// keys into a slice and sorting before any order-dependent work.
+func sortedDests(staged map[int][]byte) []int {
+	dests := make([]int, 0, len(staged))
+	for d := range staged {
+		dests = append(dests, d)
+	}
+	sort.Ints(dests)
+	return dests
+}

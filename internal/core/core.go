@@ -69,6 +69,11 @@ type FCS struct {
 	maxMove       float64
 	resizePolicy  ResizePolicy
 
+	// memoryBudget caps staged exchange bytes on the communicator
+	// (WithMemoryBudget); re-applied when Rescale moves the handle.
+	memoryBudget    int64
+	memoryBudgetSet bool
+
 	// recorder, when set (WithRecorder), receives a replay of the rank's
 	// observability events after every Tune/Run/resort call.
 	recorder obs.Recorder
@@ -82,8 +87,8 @@ type FCS struct {
 
 // Init creates a new solver instance of the named method on the
 // communicator (fcs_init), configured by functional options (WithBox,
-// WithAccuracy, WithResort, WithMaxMove, WithResizePolicy, WithRecorder).
-// Options are
+// WithAccuracy, WithResort, WithMaxMove, WithResizePolicy,
+// WithMemoryBudget, WithRecorder). Options are
 // validated eagerly: Init returns the first option error. Every rank of
 // the communicator must call it identically.
 func Init(method string, comm *vmpi.Comm, opts ...Option) (*FCS, error) {
@@ -103,6 +108,9 @@ func Init(method string, comm *vmpi.Comm, opts ...Option) (*FCS, error) {
 			return nil, err
 		}
 	}
+	if h.memoryBudgetSet {
+		comm.SetMaxExchangeBytes(h.memoryBudget)
+	}
 	return h, nil
 }
 
@@ -120,6 +128,9 @@ func (h *FCS) Comm() *vmpi.Comm { return h.comm }
 // a fresh handle instead) and then Tune collectively before the next Run.
 func (h *FCS) Rescale(c *vmpi.Comm) {
 	h.comm = c
+	if h.memoryBudgetSet {
+		c.SetMaxExchangeBytes(h.memoryBudget)
+	}
 	h.solver = nil
 	h.tuned = false
 	h.lastResorted = false

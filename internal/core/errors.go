@@ -32,4 +32,6 @@ var (
 	// ErrBadResizePolicy: a resize policy has a negative interval or a
 	// world-size target below 1.
 	ErrBadResizePolicy = errors.New("bad resize policy")
+	// ErrBadMemoryBudget: the exchange memory budget is negative.
+	ErrBadMemoryBudget = errors.New("bad memory budget")
 )

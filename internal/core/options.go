@@ -105,6 +105,25 @@ func WithResizePolicy(p ResizePolicy) Option {
 	}
 }
 
+// WithMemoryBudget caps the per-rank bytes any redistribution may stage
+// for sending at once: solver exchanges, resorts, and block remaps on the
+// handle's communicator run through the memory-bounded redistribution
+// planner (internal/redist) in rounds that each stay within the budget.
+// 0 (the default) leaves exchanges unbounded. Validated eagerly: Init
+// fails with ErrBadMemoryBudget for negative bytes. Applied to the
+// communicator at Init and re-applied on Rescale; every rank must
+// configure the same budget (the planner's round schedule is collective).
+func WithMemoryBudget(bytes int64) Option {
+	return func(h *FCS) error {
+		if bytes < 0 {
+			return fmt.Errorf("core: %w: %d bytes", ErrBadMemoryBudget, bytes)
+		}
+		h.memoryBudget = bytes
+		h.memoryBudgetSet = true
+		return nil
+	}
+}
+
 // WithRecorder attaches an observability recorder to the handle: after
 // every Tune, Run, and resort call, the events the calling rank's runtime
 // recorded during that call are replayed into r. This gives applications a

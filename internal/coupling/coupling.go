@@ -269,9 +269,12 @@ func (p *Pipeline[T]) restore(in api.Input, own []T, pot, field []float64) api.O
 			results[i] = restoreRec{Origin: p.m.Origin(r), Pot: pot[i],
 				Fx: field[3*i], Fy: field[3*i+1], Fz: field[3*i+2]}
 		}
-		back := redist.Exchange(c, results, redist.ToRank(func(i int) int {
+		// Explicit plan: the restore routing honors the communicator's
+		// memory budget like every other exchange on the pipeline.
+		pl := redist.NewPlan(c, len(results), redist.ToRank(func(i int) int {
 			return results[i].Origin.Rank()
-		}))
+		}), redist.Options{})
+		back := redist.Execute(pl, results)
 		if len(back) != in.N {
 			panic(fmt.Sprintf("coupling: restore received %d results for %d particles", len(back), in.N))
 		}

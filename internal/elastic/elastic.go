@@ -65,7 +65,8 @@ func DefaultCapacity(n int) int {
 // partition over the first newP ranks of the communicator (collective;
 // redist.RemapBlocks order). Ranks at or beyond newP end up empty. The
 // returned Local is freshly allocated with capf (nil means
-// DefaultCapacity) and carries l's box.
+// DefaultCapacity) and carries l's box. RemapBlocks is plan-backed, so a
+// memory budget on the communicator bounds the remap's staged bytes.
 func Remap(c *vmpi.Comm, l *particle.Local, newP int, capf Capacity) *particle.Local {
 	if capf == nil {
 		capf = DefaultCapacity

@@ -177,7 +177,10 @@ func (m method) MoveThreshold() float64 {
 	return math.Cbrt(m.box.Volume() / float64(m.comm.Size()))
 }
 
-// Exchange sorts the particles into boxes with the selected parallel sort.
+// Exchange sorts the particles into boxes with the selected parallel
+// sort. Both sorts route their element exchange through the plan-backed
+// redist.ExchangeBlocks, so a memory budget configured on the
+// communicator (core.WithMemoryBudget) bounds the staged bytes here too.
 func (m method) Exchange(recs []pRec, fast bool) ([]pRec, coupling.ExchangeInfo) {
 	key := func(r pRec) uint64 { return r.Key }
 	if fast {

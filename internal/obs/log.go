@@ -190,6 +190,104 @@ func (l *Log) Counter(name string) float64 {
 	return total
 }
 
+// GaugeRow is one named gauge high-water mark: the maximum sampled Value
+// across all ranks and times.
+type GaugeRow struct {
+	Name string
+	Max  float64
+}
+
+// GaugeHighWater returns the per-name maximum of every gauge in the log,
+// sorted by name. This is the view behind the redist/peak_bytes meter:
+// the largest staged-bytes sample any rank reported.
+func (l *Log) GaugeHighWater() []GaugeRow {
+	idx := map[string]int{}
+	var rows []GaugeRow
+	for _, evs := range l.ByRank {
+		for _, e := range evs {
+			if e.Kind != KindGauge {
+				continue
+			}
+			if i, ok := idx[e.Name]; ok {
+				if e.Value > rows[i].Max {
+					rows[i].Max = e.Value
+				}
+			} else {
+				idx[e.Name] = len(rows)
+				rows = append(rows, GaugeRow{Name: e.Name, Max: e.Value})
+			}
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Name < rows[j].Name })
+	return rows
+}
+
+// GaugeMax returns the cross-rank maximum sample of the named gauge, and
+// whether the gauge appears in the log at all.
+func (l *Log) GaugeMax(name string) (float64, bool) {
+	max, found := 0.0, false
+	for _, evs := range l.ByRank {
+		for _, e := range evs {
+			if e.Kind != KindGauge || e.Name != name {
+				continue
+			}
+			if !found || e.Value > max {
+				max = e.Value
+			}
+			found = true
+		}
+	}
+	return max, found
+}
+
+// PhaseGaugeRow is one phase's high-water mark of a gauge.
+type PhaseGaugeRow struct {
+	Phase string
+	Max   float64
+}
+
+// PhaseGaugeHighWater attributes every sample of the named gauge to the
+// emitting rank's enclosing phase (tracked from explicit
+// PhaseBegin/PhaseEnd pairs; samples outside any explicit phase fall
+// under "") and returns the per-phase maxima sorted by phase name.
+// Synthesized phase spans (AddPhase emits only a PhaseEnd) carry no begin
+// marker and do not capture samples.
+func (l *Log) PhaseGaugeHighWater(name string) []PhaseGaugeRow {
+	idx := map[string]int{}
+	var rows []PhaseGaugeRow
+	for _, evs := range l.ByRank {
+		var stack []string
+		for _, e := range evs {
+			switch e.Kind {
+			case KindPhaseBegin:
+				stack = append(stack, e.Name)
+			case KindPhaseEnd:
+				if len(stack) > 0 && stack[len(stack)-1] == e.Name {
+					stack = stack[:len(stack)-1]
+				}
+			case KindGauge:
+				if e.Name != name {
+					continue
+				}
+				phase := ""
+				if len(stack) > 0 {
+					phase = stack[len(stack)-1]
+				}
+				if i, ok := idx[phase]; ok {
+					if e.Value > rows[i].Max {
+						rows[i].Max = e.Value
+					}
+				} else {
+					idx[phase] = len(rows)
+					rows = append(rows, PhaseGaugeRow{Phase: phase, Max: e.Value})
+				}
+			}
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Phase < rows[j].Phase })
+	return rows
+}
+
 // PhaseNames returns the sorted distinct phase names appearing in
 // phase-end events.
 func (l *Log) PhaseNames() []string {

@@ -52,6 +52,14 @@ func WriteMetrics(w io.Writer, l *Log) error {
 		}
 	}
 
+	gauges := l.GaugeHighWater()
+	if len(gauges) > 0 {
+		buf.WriteString("# HELP repro_gauge_high_water Named gauge maxima across ranks and time.\n# TYPE repro_gauge_high_water gauge\n")
+		for _, g := range gauges {
+			buf.WriteString("repro_gauge_high_water{name=" + strconv.Quote(g.Name) + "} " + num(g.Max) + "\n")
+		}
+	}
+
 	buf.WriteString("# HELP repro_comm_matrix_bytes Nonzero per-phase comm-matrix entries.\n# TYPE repro_comm_matrix_bytes gauge\n")
 	for _, r := range rows {
 		if r.Messages == 0 {

@@ -63,10 +63,12 @@ const (
 
 // Message-buffer pool meters (process-wide snapshots, emitted as gauges).
 const (
-	PoolGetsGauge   = "vmpi/pool/gets"
-	PoolPutsGauge   = "vmpi/pool/puts"
-	PoolMissesGauge = "vmpi/pool/misses"
-	PoolWasteGauge  = "vmpi/pool/waste_bytes"
+	PoolGetsGauge      = "vmpi/pool/gets"
+	PoolPutsGauge      = "vmpi/pool/puts"
+	PoolMissesGauge    = "vmpi/pool/misses"
+	PoolWasteGauge     = "vmpi/pool/waste_bytes"
+	PoolInUseGauge     = "vmpi/pool/in_use_bytes"
+	PoolHighWaterGauge = "vmpi/pool/high_water_bytes"
 )
 
 // HostObs returns the process-wide host-side observability buffer that the
@@ -98,6 +100,8 @@ func RecordPoolStats() {
 	jobStats.Gauge(PoolPutsGauge, float64(ps.Puts))
 	jobStats.Gauge(PoolMissesGauge, float64(ps.Misses))
 	jobStats.Gauge(PoolWasteGauge, float64(ps.WasteBytes))
+	jobStats.Gauge(PoolInUseGauge, float64(ps.InUseBytes))
+	jobStats.Gauge(PoolHighWaterGauge, float64(ps.HighWaterBytes))
 }
 
 var (

@@ -238,8 +238,12 @@ func (m method) Exchange(items []pRec, fast bool) ([]pRec, coupling.ExchangeInfo
 	s.targets = nil
 	tf := redist.ToRank(func(i int) int { return targets[i] })
 	if fast {
-		recv, used := redist.ExchangeNeighborhood(s.comm, items, tf, s.cart.Neighbors(1))
-		if !used {
+		// One plan carries both the neighborhood attempt and the
+		// collective fallback: the routing is built once, the feasibility
+		// vote in NewPlan is collective, and Execute picks the backend.
+		pl := redist.NewPlan(s.comm, len(items), tf, redist.Options{Neighbors: s.cart.Neighbors(1)})
+		recv := redist.Execute(pl, items)
+		if !pl.UsedNeighborhood() {
 			return recv, coupling.ExchangeInfo{Strategy: api.StrategyAlltoall, Fallback: true}
 		}
 		return recv, coupling.ExchangeInfo{Strategy: api.StrategyNeighborhood}

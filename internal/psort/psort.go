@@ -23,14 +23,17 @@ import (
 	"sync"
 
 	"repro/internal/costs"
+	"repro/internal/redist"
 	"repro/internal/vmpi"
 )
 
-// Tags used by SortMerge header/count/data exchanges.
+// Tags used by SortMerge header/count/data exchanges and the rotational
+// sort's per-round rotations.
 const (
 	tagHeader = 101
 	tagData   = 102
 	tagCount  = 103
+	tagRot    = 104
 )
 
 // keyedSorter sorts items and their extracted keys together, so the
@@ -112,7 +115,9 @@ func SortPartition[T any](c *vmpi.Comm, items []T, key func(T) uint64) []T {
 	}
 	c.Compute(exchangeCost(c.Rank(), parts)) // pack into send buffers
 
-	recv := vmpi.Alltoall(c, parts)
+	// Plan-backed block exchange: the copying collective when no memory
+	// budget is configured, bounded rounds under one.
+	recv := redist.ExchangeBlocks(c, parts)
 
 	// Merge the received sorted runs. Received blocks are in source-rank
 	// order; a stable sort keeps ties deterministic.
@@ -549,7 +554,7 @@ func SortPartitionSampled[T any](c *vmpi.Comm, items []T, key func(T) uint64) []
 		lo = hi
 	}
 	c.Compute(exchangeCost(c.Rank(), parts))
-	recv := vmpi.Alltoall(c, parts)
+	recv := redist.ExchangeBlocks(c, parts)
 	merged := make([]T, 0, totalLen(recv))
 	for _, b := range recv {
 		merged = append(merged, b...)

@@ -1,0 +1,499 @@
+package redist
+
+import (
+	"fmt"
+	"unsafe"
+
+	"repro/internal/costs"
+	"repro/internal/vmpi"
+)
+
+// Memory-bounded redistribution planning (ROADMAP item 3).
+//
+// Every redistribution in this package — the collective all-to-all
+// Exchange, the neighborhood exchange, the block remap, and the resort of
+// method B — used to materialize one send buffer per destination rank
+// simultaneously, so the per-rank peak exchange footprint was the entire
+// outgoing volume. Following Rink et al. (*Memory-efficient array
+// redistribution through portable collective communication*, PAPERS.md),
+// a Plan decomposes the same exchange into a deterministic schedule of
+// bounded-footprint rounds: destinations are packed greedily, in staging
+// order, into rounds whose worst-case staged bytes (a collective maximum,
+// so every rank derives the same schedule) stay within the byte budget,
+// and each round builds and relinquishes its buffers via vmpi.SendOwned
+// before the next round stages anything. Because vmpi sends are eager and
+// never block, all rounds complete before any receive, and the receives
+// then assemble blocks in canonical source order — so the result is
+// byte-identical to the unbounded path, round structure notwithstanding.
+//
+// The budget bounds what a rank *stages* for sending at any moment; the
+// inbound side (the elements a rank ends up owning) is the irreducible
+// output and is not charged against it. A single destination whose block
+// alone exceeds the budget still gets a round of its own — the schedule
+// degrades to per-destination rounds, never deadlocks.
+//
+// With a zero budget a Plan replays the historical code paths verbatim —
+// same messages, same collectives, same floating-point cost accumulation
+// order — which is what keeps the golden figures byte-identical.
+
+// tagPlan carries the bounded-round point-to-point messages. Reserved
+// alongside the neighborhood tag 201 and the resort tags 211/212.
+const tagPlan = 221
+
+// MeterPeakBytes names the obs gauge (per-exchange staged peak) and
+// counter (sum of staged peaks over all metered exchanges on a rank) that
+// Execute emits when a budget is active or Options.Meter is set. The
+// value is a pure function of the routing, so it is deterministic across
+// engines and host parallelism — but budgetless, unmetered configs (all
+// golden figures) emit no meter events at all, keeping their event
+// streams unchanged.
+const MeterPeakBytes = "redist/peak_bytes"
+
+// Options configures a Plan.
+type Options struct {
+	// MaxBytes is the staging budget per round. 0 adopts the
+	// communicator's configured vmpi MaxExchangeBytes (itself 0 =
+	// unbounded by default); a negative value forces the unbounded path
+	// regardless of the communicator setting.
+	MaxBytes int64
+	// Neighbors, when non-nil, requests the point-to-point neighborhood
+	// backend over this symmetric neighbor set (see
+	// ExchangeNeighborhood). Feasibility is decided collectively in
+	// NewPlan; if any rank routes outside its neighborhood every rank
+	// falls back to the all-to-all backend.
+	Neighbors []int
+	// Meter forces emission of the MeterPeakBytes gauge/counter even on
+	// the unbounded path (budgeted plans always meter). Off by default so
+	// budgetless runs add zero events.
+	Meter bool
+}
+
+// Plan is the routing of one redistribution: which destination every
+// element occurrence goes to, which backend executes it, and — when a
+// budget is active — the collective round schedule that bounds staging.
+// Build one with NewPlan, run it with Execute (a package function,
+// because Go methods cannot be generic: Execute[T](plan, items)). A Plan
+// may be executed multiple times over same-shaped inputs.
+type Plan struct {
+	c      *vmpi.Comm
+	n      int   // local element count the routing was built for
+	budget int64 // 0 = unbounded
+	meter  bool
+
+	// Destination routing in CSR form, by destination rank: counts[d]
+	// occurrences for rank d, their source element indices at
+	// occIdx[occOff[d]:occOff[d+1]], in local element order. Slices, not
+	// maps — this package is in the determinism analyzer's hot set.
+	counts []int
+	occOff []int
+	occIdx []int32
+
+	neighbors []int
+	useNbr    bool  // neighborhood requested and collectively feasible
+	order     []int // destinations in staging order (self first for useNbr)
+
+	// maxCounts[d] = max over ranks of counts[d]; the collective input to
+	// the round schedule. Present only when budget > 0.
+	maxCounts []int64
+
+	peak int64 // staged-bytes peak of the most recent Execute
+}
+
+// NewPlan routes n local elements through targets and returns the plan.
+// Collective when opts.Neighbors is non-nil (the feasibility vote) or a
+// budget is active (the schedule maximum); otherwise it communicates
+// nothing. targets is invoked exactly once per element, in order.
+func NewPlan(c *vmpi.Comm, n int, targets Targets, opts Options) *Plan {
+	p := c.Size()
+	pl := &Plan{c: c, n: n, meter: opts.Meter, counts: make([]int, p)}
+
+	var inNbr []bool
+	if opts.Neighbors != nil {
+		pl.neighbors = opts.Neighbors
+		inNbr = make([]bool, p)
+		for _, r := range opts.Neighbors {
+			if r < 0 || r >= p {
+				panic(fmt.Sprintf("redist: neighbor rank %d out of range (size %d)", r, p))
+			}
+			inNbr[r] = true
+		}
+	}
+
+	// Pass 1: flatten the target lists — one (element, destination) pair
+	// per occurrence, in emission order — and count per destination.
+	occDst := make([]int32, 0, n)
+	occSrc := make([]int32, 0, n)
+	ok := true
+	var buf []int
+	for i := 0; i < n; i++ {
+		buf = targets(i, buf[:0])
+		for _, r := range buf {
+			if r < 0 || r >= p {
+				panic(fmt.Sprintf("redist: target rank %d out of range (size %d)", r, p))
+			}
+			if inNbr != nil && r != c.Rank() && !inNbr[r] {
+				ok = false
+			}
+			pl.counts[r]++
+			occDst = append(occDst, int32(r))
+			occSrc = append(occSrc, int32(i))
+		}
+	}
+	// Pass 2: bucket occurrences by destination. The counting sort is
+	// stable, so each destination sees its elements in local order —
+	// exactly the order the per-destination append loops used to build.
+	pl.occOff = make([]int, p+1)
+	for d := 0; d < p; d++ {
+		pl.occOff[d+1] = pl.occOff[d] + pl.counts[d]
+	}
+	pl.occIdx = make([]int32, len(occDst))
+	cursor := append([]int(nil), pl.occOff[:p]...)
+	for j, d := range occDst {
+		pl.occIdx[cursor[d]] = occSrc[j]
+		cursor[d]++
+	}
+
+	// Resolve the budget: explicit option, else the communicator default.
+	switch {
+	case opts.MaxBytes > 0:
+		pl.budget = opts.MaxBytes
+	case opts.MaxBytes == 0:
+		pl.budget = c.MaxExchangeBytes()
+	default:
+		pl.budget = 0
+	}
+
+	// Collective fallback decision for the neighborhood backend: every
+	// rank must take the same path. Same vote, in the same sequence
+	// position, as the historical ExchangeNeighborhood.
+	if opts.Neighbors != nil {
+		pl.useNbr = vmpi.AllreduceVal(c, boolToInt(ok), vmpi.Min[int]) == 1
+	}
+
+	// Staging order: the all-to-all backend stages destinations in rank
+	// order; the neighborhood backend stages self first, then the
+	// neighbor list order (matching its assembly order).
+	if pl.useNbr {
+		pl.order = make([]int, 0, len(pl.neighbors)+1)
+		pl.order = append(pl.order, c.Rank())
+		pl.order = append(pl.order, pl.neighbors...)
+	} else {
+		pl.order = make([]int, p)
+		for d := range pl.order {
+			pl.order[d] = d
+		}
+	}
+
+	// The round schedule needs the cross-rank maximum of every
+	// destination's count so all ranks cut rounds identically. Collective
+	// — and therefore only performed when a budget is active, keeping the
+	// budgetless event stream unchanged.
+	if pl.budget > 0 {
+		counts64 := make([]int64, p)
+		for d, n := range pl.counts {
+			counts64[d] = int64(n)
+		}
+		mc := vmpi.Allreduce(c, counts64, vmpi.Max[int64])
+		pl.maxCounts = append([]int64(nil), mc...)
+		vmpi.Release(mc)
+	}
+	return pl
+}
+
+// Bounded reports whether the plan executes the bounded-round protocol.
+func (p *Plan) Bounded() bool { return p.budget > 0 }
+
+// Budget returns the resolved staging budget in bytes (0 = unbounded).
+func (p *Plan) Budget() int64 { return p.budget }
+
+// UsedNeighborhood reports whether the neighborhood backend was feasible
+// and will be (or was) used; false means the all-to-all backend, either
+// because no neighbor set was given or because the collective vote fell
+// back.
+func (p *Plan) UsedNeighborhood() bool { return p.useNbr }
+
+// PeakBytes returns the staged-bytes peak of the most recent Execute on
+// this plan (the same value the MeterPeakBytes gauge reports), or 0 if
+// the plan has not executed.
+func (p *Plan) PeakBytes() int64 { return p.peak }
+
+// Rounds returns the number of staging rounds Execute will use for
+// elements of the given byte size: 1 when unbounded, otherwise the length
+// of the greedy schedule.
+func (p *Plan) Rounds(elemBytes int) int {
+	if p.budget <= 0 {
+		return 1
+	}
+	return len(scheduleRounds(p.order, p.maxCounts, elemBytes, p.budget))
+}
+
+// scheduleRounds packs consecutive positions of order into rounds whose
+// collective worst-case staging (maxCounts per destination, times
+// elemBytes) stays within budget. Greedy and deterministic; a destination
+// whose block alone exceeds the budget gets a singleton round. Returns
+// half-open [lo, hi) position ranges covering all of order.
+func scheduleRounds(order []int, maxCounts []int64, elemBytes int, budget int64) [][2]int {
+	rounds := make([][2]int, 0, 1)
+	lo := 0
+	acc := int64(0)
+	for k := range order {
+		b := maxCounts[order[k]] * int64(elemBytes)
+		if k > lo && acc+b > budget {
+			rounds = append(rounds, [2]int{lo, k})
+			lo, acc = k, 0
+		}
+		acc += b
+	}
+	return append(rounds, [2]int{lo, len(order)})
+}
+
+// gather builds the freshly allocated per-destination send buffer for
+// rank d: the plan's occurrences for d, in local element order. Returns
+// nil when d receives nothing (matching the historical append-built nil
+// parts, which the messaging layer and its debug ownership checker rely
+// on).
+func gather[T any](p *Plan, items []T, d int) []T {
+	lo, hi := p.occOff[d], p.occOff[d+1]
+	if lo == hi {
+		return nil
+	}
+	buf := make([]T, 0, hi-lo)
+	for _, i := range p.occIdx[lo:hi] {
+		buf = append(buf, items[i])
+	}
+	return buf
+}
+
+// crossCostCounts is crossCost over the plan's destination counts: the
+// same per-rank terms, accumulated in the same rank order, so the float64
+// sum is bit-identical to charging the materialized parts.
+func crossCostCounts(self int, counts []int) float64 {
+	cost := 0.0
+	for r, n := range counts {
+		if r == self {
+			cost += costs.Move * float64(n)
+		} else {
+			cost += costs.RedistElem * float64(n)
+		}
+	}
+	return cost
+}
+
+// meterPeak records the staged peak on the plan and, when metering is
+// active, emits the gauge and counter.
+func meterPeak(p *Plan, peak int64) {
+	p.peak = peak
+	if p.budget > 0 || p.meter {
+		p.c.Gauge(MeterPeakBytes, float64(peak))
+		p.c.Counter(MeterPeakBytes, float64(peak))
+	}
+}
+
+// Execute runs the plan over items (which must have the length the plan
+// was routed for) and returns, for each source rank in canonical order —
+// rank order for the all-to-all backend, self first then neighbor order
+// for the neighborhood backend — that rank's elements in their local
+// order. The result is byte-identical across budgets, backends, and
+// engines.
+//
+// Spelled as a package function because Go methods cannot be generic;
+// read it as plan.Execute[T].
+func Execute[T any](p *Plan, items []T) []T {
+	if len(items) != p.n {
+		panic(fmt.Sprintf("redist: plan routed %d elements, Execute got %d", p.n, len(items)))
+	}
+	if p.budget > 0 {
+		return executeBounded(p, items)
+	}
+	if p.useNbr {
+		return executeNeighborhood(p, items)
+	}
+	return executeAlltoall(p, items)
+}
+
+// executeAlltoall is the historical Exchange body: stage every
+// destination at once, one collective all-to-all, concatenate by source
+// rank. Message sizes, ownership transfers, and the two Compute charges
+// replay the pre-plan code exactly.
+func executeAlltoall[T any](p *Plan, items []T) []T {
+	c := p.c
+	size := c.Size()
+	parts := make([][]T, size)
+	staged := int64(0)
+	for d := 0; d < size; d++ {
+		parts[d] = gather(p, items, d)
+		staged += int64(len(parts[d]))
+	}
+	c.Compute(crossCostCounts(c.Rank(), p.counts))
+	// The parts are freshly built per-destination buffers, so they are
+	// relinquished into the messages without a copy; the received blocks
+	// are recycled once concatenated.
+	recv := vmpi.AlltoallOwned(c, parts)
+	out := make([]T, 0, totalLen(recv))
+	for _, b := range recv {
+		out = append(out, b...)
+	}
+	c.Compute(crossCost(c.Rank(), recv))
+	vmpi.ReleaseBlocks(recv)
+	meterPeak(p, staged*int64(unsafe.Sizeof(*new(T))))
+	return out
+}
+
+// executeNeighborhood is the historical ExchangeNeighborhood body (the
+// feasible branch): eager point-to-point sends on tag 201, assembly self
+// first then neighbors in order.
+func executeNeighborhood[T any](p *Plan, items []T) []T {
+	c := p.c
+	self := c.Rank()
+	sendCost := costs.Move * float64(p.counts[self])
+	for _, nb := range p.neighbors {
+		sendCost += costs.RedistElem * float64(p.counts[nb])
+	}
+	c.Compute(sendCost)
+	const tag = 201
+	staged := int64(p.counts[self])
+	selfPart := gather(p, items, self)
+	for _, nb := range p.neighbors {
+		// Freshly built per-neighbor buffers: relinquish them, no copy.
+		part := gather(p, items, nb)
+		staged += int64(len(part))
+		vmpi.SendOwned(c, part, nb, tag)
+	}
+	// Deterministic assembly order: self first, then neighbors in order.
+	out := make([]T, 0, len(items))
+	out = append(out, selfPart...)
+	recvCost := costs.Move * float64(len(selfPart))
+	for _, nb := range p.neighbors {
+		got := vmpi.Recv[T](c, nb, tag)
+		recvCost += costs.RedistElem * float64(len(got))
+		out = append(out, got...)
+		vmpi.Release(got)
+	}
+	c.Compute(recvCost)
+	meterPeak(p, staged*int64(unsafe.Sizeof(*new(T))))
+	return out
+}
+
+// executeBounded runs the round protocol: per round, build and relinquish
+// the round's destination buffers (one eager message per destination on
+// tagPlan, the self block kept aside), then — after all rounds — receive
+// one block from every source and assemble in canonical source order.
+// Sends are eager and never block, so the send rounds always complete;
+// the staged peak is the largest single round.
+func executeBounded[T any](p *Plan, items []T) []T {
+	c := p.c
+	self := c.Rank()
+	elem := int(unsafe.Sizeof(*new(T)))
+
+	// Charge the same send-side cost as the unbounded backend would.
+	if p.useNbr {
+		sendCost := costs.Move * float64(p.counts[self])
+		for _, nb := range p.neighbors {
+			sendCost += costs.RedistElem * float64(p.counts[nb])
+		}
+		c.Compute(sendCost)
+	} else {
+		c.Compute(crossCostCounts(self, p.counts))
+	}
+
+	var selfBlock []T
+	peak := int64(0)
+	for _, g := range scheduleRounds(p.order, p.maxCounts, elem, p.budget) {
+		staged := int64(0)
+		for _, d := range p.order[g[0]:g[1]] {
+			if d == self {
+				selfBlock = gather(p, items, d)
+				staged += int64(len(selfBlock)) * int64(elem)
+				continue
+			}
+			buf := gather(p, items, d)
+			staged += int64(len(buf)) * int64(elem)
+			vmpi.SendOwned(c, buf, d, tagPlan)
+		}
+		if staged > peak {
+			peak = staged
+		}
+	}
+
+	// Receive and assemble in the backend's canonical source order; the
+	// per-pair messages arrive in send order, so the concatenation is
+	// byte-identical to the unbounded result.
+	out := make([]T, 0, len(selfBlock))
+	if p.useNbr {
+		out = make([]T, 0, len(items))
+	}
+	recvCost := 0.0
+	for _, src := range p.order {
+		if src == self {
+			recvCost += costs.Move * float64(len(selfBlock))
+			out = append(out, selfBlock...)
+			continue
+		}
+		got := vmpi.Recv[T](c, src, tagPlan)
+		recvCost += costs.RedistElem * float64(len(got))
+		out = append(out, got...)
+		vmpi.Release(got)
+	}
+	c.Compute(recvCost)
+	meterPeak(p, peak)
+	return out
+}
+
+// ExchangeBlocks exchanges pre-built per-destination parts (one slice per
+// rank of the communicator, subslices of shared arrays allowed): the
+// plan-backed replacement for vmpi.Alltoall used by the sort strategies.
+// With no budget configured on the communicator it defers to the copying
+// collective verbatim; under a budget it runs the bounded round protocol
+// with copying sends, metering staged peak bytes. The result — block from
+// every source rank, in rank order — is byte-identical either way.
+func ExchangeBlocks[T any](c *vmpi.Comm, parts [][]T) [][]T {
+	size := c.Size()
+	if len(parts) != size {
+		panic(fmt.Sprintf("redist: ExchangeBlocks got %d parts on a size-%d communicator", len(parts), size))
+	}
+	budget := c.MaxExchangeBytes()
+	if budget <= 0 {
+		return vmpi.Alltoall(c, parts)
+	}
+	elem := int(unsafe.Sizeof(*new(T)))
+	self := c.Rank()
+
+	counts64 := make([]int64, size)
+	order := make([]int, size)
+	for d := range parts {
+		counts64[d] = int64(len(parts[d]))
+		order[d] = d
+	}
+	mc := vmpi.Allreduce(c, counts64, vmpi.Max[int64])
+	maxCounts := append([]int64(nil), mc...)
+	vmpi.Release(mc)
+
+	recv := make([][]T, size)
+	peak := int64(0)
+	for _, g := range scheduleRounds(order, maxCounts, elem, budget) {
+		staged := int64(0)
+		for d := g[0]; d < g[1]; d++ {
+			staged += int64(len(parts[d])) * int64(elem)
+			if d == self {
+				// Copy, as the collective would: the caller keeps parts.
+				// Non-nil even when empty, matching the pooled copy the
+				// unbounded collective hands back.
+				recv[d] = append(make([]T, 0, len(parts[d])), parts[d]...)
+				continue
+			}
+			vmpi.Send(c, parts[d], d, tagPlan)
+		}
+		if staged > peak {
+			peak = staged
+		}
+	}
+	for src := 0; src < size; src++ {
+		if src == self {
+			continue
+		}
+		recv[src] = vmpi.Recv[T](c, src, tagPlan)
+	}
+	c.Gauge(MeterPeakBytes, float64(peak))
+	c.Counter(MeterPeakBytes, float64(peak))
+	return recv
+}

@@ -20,6 +20,12 @@
 // Resort indices are 64-bit values packing a target process rank (high 32
 // bits) and a target position on that process (low 32 bits), exactly as
 // described in §III-A for the P2NFFT solver's particle copies.
+//
+// All entry points are thin wrappers over one plan-backed surface
+// (NewPlan → Execute, see plan.go), which optionally decomposes an
+// exchange into memory-bounded rounds under a byte budget
+// (vmpi.Config.MaxExchangeBytes or Options.MaxBytes) with byte-identical
+// results.
 package redist
 
 import (
@@ -67,31 +73,13 @@ func ToRank(f func(i int) int) Targets {
 // collective all-to-all backend: element i is sent to every rank listed by
 // targets(i). The result holds, for each source rank in rank order, that
 // rank's elements in their local order. Element order is deterministic.
+//
+// Exchange is a convenience over NewPlan/Execute with default Options: it
+// honors the communicator's configured memory budget (bounded rounds when
+// vmpi.Config.MaxExchangeBytes is set, the classic single all-to-all
+// otherwise).
 func Exchange[T any](c *vmpi.Comm, items []T, targets Targets) []T {
-	p := c.Size()
-	parts := make([][]T, p)
-	var buf []int
-	for i, it := range items {
-		buf = targets(i, buf[:0])
-		for _, r := range buf {
-			if r < 0 || r >= p {
-				panic(fmt.Sprintf("redist: target rank %d out of range (size %d)", r, p))
-			}
-			parts[r] = append(parts[r], it)
-		}
-	}
-	c.Compute(crossCost(c.Rank(), parts))
-	// The parts are freshly built per-destination buffers, so they are
-	// relinquished into the messages without a copy; the received blocks
-	// are recycled once concatenated.
-	recv := vmpi.AlltoallOwned(c, parts)
-	out := make([]T, 0, totalLen(recv))
-	for _, b := range recv {
-		out = append(out, b...)
-	}
-	c.Compute(crossCost(c.Rank(), recv))
-	vmpi.ReleaseBlocks(recv)
-	return out
+	return Execute(NewPlan(c, len(items), targets, Options{}), items)
 }
 
 // crossCost charges the element-wise redistribution cost: elements crossing
@@ -115,55 +103,18 @@ func crossCost[T any](self int, parts [][]T) float64 {
 // vmpi.Cart.Neighbors. If any rank has an element targeting a rank outside
 // its neighborhood, every rank falls back to the collective Exchange; the
 // second return value reports whether the neighborhood path was used.
+//
+// ExchangeNeighborhood is a convenience over NewPlan/Execute with
+// Options.Neighbors set; like Exchange it honors the communicator's
+// configured memory budget.
 func ExchangeNeighborhood[T any](c *vmpi.Comm, items []T, targets Targets, neighbors []int) ([]T, bool) {
-	p := c.Size()
-	inNbr := make(map[int]bool, len(neighbors))
-	for _, r := range neighbors {
-		inNbr[r] = true
+	if neighbors == nil {
+		// A nil neighbor set must still request the neighborhood backend
+		// (and its collective feasibility vote), not the plain all-to-all.
+		neighbors = make([]int, 0)
 	}
-	parts := make(map[int][]T, len(neighbors)+1)
-	ok := true
-	var buf []int
-	for i, it := range items {
-		buf = targets(i, buf[:0])
-		for _, r := range buf {
-			if r < 0 || r >= p {
-				panic(fmt.Sprintf("redist: target rank %d out of range (size %d)", r, p))
-			}
-			if r != c.Rank() && !inNbr[r] {
-				ok = false
-			}
-			parts[r] = append(parts[r], it)
-		}
-	}
-	// Collective fallback decision: every rank must take the same path.
-	allOK := vmpi.AllreduceVal(c, boolToInt(ok), vmpi.Min[int]) == 1
-	if !allOK {
-		return Exchange(c, items, targets), false
-	}
-
-	sendCost := costs.Move * float64(len(parts[c.Rank()]))
-	for _, nb := range neighbors {
-		sendCost += costs.RedistElem * float64(len(parts[nb]))
-	}
-	c.Compute(sendCost)
-	const tag = 201
-	for _, nb := range neighbors {
-		// Freshly built per-neighbor buffers: relinquish them, no copy.
-		vmpi.SendOwned(c, parts[nb], nb, tag)
-	}
-	// Deterministic assembly order: self first, then neighbors ascending.
-	out := make([]T, 0, len(items))
-	out = append(out, parts[c.Rank()]...)
-	recvCost := costs.Move * float64(len(parts[c.Rank()]))
-	for _, nb := range neighbors {
-		got := vmpi.Recv[T](c, nb, tag)
-		recvCost += costs.RedistElem * float64(len(got))
-		out = append(out, got...)
-		vmpi.Release(got)
-	}
-	c.Compute(recvCost)
-	return out, true
+	pl := NewPlan(c, len(items), targets, Options{Neighbors: neighbors})
+	return Execute(pl, items), pl.UsedNeighborhood()
 }
 
 func boolToInt(b bool) int {

@@ -49,9 +49,10 @@ func RemapBlocks[T any](c *vmpi.Comm, items []T, newP int) []T {
 	n := int64(len(items))
 	off := vmpi.Exscan(c, []int64{n}, vmpi.Sum[int64])[0]
 	part := BlockPart{Total: vmpi.AllreduceVal(c, n, vmpi.Sum[int64]), P: newP}
-	out := Exchange(c, items, ToRank(func(i int) int {
+	pl := NewPlan(c, len(items), ToRank(func(i int) int {
 		return part.Owner(off + int64(i))
-	}))
+	}), Options{})
+	out := Execute(pl, items)
 	if c.Rank() < newP {
 		if want := part.Count(c.Rank()); len(out) != want {
 			panic(fmt.Sprintf("redist: remap delivered %d elements to rank %d, want %d", len(out), c.Rank(), want))

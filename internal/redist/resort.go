@@ -2,6 +2,7 @@ package redist
 
 import (
 	"fmt"
+	"unsafe"
 
 	"repro/internal/costs"
 	"repro/internal/vmpi"
@@ -17,7 +18,10 @@ import (
 //
 // The implementation is the fine-grained redistribution operation followed
 // by a permutation according to the target positions, exactly as described
-// in the paper.
+// in the paper. It rides the same Plan as Exchange: under a memory budget
+// the paired position/value messages go out in bounded rounds on tags
+// 211/212; the positional scatter makes the result identical regardless
+// of round structure.
 
 const (
 	tagResortPos = 211
@@ -54,22 +58,74 @@ func resort[T any](c *vmpi.Comm, vals []T, stride int, indices []Index, nNew int
 		panic(fmt.Sprintf("redist: resort values length %d != %d particles * stride %d", len(vals), n, stride))
 	}
 	p := c.Size()
-	// Per-target position lists and value blocks, in local order.
-	posParts := make([][]int64, p)
-	valParts := make([][]T, p)
-	for i := 0; i < n; i++ {
+	pl := NewPlan(c, n, func(i int, dst []int) []int {
 		idx := indices[i]
 		if !idx.Valid() {
-			continue
+			return dst
 		}
 		r := idx.Rank()
 		if r < 0 || r >= p {
 			panic(fmt.Sprintf("redist: resort index rank %d out of range (size %d)", r, p))
 		}
-		posParts[r] = append(posParts[r], int64(idx.Pos()))
-		valParts[r] = append(valParts[r], vals[i*stride:(i+1)*stride]...)
+		return append(dst, r)
+	}, Options{})
+	if pl.Bounded() {
+		return executeResortBounded(pl, vals, stride, indices, nNew)
 	}
-	c.Compute(crossCost(c.Rank(), posParts) + costs.Move*float64(n*stride))
+	return executeResort(pl, vals, stride, indices, nNew)
+}
+
+// gatherResort builds the paired position/value send buffers for
+// destination d from the plan's routing: one int64 target position and
+// stride values per occurrence, in local order. Both nil when d receives
+// nothing.
+func gatherResort[T any](p *Plan, vals []T, stride int, indices []Index, d int) ([]int64, []T) {
+	lo, hi := p.occOff[d], p.occOff[d+1]
+	if lo == hi {
+		return nil, nil
+	}
+	pos := make([]int64, 0, hi-lo)
+	val := make([]T, 0, (hi-lo)*stride)
+	for _, i := range p.occIdx[lo:hi] {
+		pos = append(pos, int64(indices[i].Pos()))
+		val = append(val, vals[int(i)*stride:(int(i)+1)*stride]...)
+	}
+	return pos, val
+}
+
+// scatterResort places one source rank's positions/values into the output
+// permutation, with the double-write and range checks of the classic
+// implementation.
+func scatterResort[T any](out []T, placed []bool, pos []int64, val []T, stride, nNew int) {
+	if len(val) != len(pos)*stride {
+		panic("redist: resort position/value length mismatch")
+	}
+	for k, pv := range pos {
+		if pv < 0 || int(pv) >= nNew {
+			panic(fmt.Sprintf("redist: resort target position %d out of range (nNew %d)", pv, nNew))
+		}
+		if placed[pv] {
+			panic(fmt.Sprintf("redist: resort target position %d written twice", pv))
+		}
+		placed[pv] = true
+		copy(out[int(pv)*stride:(int(pv)+1)*stride], val[k*stride:(k+1)*stride])
+	}
+}
+
+// executeResort is the historical unbounded body: stage every
+// destination's position and value buffers at once, two collective
+// all-to-alls, positional scatter. Replays the pre-plan messages and cost
+// charges exactly.
+func executeResort[T any](p *Plan, vals []T, stride int, indices []Index, nNew int) []T {
+	c := p.c
+	size := c.Size()
+	n := len(indices)
+	posParts := make([][]int64, size)
+	valParts := make([][]T, size)
+	for d := 0; d < size; d++ {
+		posParts[d], valParts[d] = gatherResort(p, vals, stride, indices, d)
+	}
+	c.Compute(crossCostCounts(c.Rank(), p.counts) + costs.Move*float64(n*stride))
 
 	// Both part sets are freshly built per-destination buffers: relinquish
 	// them into the messages without a copy.
@@ -78,26 +134,68 @@ func resort[T any](c *vmpi.Comm, vals []T, stride int, indices []Index, nNew int
 
 	out := make([]T, nNew*stride)
 	placed := make([]bool, nNew)
-	for r := 0; r < p; r++ {
-		pos := recvPos[r]
-		val := recvVal[r]
-		if len(val) != len(pos)*stride {
-			panic("redist: resort position/value length mismatch")
-		}
-		for k, pv := range pos {
-			if pv < 0 || int(pv) >= nNew {
-				panic(fmt.Sprintf("redist: resort target position %d out of range (nNew %d)", pv, nNew))
-			}
-			if placed[pv] {
-				panic(fmt.Sprintf("redist: resort target position %d written twice", pv))
-			}
-			placed[pv] = true
-			copy(out[int(pv)*stride:(int(pv)+1)*stride], val[k*stride:(k+1)*stride])
-		}
+	for r := 0; r < size; r++ {
+		scatterResort(out, placed, recvPos[r], recvVal[r], stride, nNew)
 	}
 	c.Compute(crossCost(c.Rank(), recvPos) + costs.Move*float64(nNew*stride))
 	vmpi.ReleaseBlocks(recvPos)
 	vmpi.ReleaseBlocks(recvVal)
+	return out
+}
+
+// executeResortBounded runs the resort through the plan's bounded rounds:
+// each occurrence costs 8 position bytes plus stride payload bytes
+// against the budget, and each round relinquishes its paired buffers on
+// tags 211/212 before the next stages. Receives then scatter per source;
+// the positional permutation makes assembly order irrelevant.
+func executeResortBounded[T any](p *Plan, vals []T, stride int, indices []Index, nNew int) []T {
+	c := p.c
+	size := c.Size()
+	self := c.Rank()
+	n := len(indices)
+	elem := 8 + stride*int(unsafe.Sizeof(*new(T)))
+
+	c.Compute(crossCostCounts(self, p.counts) + costs.Move*float64(n*stride))
+
+	var selfPos []int64
+	var selfVal []T
+	peak := int64(0)
+	for _, g := range scheduleRounds(p.order, p.maxCounts, elem, p.budget) {
+		staged := int64(0)
+		for _, d := range p.order[g[0]:g[1]] {
+			if d == self {
+				selfPos, selfVal = gatherResort(p, vals, stride, indices, d)
+				staged += int64(len(selfPos)) * int64(elem)
+				continue
+			}
+			pos, val := gatherResort(p, vals, stride, indices, d)
+			staged += int64(len(pos)) * int64(elem)
+			vmpi.SendOwned(c, pos, d, tagResortPos)
+			vmpi.SendOwned(c, val, d, tagResortVal)
+		}
+		if staged > peak {
+			peak = staged
+		}
+	}
+
+	out := make([]T, nNew*stride)
+	placed := make([]bool, nNew)
+	recvCost := 0.0
+	for src := 0; src < size; src++ {
+		if src == self {
+			recvCost += costs.Move * float64(len(selfPos))
+			scatterResort(out, placed, selfPos, selfVal, stride, nNew)
+			continue
+		}
+		pos := vmpi.Recv[int64](c, src, tagResortPos)
+		val := vmpi.Recv[T](c, src, tagResortVal)
+		recvCost += costs.RedistElem * float64(len(pos))
+		scatterResort(out, placed, pos, val, stride, nNew)
+		vmpi.Release(pos)
+		vmpi.Release(val)
+	}
+	c.Compute(recvCost + costs.Move*float64(nNew*stride))
+	meterPeak(p, peak)
 	return out
 }
 

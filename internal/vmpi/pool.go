@@ -45,6 +45,30 @@ var poolCounters struct {
 	misses   atomic.Int64
 	unpooled atomic.Int64
 	waste    atomic.Int64
+	// inUse tracks the class-capacity bytes of pooled buffers currently
+	// checked out (getSlice minus Release); highWater is its maximum since
+	// process start or the last ResetPoolStats. Together they are the pool
+	// meter the redistribution planner's peak-bytes gauge is compared
+	// against: the planner bounds what it stages, the pool reports what was
+	// actually resident.
+	inUse     atomic.Int64
+	highWater atomic.Int64
+}
+
+// noteInUse adjusts the in-use byte meter by delta and ratchets the
+// high-water mark. The CAS loop keeps the mark exact under concurrent
+// checkouts.
+func noteInUse(delta int64) {
+	v := poolCounters.inUse.Add(delta)
+	if delta <= 0 {
+		return
+	}
+	for {
+		hw := poolCounters.highWater.Load()
+		if v <= hw || poolCounters.highWater.CompareAndSwap(hw, v) {
+			return
+		}
+	}
 }
 
 // PoolStats is a snapshot of the message-buffer pool counters since
@@ -64,26 +88,40 @@ type PoolStats struct {
 	// 1024+ ranks this is the number to watch: a high waste-to-payload
 	// ratio means the size classes are mis-sized for the traffic.
 	WasteBytes int64
+	// InUseBytes is the class-capacity bytes of pooled buffers currently
+	// checked out (gets not yet released). Buffers a receiver keeps forever
+	// stay counted, and releasing a pooled-shaped buffer the pool never
+	// handed out under-counts, so the value is a meter, not an invariant.
+	InUseBytes int64
+	// HighWaterBytes is the maximum InUseBytes observed since process start
+	// or the last ResetPoolStats — the pool-side peak that the
+	// redistribution planner's budget is meant to cap.
+	HighWaterBytes int64
 }
 
 // PoolStatsSnapshot returns the current pool counters.
 func PoolStatsSnapshot() PoolStats {
 	return PoolStats{
-		Gets:       poolCounters.gets.Load(),
-		Misses:     poolCounters.misses.Load(),
-		Puts:       poolCounters.puts.Load(),
-		Unpooled:   poolCounters.unpooled.Load(),
-		WasteBytes: poolCounters.waste.Load(),
+		Gets:           poolCounters.gets.Load(),
+		Misses:         poolCounters.misses.Load(),
+		Puts:           poolCounters.puts.Load(),
+		Unpooled:       poolCounters.unpooled.Load(),
+		WasteBytes:     poolCounters.waste.Load(),
+		InUseBytes:     poolCounters.inUse.Load(),
+		HighWaterBytes: poolCounters.highWater.Load(),
 	}
 }
 
-// ResetPoolStats zeroes the pool counters (benchmark bracketing).
+// ResetPoolStats zeroes the pool counters (benchmark bracketing). The
+// in-use byte meter is not zeroed — buffers checked out before the reset
+// are still resident — and the high-water mark restarts from it.
 func ResetPoolStats() {
 	poolCounters.gets.Store(0)
 	poolCounters.puts.Store(0)
 	poolCounters.misses.Store(0)
 	poolCounters.unpooled.Store(0)
 	poolCounters.waste.Store(0)
+	poolCounters.highWater.Store(poolCounters.inUse.Load())
 }
 
 // typedPool holds one sync.Pool per size class for a single element type.
@@ -129,6 +167,7 @@ func getSlice[T any](n int) []T {
 	}
 	poolCounters.gets.Add(1)
 	poolCounters.waste.Add(int64(1<<b-n) * int64(sizeOf[T]()))
+	noteInUse(int64(1<<b) * int64(sizeOf[T]()))
 	p := poolOf[T]()
 	if v := p.classes[b].Get(); v != nil {
 		s := (*v.(*[]T))[:n]
@@ -153,6 +192,7 @@ func Release[T any](s []T) {
 		return
 	}
 	poolCounters.puts.Add(1)
+	noteInUse(-int64(c) * int64(sizeOf[T]()))
 	full := s[:0:c]
 	debugRelease(full)
 	poolOf[T]().classes[b].Put(&full)

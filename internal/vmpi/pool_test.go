@@ -52,6 +52,53 @@ func TestReleaseIgnoresForeignSlices(t *testing.T) {
 	Release(make([]byte, 8))
 }
 
+// TestPoolHighWaterMeter is the regression test for the in-use/high-water
+// byte meters: checkouts raise both, releases lower only the in-use
+// meter, the high-water mark ratchets (it never falls while buffers churn
+// below the peak), and ResetPoolStats restarts it from the still-resident
+// bytes rather than zero.
+func TestPoolHighWaterMeter(t *testing.T) {
+	ResetPoolStats()
+	base := PoolStatsSnapshot()
+
+	a := getSlice[int64](100) // class 128 -> 1024 bytes
+	st := PoolStatsSnapshot()
+	if got := st.InUseBytes - base.InUseBytes; got != 1024 {
+		t.Fatalf("in-use delta after one checkout = %d, want 1024", got)
+	}
+	if st.HighWaterBytes < st.InUseBytes {
+		t.Fatalf("high water %d below in-use %d", st.HighWaterBytes, st.InUseBytes)
+	}
+
+	b := getSlice[int64](100)
+	peak := PoolStatsSnapshot()
+	if got := peak.HighWaterBytes - base.InUseBytes; got < 2048 {
+		t.Fatalf("high water delta with two checkouts = %d, want >= 2048", got)
+	}
+
+	Release(a)
+	Release(b)
+	after := PoolStatsSnapshot()
+	if after.InUseBytes != base.InUseBytes {
+		t.Errorf("in-use bytes %d after release, want the pre-checkout %d", after.InUseBytes, base.InUseBytes)
+	}
+	if after.HighWaterBytes != peak.HighWaterBytes {
+		t.Errorf("high water moved across releases: %d -> %d", peak.HighWaterBytes, after.HighWaterBytes)
+	}
+
+	// A churn strictly below the previous peak must not move the mark.
+	c := getSlice[int64](100)
+	Release(c)
+	if st := PoolStatsSnapshot(); st.HighWaterBytes != peak.HighWaterBytes {
+		t.Errorf("high water moved under sub-peak churn: %d -> %d", peak.HighWaterBytes, st.HighWaterBytes)
+	}
+
+	ResetPoolStats()
+	if st := PoolStatsSnapshot(); st.HighWaterBytes != st.InUseBytes {
+		t.Errorf("reset high water %d, want restarted from in-use %d", st.HighWaterBytes, st.InUseBytes)
+	}
+}
+
 // TestCopySliceIndependence guards the core distributed-memory invariant:
 // a sent payload never aliases the caller's buffer, pooled or not.
 func TestCopySliceIndependence(t *testing.T) {

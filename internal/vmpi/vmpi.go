@@ -262,6 +262,12 @@ type rankState struct {
 	msgsSent     int64
 	splitSeq     int64
 	result       any
+	// maxExchange is the rank's redistribution staging budget in bytes
+	// (Config.MaxExchangeBytes, overridable per rank via
+	// Comm.SetMaxExchangeBytes); 0 means unbounded. The messaging layer
+	// itself does not enforce it — redistribution planners (internal/redist)
+	// read it to schedule bounded-footprint exchange rounds.
+	maxExchange int64
 	// admit is the virtual time the rank was admitted (0 for founding
 	// ranks, the resize time t* for ranks admitted by a grow).
 	admit float64
@@ -332,6 +338,9 @@ type Runtime struct {
 	// maxRanks bounds the world size Resize may grow to; the network model
 	// is validated against it once at Run.
 	maxRanks int
+	// maxExchangeBytes seeds every rank's redistribution staging budget
+	// (Config.MaxExchangeBytes), including ranks admitted by Resize.
+	maxExchangeBytes int64
 	// f is the rank body; Resize re-invokes it for admitted ranks.
 	f func(c *Comm)
 	// wall injects host wall-clock stamps into new obs buffers.
@@ -406,6 +415,13 @@ type Config struct {
 	// concurrency only; virtual results are unaffected. Ignored by the
 	// goroutine engine.
 	Workers int
+	// MaxExchangeBytes is the per-rank staging budget for redistribution
+	// exchanges in bytes: planners in internal/redist decompose any exchange
+	// whose per-destination send buffers would exceed it into
+	// bounded-footprint rounds. 0 (the default) leaves exchanges unbounded
+	// and byte-identical to the historical path; negative panics. Ranks
+	// admitted by Resize inherit the configured value.
+	MaxExchangeBytes int64
 }
 
 // Stats aggregates the outcome of a Run. All per-rank slices are indexed by
@@ -538,12 +554,13 @@ func (rt *Runtime) newInstance(id, node int, admit float64, joinEpoch int) *rank
 		box:  newMailbox(),
 		node: node,
 		st: &rankState{
-			phases:    map[string]float64{},
-			clock:     admit,
-			admit:     admit,
-			retire:    -1,
-			joinEpoch: joinEpoch,
-			rec:       buf,
+			phases:      map[string]float64{},
+			clock:       admit,
+			admit:       admit,
+			retire:      -1,
+			joinEpoch:   joinEpoch,
+			maxExchange: rt.maxExchangeBytes,
+			rec:         buf,
 		},
 	}
 }
@@ -574,13 +591,17 @@ func Run(cfg Config, f func(c *Comm)) *Stats {
 	if scale == 0 {
 		scale = 1
 	}
+	if cfg.MaxExchangeBytes < 0 {
+		panic("vmpi: negative MaxExchangeBytes")
+	}
 	rt := &Runtime{
-		model:        model,
-		computeScale: scale,
-		maxRanks:     maxRanks,
-		traceMsgs:    cfg.Trace,
-		f:            f,
-		engine:       cfg.Engine,
+		model:            model,
+		computeScale:     scale,
+		maxRanks:         maxRanks,
+		maxExchangeBytes: cfg.MaxExchangeBytes,
+		traceMsgs:        cfg.Trace,
+		f:                f,
+		engine:           cfg.Engine,
 	}
 	// Wall-clock stamps are injected here so the obs package itself never
 	// reads the clock (it is part of the determinism-analyzer hot set);
@@ -752,6 +773,24 @@ func (c *Comm) Compute(seconds float64) {
 
 // Model returns the network model of the underlying virtual machine.
 func (c *Comm) Model() netmodel.Model { return c.rt.model }
+
+// MaxExchangeBytes returns the rank's redistribution staging budget in
+// bytes (0 = unbounded). Planners in internal/redist consult it to decide
+// whether an exchange must be decomposed into bounded-footprint rounds.
+func (c *Comm) MaxExchangeBytes() int64 { return c.st.maxExchange }
+
+// SetMaxExchangeBytes sets the rank's redistribution staging budget in
+// bytes; 0 removes the bound, negative panics. Budgeted redistribution
+// plans take one extra collective to agree on a schedule, so — like every
+// collective-shaping knob — the budget must be set symmetrically: every
+// rank of a communicator that later plans an exchange together must carry
+// the same value.
+func (c *Comm) SetMaxExchangeBytes(b int64) {
+	if b < 0 {
+		panic("vmpi: negative MaxExchangeBytes")
+	}
+	c.st.maxExchange = b
+}
 
 // SetResult stores a per-rank result value that Run surfaces in
 // Stats.Values. Typically used by tests and the benchmark harness.

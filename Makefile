@@ -38,10 +38,12 @@ fig10:
 	$(GO) run ./cmd/paperbench -fig 10
 
 # Writes the per-rank-count benchmark report (wall clock, post-run memory,
-# executor meters) for the Figure 10 sweep. BENCH_3.json is the large-P
-# host-performance baseline the executor work is judged by.
+# executor meters) for the Figure 10 sweep and prints (and checks in) the
+# rank_rows delta against BENCH_3.json — the large-P host-performance
+# baseline taken before the §15 fast path. Virtual seconds must not move;
+# wall clock and heap are the host-performance result.
 bench-fig10:
-	$(GO) run ./cmd/paperbench -bench-fig10 BENCH_3.json
+	$(GO) run ./cmd/paperbench -bench-fig10 BENCH_5.json -bench-baseline BENCH_3.json | tee BENCH_5_DELTA.txt
 
 vet:
 	$(GO) vet ./...
@@ -99,11 +101,15 @@ golden-par:
 # Large-P smoke golden: the 1024-rank Figure 10 point must stay
 # byte-identical to the checked-in baseline. This is the cheap stand-in for
 # the full 64...16384 sweep that gates the event executor at a rank count
-# three orders of magnitude above the Figure 6-9 configurations.
+# three orders of magnitude above the Figure 6-9 configurations. The second
+# run pins the sharded executor to 4 run slots: figure bytes must not
+# depend on the worker count (DESIGN.md §15).
 golden-bigp:
 	$(GO) run ./cmd/paperbench -fig 10 -ranks-list 1024 -j $(JOBS) > paperbench_fig10_1024.got.txt
 	diff -u paperbench_fig10_1024.txt paperbench_fig10_1024.got.txt
-	rm -f paperbench_fig10_1024.got.txt
+	$(GO) run ./cmd/paperbench -fig 10 -ranks-list 1024 -j $(JOBS) -workers 4 > paperbench_fig10_1024.w4.txt
+	diff -u paperbench_fig10_1024.txt paperbench_fig10_1024.w4.txt
+	rm -f paperbench_fig10_1024.got.txt paperbench_fig10_1024.w4.txt
 
 golden-bigp-update:
 	$(GO) run ./cmd/paperbench -fig 10 -ranks-list 1024 -j $(JOBS) > paperbench_fig10_1024.txt

@@ -12,7 +12,8 @@
 //	paperbench -fig all -j 8
 //	paperbench -fig 10
 //	paperbench -fig 10 -ranks-list 64,1024 -engine goroutine
-//	paperbench -bench-fig10 BENCH_3.json
+//	paperbench -bench-fig10 BENCH_5.json
+//	paperbench -bench-fig10 BENCH_5.json -bench-baseline BENCH_3.json
 //	paperbench -bench-json BENCH_1.json
 //	paperbench -bench-json BENCH_2.json -bench-baseline BENCH_1.json
 //	paperbench -fig all -trace-out trace.json -metrics-out metrics.txt
@@ -65,6 +66,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -90,14 +92,24 @@ func main() {
 		benchF10  = flag.String("bench-fig10", "", "write a figure 10 benchmark report (wall clock, memory, and executor meters per rank count) to this file and exit")
 		benchMem  = flag.String("bench-mem", "", "write a figure M benchmark report (memory-budget strategies on both machines) to this file and exit")
 		stepScale = flag.Float64("step-scale", 1, "scale factor on the per-figure default step counts in -bench-json mode")
-		benchBase = flag.String("bench-baseline", "", "with -bench-json: print a delta report against this baseline benchmark JSON")
+		benchBase = flag.String("bench-baseline", "", "with -bench-json or -bench-fig10: print a delta report against this baseline benchmark JSON")
 		traceOut  = flag.String("trace-out", "", "write a Chrome trace-event JSON of the canonical observability run to this file")
 		metricOut = flag.String("metrics-out", "", "write a Prometheus-style metrics dump of the canonical observability run to this file")
 		jobs      = flag.Int("j", runtime.NumCPU(), "concurrent experiment jobs (worker pool size; output is byte-identical at any value)")
+		workersF  = flag.Int("workers", 0, "event-engine run slots per experiment (0 = one slot plus host-budget extras; figure bytes are identical at any value)")
+		cpuProf   = flag.String("cpuprofile", "", "write a pprof CPU profile of the whole invocation to this file")
+		memProf   = flag.String("memprofile", "", "write a pprof heap profile (taken after a final GC) to this file")
 	)
 	flag.Parse()
 
+	// Profiles cover everything after flag parsing. Notices go to stderr and
+	// the profile data to their own files, so golden stdout is untouched.
+	// The stop function runs on every normal return; error paths exit
+	// through os.Exit and drop the (partial) profiles, which is fine.
+	defer startProfiles(*cpuProf, *memProf)()
+
 	paperbench.SetJobs(*jobs)
+	paperbench.SetEngineWorkers(*workersF)
 	if *jobs > 1 {
 		// Stderr only: stdout carries the figure tables, whose bytes must
 		// not depend on the worker count.
@@ -157,8 +169,8 @@ func main() {
 	}
 	base.Engine = engine
 
-	if *benchBase != "" && *benchJSON == "" {
-		fmt.Fprintln(os.Stderr, "paperbench: -bench-baseline requires -bench-json")
+	if *benchBase != "" && *benchJSON == "" && *benchF10 == "" {
+		fmt.Fprintln(os.Stderr, "paperbench: -bench-baseline requires -bench-json or -bench-fig10")
 		os.Exit(2)
 	}
 
@@ -173,6 +185,14 @@ func main() {
 			wall += f.WallSeconds
 		}
 		fmt.Printf("wrote %s: %d figures, %.2fs wall clock total\n", *benchF10, len(rep.Figures), wall)
+		if *benchBase != "" {
+			baseRep, err := benchjson.ReadFile(*benchBase)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "paperbench: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Print(benchjson.Diff(baseRep, rep).Format())
+		}
 		return
 	}
 
@@ -288,6 +308,54 @@ func main() {
 		return
 	}
 	writeObsExports(*traceOut, *metricOut)
+}
+
+// startProfiles starts the requested pprof captures and returns the
+// function that finalizes them (stops the CPU profile, then snapshots the
+// heap after a forced GC so the profile reflects retained memory, not
+// collectible garbage). All notices go to stderr: stdout carries only the
+// figure tables, which the golden checks diff byte-for-byte.
+func startProfiles(cpuPath, memPath string) func() {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "paperbench: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "paperbench: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "paperbench: writing CPU profile to %s\n", cpuPath)
+		cpuFile = f
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "paperbench: -cpuprofile: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "paperbench: -memprofile: %v\n", err)
+				os.Exit(1)
+			}
+			runtime.GC()
+			err = pprof.Lookup("heap").WriteTo(f, 0)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "paperbench: -memprofile: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "paperbench: wrote heap profile to %s\n", memPath)
+		}
+	}
 }
 
 // writeObsExports runs the canonical observability configuration once and

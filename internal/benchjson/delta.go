@@ -41,11 +41,23 @@ type MetricDelta struct {
 	Base, Cur    float64
 }
 
+// RowDelta pairs one rank count's host measurements across two reports'
+// sweep figures (the Figure 10 rank_rows): wall clock, live heap, and the
+// event executor's park/wakeup meters.
+type RowDelta struct {
+	Figure    string
+	Ranks     int
+	Base, Cur RankRow
+}
+
 // Delta is the comparison of a current report against a baseline.
 type Delta struct {
 	Base, Cur *Report
 	// Wall pairs up per-figure wall-clock times (figures present in both).
 	Wall []WallDelta
+	// Rows pairs up per-rank-count host rows for sweep figures carrying
+	// rank_rows in both reports, in current-report order.
+	Rows []RowDelta
 	// VSec lists the virtual-second metrics that changed.
 	VSec []MetricDelta
 	// Compared counts the vsec metrics present in both reports.
@@ -76,6 +88,18 @@ func Diff(base, cur *Report) *Delta {
 			continue
 		}
 		d.Wall = append(d.Wall, WallDelta{Figure: f.Name, Base: bf.WallSeconds, Cur: f.WallSeconds})
+		baseRows := map[int]RankRow{}
+		for _, r := range bf.RankRows {
+			baseRows[r.Ranks] = r
+		}
+		for _, r := range f.RankRows {
+			br, ok := baseRows[r.Ranks]
+			if !ok {
+				d.Added = append(d.Added, fmt.Sprintf("%s/ranks%d (host row)", f.Name, r.Ranks))
+				continue
+			}
+			d.Rows = append(d.Rows, RowDelta{Figure: f.Name, Ranks: r.Ranks, Base: br, Cur: r})
+		}
 		baseMetrics := map[string]float64{}
 		for _, m := range bf.Metrics {
 			baseMetrics[m.Name] = m.VSec
@@ -126,6 +150,19 @@ func (d *Delta) Format() string {
 		fmt.Fprintf(&b, "%-8s %11.3fs %11.3fs %7.2fx\n", w.Figure, w.Base, w.Cur, ratio(w.Cur, w.Base))
 	}
 	fmt.Fprintf(&b, "%-8s %11.3fs %11.3fs %7.2fx\n", "total", baseTotal, curTotal, ratio(curTotal, baseTotal))
+	if len(d.Rows) > 0 {
+		fmt.Fprintf(&b, "host rows (wall seconds, heap MiB, executor parks/wakeups):\n")
+		fmt.Fprintf(&b, "  %-8s %6s %10s %10s %6s %9s %9s %6s %12s %12s\n",
+			"figure", "ranks", "base wall", "cur wall", "ratio", "base heap", "cur heap", "ratio", "parks", "wakeups")
+		for _, r := range d.Rows {
+			fmt.Fprintf(&b, "  %-8s %6d %9.3fs %9.3fs %5.2fx %8.1fM %8.1fM %5.2fx %12d %12d\n",
+				r.Figure, r.Ranks,
+				r.Base.WallSeconds, r.Cur.WallSeconds, ratio(r.Cur.WallSeconds, r.Base.WallSeconds),
+				mib(r.Base.HeapInuseBytes), mib(r.Cur.HeapInuseBytes),
+				ratio(mib(r.Cur.HeapInuseBytes), mib(r.Base.HeapInuseBytes)),
+				r.Cur.ExecParks, r.Cur.ExecWakeups)
+		}
+	}
 	if len(d.VSec) == 0 {
 		fmt.Fprintf(&b, "virtual seconds: %d metrics compared, all identical\n", d.Compared)
 	} else {
@@ -149,3 +186,5 @@ func ratio(cur, base float64) float64 {
 	}
 	return cur / base
 }
+
+func mib(b uint64) float64 { return float64(b) / (1 << 20) }

@@ -89,6 +89,43 @@ func TestDiffDetectsChanges(t *testing.T) {
 	}
 }
 
+func TestDiffRankRows(t *testing.T) {
+	base := sampleReport()
+	base.Figures[0].RankRows = []RankRow{
+		{Ranks: 1024, WallSeconds: 4.0, HeapInuseBytes: 512 << 20, ExecParks: 100, ExecWakeups: 100},
+		{Ranks: 4096, WallSeconds: 16.0, HeapInuseBytes: 2 << 30, ExecParks: 400, ExecWakeups: 400},
+	}
+	cur := sampleReport()
+	cur.Figures[0].RankRows = []RankRow{
+		{Ranks: 1024, WallSeconds: 2.0, HeapInuseBytes: 256 << 20, ExecParks: 100, ExecWakeups: 100},
+		{Ranks: 16384, WallSeconds: 30.0, HeapInuseBytes: 1 << 30, ExecParks: 1600, ExecWakeups: 1600},
+	}
+	d := Diff(base, cur)
+	if len(d.Rows) != 1 {
+		t.Fatalf("want 1 paired host row, got %+v", d.Rows)
+	}
+	r := d.Rows[0]
+	if r.Figure != "fig6" || r.Ranks != 1024 || r.Base.WallSeconds != 4.0 || r.Cur.WallSeconds != 2.0 {
+		t.Errorf("paired row wrong: %+v", r)
+	}
+	found := false
+	for _, a := range d.Added {
+		if a == "fig6/ranks16384 (host row)" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("unmatched current row not reported as added: %v", d.Added)
+	}
+	text := d.Format()
+	if !strings.Contains(text, "host rows") || !strings.Contains(text, "1024") {
+		t.Errorf("format missing host-row table:\n%s", text)
+	}
+	if !strings.Contains(text, "0.50x") {
+		t.Errorf("format missing host-row ratios:\n%s", text)
+	}
+}
+
 func TestDiffMissingFigure(t *testing.T) {
 	base := sampleReport()
 	cur := sampleReport()

@@ -22,9 +22,10 @@ type RankRow struct {
 	Ranks       int     `json:"ranks"`
 	WallSeconds float64 `json:"wall_seconds"`
 	// HeapInuseBytes and SysBytes are runtime.MemStats snapshots taken
-	// right after the rank count's experiments finish: live heap, and the
-	// total memory obtained from the OS (a peak-footprint proxy — the Go
-	// runtime rarely returns memory within a run).
+	// right after the rank count's experiments finish: live heap after a
+	// forced collection, and the total memory obtained from the OS (a
+	// peak-footprint proxy — the Go runtime rarely returns memory within a
+	// run, so Sys ratchets to the sweep's high-water mark).
 	HeapInuseBytes uint64 `json:"heap_inuse_bytes"`
 	SysBytes       uint64 `json:"sys_bytes"`
 	// Executor meters summed over the rank count's experiments (zero under
@@ -62,6 +63,14 @@ func CollectFig10(rankList []int, engine vmpi.Engine) *Report {
 			wall := time.Since(start).Seconds()
 			paperbench.RecordPoolStats()
 			row := RankRow{Ranks: p, WallSeconds: wall}
+			// Collect before snapshotting so HeapInuse measures live
+			// memory, not GC timing: without this the row is dominated by
+			// whatever garbage the last collection happened to leave behind
+			// (earlier reports show multi-GiB "heap" at 64 ranks —
+			// leftovers from the preceding rank count). The GC pause lands
+			// outside the row's wall-clock window. SysBytes is unaffected
+			// and remains the peak-footprint number.
+			runtime.GC()
 			var m runtime.MemStats
 			runtime.ReadMemStats(&m)
 			row.HeapInuseBytes = m.HeapInuse

@@ -275,6 +275,7 @@ func (p *Pipeline[T]) restore(in api.Input, own []T, pot, field []float64) api.O
 			return results[i].Origin.Rank()
 		}), redist.Options{})
 		back := redist.Execute(pl, results)
+		pl.Free()
 		if len(back) != in.N {
 			panic(fmt.Sprintf("coupling: restore received %d results for %d particles", len(back), in.N))
 		}

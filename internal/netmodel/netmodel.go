@@ -133,15 +133,21 @@ func (t *Torus) Injection(bytes int) float64 {
 func (t *Torus) Name() string { return "torus" }
 
 // Hops returns the dimension-ordered routing distance between two ranks.
+// The per-dimension coordinates (row-major, last dimension fastest) are
+// peeled off inline — this runs once per message in the network model, so
+// it must not allocate.
+//
+//parlint:hotalloc
 func (t *Torus) Hops(src, dst int) int {
 	if src == dst {
 		return 0
 	}
-	sc := t.coords(src)
-	dc := t.coords(dst)
 	hops := 0
-	for i, n := range t.Dims {
-		d := sc[i] - dc[i]
+	for i := len(t.Dims) - 1; i >= 0; i-- {
+		n := t.Dims[i]
+		d := src%n - dst%n
+		src /= n
+		dst /= n
 		if d < 0 {
 			d = -d
 		}
@@ -156,16 +162,6 @@ func (t *Torus) Hops(src, dst int) int {
 		hops = 1
 	}
 	return hops
-}
-
-// coords maps a rank to torus coordinates in row-major order.
-func (t *Torus) coords(rank int) []int {
-	c := make([]int, len(t.Dims))
-	for i := len(t.Dims) - 1; i >= 0; i-- {
-		c[i] = rank % t.Dims[i]
-		rank /= t.Dims[i]
-	}
-	return c
 }
 
 // MaxRanks returns the number of ranks the torus covers.

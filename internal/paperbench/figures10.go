@@ -155,6 +155,7 @@ func fig10Run(machine Machine, ranks int, merge bool, engine vmpi.Engine) float6
 		Model:        machine.Model(ranks),
 		ComputeScale: machine.ComputeScale,
 		Engine:       engine,
+		Workers:      execWorkers,
 	}, fig10Body(merge))
 	recordExecStats(st.Exec)
 	steady := 0.0

@@ -103,6 +103,7 @@ func figMemExchangeBody(meter bool) func(c *vmpi.Comm) {
 		if c.Rank() == 0 {
 			c.Gauge(figMemRoundsGauge, float64(pl.Rounds(figMemRecordBytes)))
 		}
+		pl.Free()
 		figMemChecksum(c, out)
 	}
 }
@@ -167,6 +168,7 @@ func FigMem(machine Machine, engine vmpi.Engine) []FigMemRow {
 			Model:            machine.Model(figMemRanks),
 			ComputeScale:     machine.ComputeScale,
 			Engine:           engine,
+			Workers:          execWorkers,
 			MaxExchangeBytes: budget,
 		}
 	}
@@ -209,6 +211,7 @@ func FigMemObs(engine vmpi.Engine) *obs.Log {
 		Model:            m.Model(figMemRanks),
 		ComputeScale:     m.ComputeScale,
 		Engine:           engine,
+		Workers:          execWorkers,
 		MaxExchangeBytes: figMemBudget,
 	}, figMemExchangeBody(false))
 	return st.Events

@@ -206,6 +206,7 @@ func FigResizeEval(machine Machine, d ResizeDirection, engine vmpi.Engine) FigRe
 				Model:        machine.Model(d.Peak()),
 				ComputeScale: machine.ComputeScale,
 				Engine:       engine,
+				Workers:      execWorkers,
 			}, figResizeBody(s, d))
 			recordExecStats(st.Exec)
 			return figResizeCost(st)
@@ -216,6 +217,7 @@ func FigResizeEval(machine Machine, d ResizeDirection, engine vmpi.Engine) FigRe
 				Model:        machine.Model(d.Peak()),
 				ComputeScale: machine.ComputeScale,
 				Engine:       engine,
+				Workers:      execWorkers,
 			}, figResizeStatic(s, steps))
 			recordExecStats(st.Exec)
 			return figResizeCost(st)
@@ -247,6 +249,7 @@ func FigResizeObs(engine vmpi.Engine) *obs.Log {
 		Model:        m.Model(d.Peak()),
 		ComputeScale: m.ComputeScale,
 		Engine:       engine,
+		Workers:      execWorkers,
 	}, figResizeBody(figResizeSystem(), d))
 	return st.Events
 }

@@ -27,6 +27,29 @@ var jobWorkers int
 // value.
 func SetJobs(n int) { jobWorkers = n }
 
+// execWorkers is the event-engine run-slot count threaded into every
+// experiment's vmpi.Config (the paperbench -workers flag). Zero keeps the
+// engine default: one slot plus host-budget extras. The goroutine engine
+// ignores it. Figure bytes are identical at any value — CI proves it by
+// diffing the large-P golden at -workers 4 against the checked-in
+// baseline.
+var execWorkers int
+
+// SetEngineWorkers fixes the event engine's run-slot count for every
+// experiment (the paperbench -workers flag). n below 1 restores the
+// engine default. The setting affects wall-clock time only; figure output
+// is identical at any value.
+func SetEngineWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	execWorkers = n
+}
+
+// EngineWorkers returns the configured event-engine run-slot count (0 =
+// engine default).
+func EngineWorkers() int { return execWorkers }
+
 // Jobs returns the effective scheduler worker count: the SetJobs value, or
 // the shared host-compute budget's capacity when none was set.
 func Jobs() int {

@@ -282,6 +282,7 @@ func Run(cfg Config) (Result, error) {
 		ComputeScale: cfg.Machine.ComputeScale,
 		Trace:        cfg.Trace,
 		Engine:       cfg.Engine,
+		Workers:      execWorkers,
 	}, func(c *vmpi.Comm) {
 		l := particle.Distribute(c, s, cfg.Dist, cfg.Seed+1)
 		h, err := core.Init(cfg.Solver, c,

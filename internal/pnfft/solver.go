@@ -243,7 +243,9 @@ func (m method) Exchange(items []pRec, fast bool) ([]pRec, coupling.ExchangeInfo
 		// vote in NewPlan is collective, and Execute picks the backend.
 		pl := redist.NewPlan(s.comm, len(items), tf, redist.Options{Neighbors: s.cart.Neighbors(1)})
 		recv := redist.Execute(pl, items)
-		if !pl.UsedNeighborhood() {
+		usedNbr := pl.UsedNeighborhood()
+		pl.Free()
+		if !usedNbr {
 			return recv, coupling.ExchangeInfo{Strategy: api.StrategyAlltoall, Fallback: true}
 		}
 		return recv, coupling.ExchangeInfo{Strategy: api.StrategyNeighborhood}

@@ -232,27 +232,20 @@ func SortMerge[T any](c *vmpi.Comm, items []T, key func(T) uint64) []T {
 	// inversions are possible. Clean up with odd-even block transposition
 	// rounds over the chain of non-empty ranks until the global boundary
 	// check passes — for almost sorted inputs typically zero rounds.
+	//
+	// Every rank derives the identical chain from the identical counts
+	// vector, so the chain table is shared per network size (sharedChain)
+	// instead of materialized P times, and the counts buffer goes back to
+	// the message pool immediately.
 	counts := vmpi.Allgather(c, []int64{int64(len(items))})
-	nonEmpty := make([]int, 0, p)
-	myIdx := -1
-	for r, n := range counts {
-		if n > 0 {
-			if r == c.Rank() {
-				myIdx = len(nonEmpty)
-			}
-			nonEmpty = append(nonEmpty, r)
-		}
-	}
+	nonEmpty, myIdx, total := sharedChain(p, counts, c.Rank())
+	vmpi.Release(counts)
 	// Each pair of rounds fixes at least one boundary inversion, but a
 	// low-capacity rank in the middle of the chain throttles element flow
 	// to its capacity per two rounds, so the worst-case round count is
 	// bounded by the total element count, not the chain length. Almost
 	// sorted inputs — the method's intended regime — need zero or very few
 	// rounds.
-	total := int64(0)
-	for _, n := range counts {
-		total += n
-	}
 	even := true
 	for round := int64(0); !globallySorted(c, items, key); round++ {
 		if round > 2*total+8 {
@@ -273,6 +266,7 @@ func globallySorted[T any](c *vmpi.Comm, items []T, key func(T) uint64) bool {
 		h.Max = key(items[len(items)-1])
 	}
 	all := vmpi.Allgather(c, []header{h})
+	sorted := true
 	prevMax := uint64(0)
 	have := false
 	for _, e := range all {
@@ -280,12 +274,14 @@ func globallySorted[T any](c *vmpi.Comm, items []T, key func(T) uint64) bool {
 			continue
 		}
 		if have && e.Min < prevMax {
-			return false
+			sorted = false
+			break
 		}
 		prevMax = e.Max
 		have = true
 	}
-	return true
+	vmpi.Release(all)
+	return sorted
 }
 
 // oddEvenRound performs one block transposition round over the chain of
@@ -337,7 +333,9 @@ func mergeSplit[T any](c *vmpi.Comm, items []T, key func(T) uint64, partner int,
 		h.Min = key(items[0])
 		h.Max = key(items[len(items)-1])
 	}
-	ph := vmpi.Sendrecv(c, []header{h}, partner, partner, tagHeader)[0]
+	// Value messages: wire-identical to one-element slices (same bytes,
+	// tags, order — virtual time unchanged) with zero payload allocation.
+	ph := vmpi.SendrecvVal(c, h, partner, partner, tagHeader)
 
 	// Skip the data exchange when the pair is already ordered or one side
 	// is empty.
@@ -360,7 +358,7 @@ func mergeSplit[T any](c *vmpi.Comm, items []T, key func(T) uint64, partner int,
 	} else {
 		k = sort.Search(n, func(i int) bool { return key(items[i]) >= ph.Max })
 	}
-	pk := int(vmpi.Sendrecv(c, []int64{int64(k)}, partner, partner, tagCount)[0])
+	pk := int(vmpi.SendrecvVal(c, int64(k), partner, partner, tagCount))
 	t := k
 	if pk < t {
 		t = pk
@@ -442,6 +440,64 @@ var (
 	mergeSchedMu  sync.Mutex
 	mergeSchedByP = map[int][][]rankStep{}
 )
+
+// chainEntry caches one network size's cleanup-chain derivation: the
+// counts vector it was derived from, the chain of non-empty ranks, and the
+// total element count.
+type chainEntry struct {
+	counts []int64
+	chain  []int
+	total  int64
+}
+
+var (
+	chainMu  sync.Mutex
+	chainByP = map[int]*chainEntry{}
+)
+
+// sharedChain returns the chain of non-empty ranks for a counts vector,
+// the calling rank's position in it (-1 when the rank is empty), and the
+// total element count. The chain is a pure function of counts, and every
+// rank of a P-rank sort holds the identical counts vector (it came out of
+// an allgather), so one cached chain per network size serves all P ranks —
+// and, for steady workloads, all subsequent sorts — instead of P fresh
+// derivations per sort. The returned chain is shared and must be treated
+// as read-only.
+func sharedChain(p int, counts []int64, me int) (chain []int, myIdx int, total int64) {
+	chainMu.Lock()
+	e := chainByP[p]
+	if e == nil || !int64sEqual(e.counts, counts) {
+		ch := make([]int, 0, p)
+		var tot int64
+		for r, n := range counts {
+			if n > 0 {
+				ch = append(ch, r)
+			}
+			tot += n
+		}
+		e = &chainEntry{counts: append([]int64(nil), counts...), chain: ch, total: tot}
+		chainByP[p] = e
+	}
+	chainMu.Unlock()
+	// The chain lists ranks in ascending order; binary-search my position.
+	myIdx = sort.SearchInts(e.chain, me)
+	if myIdx >= len(e.chain) || e.chain[myIdx] != me {
+		myIdx = -1
+	}
+	return e.chain, myIdx, e.total
+}
+
+func int64sEqual(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i, v := range a {
+		if v != b[i] {
+			return false
+		}
+	}
+	return true
+}
 
 // rankSchedule returns rank r's comparator steps for an n-input
 // merge-exchange network, in network order.

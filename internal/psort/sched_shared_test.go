@@ -1,0 +1,69 @@
+package psort
+
+import (
+	"testing"
+)
+
+// TestSharedScheduleSingleBuild16384 is the large-P smoke for the shared
+// collective schedules: at the benchmark's top rank count the partitioned
+// merge-exchange table and the cleanup chain must be derived once per
+// process and then served to every rank without allocating. Before the
+// cache, each of the 16384 ranks materialised the full ~1.8M-comparator
+// schedule per sort; a regression here reintroduces gigabytes of garbage
+// at the big end of Figure 10.
+func TestSharedScheduleSingleBuild16384(t *testing.T) {
+	const n = 16384
+
+	// First lookup builds the table (or finds it already built by an
+	// earlier sort in this process — the cache is per-process by design).
+	first := rankSchedule(n, 0)
+	if len(first) == 0 {
+		t.Fatalf("rank 0 of %d has an empty merge schedule", n)
+	}
+
+	// Every later lookup, from any rank, is an allocation-free read...
+	allocs := testing.AllocsPerRun(8, func() {
+		for _, r := range []int{0, 1, n / 2, n - 1} {
+			if len(rankSchedule(n, r)) == 0 {
+				panic("empty schedule")
+			}
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("rankSchedule lookups allocated %.2f objects per run, want 0 (table rebuilt?)", allocs)
+	}
+	// ...of the one shared table: the same backing array every time.
+	a, b := rankSchedule(n, 7), rankSchedule(n, 7)
+	if &a[0] != &b[0] {
+		t.Errorf("rankSchedule(16384, 7) returned distinct backing arrays; table not shared")
+	}
+
+	// The cleanup chain behaves the same: one derivation per counts
+	// vector, shared across all ranks, compared by content so the fresh
+	// (equal) counts slice every sort produces does not rebuild it.
+	counts := make([]int64, n)
+	for i := range counts {
+		counts[i] = int64(i % 3) // empty ranks included
+	}
+	chain1, _, total1 := sharedChain(n, counts, 3)
+	counts2 := append([]int64(nil), counts...)
+	allocs = testing.AllocsPerRun(8, func() {
+		sharedChain(n, counts2, n/2)
+	})
+	if allocs != 0 {
+		t.Errorf("sharedChain lookups allocated %.2f objects per run, want 0 (chain rebuilt?)", allocs)
+	}
+	chain2, myIdx, total2 := sharedChain(n, counts2, 4)
+	if &chain1[0] != &chain2[0] {
+		t.Errorf("sharedChain returned distinct backing arrays for equal counts; chain not shared")
+	}
+	if total1 != total2 {
+		t.Errorf("sharedChain totals disagree: %d vs %d", total1, total2)
+	}
+	if chain2[myIdx] != 4 {
+		t.Errorf("rank 4 resolved to chain position %d holding rank %d", myIdx, chain2[myIdx])
+	}
+	if _, idx, _ := sharedChain(n, counts2, 3*(n/3)); idx != -1 {
+		t.Errorf("empty rank resolved to chain position %d, want -1", idx)
+	}
+}

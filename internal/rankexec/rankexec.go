@@ -11,10 +11,10 @@
 // must never influence what the tasks compute. vmpi's virtual clocks are a
 // pure function of the program's communication structure, so any park/wake
 // interleaving yields bit-identical virtual results — the property the
-// byte-identity gates (goroutine machine vs. executor, -j 1 vs. -j 8)
-// enforce end to end. For the same reason this package is part of the
-// parlint determinism hot set: no wall-clock reads, no map iteration, no
-// atomics in the rank-execution path.
+// byte-identity gates (goroutine machine vs. executor, -j 1 vs. -j 8,
+// Workers 1 vs. 8) enforce end to end. For the same reason this package is
+// part of the parlint determinism hot set: no wall-clock reads, no map
+// iteration, no atomics in the rank-execution path.
 //
 // Tasks are Go goroutines — the only resumable stacks the language
 // offers — but a task's goroutine is spawned lazily on first dispatch and
@@ -31,13 +31,44 @@
 // instead of blocking, so the caller's recheck loop (test condition → Park
 // → retest) is sound without holding any executor lock across the test.
 //
+// # Sharding
+//
+// State is split two ways so the executor scales across workers instead of
+// serializing every transition on one mutex:
+//
+//   - Tasks are sharded by id over per-worker shards (one per base run
+//     slot, capped). A shard's mutex owns its tasks' states, wake tokens,
+//     and a FIFO deque of its runnable ids, so the hot paths — a wake
+//     token deposit, a park that consumes a token — touch only the
+//     owning shard.
+//   - A central slot bank owns the fungible resources: free run slots
+//     (base + budget extras), the parked/finished counts behind the
+//     all-parked deadlock verdict, and a FIFO hand-off queue of shards
+//     that have runnable work but found no free slot. A freed slot is
+//     handed to the longest-waiting such shard, deterministically, never
+//     by map iteration.
+//
+// Lock order is shard → bank, always; the bank never acquires a shard
+// mutex. Hand-off therefore happens outside the bank's critical section:
+// the releaser pops a pending shard id under the bank lock and dispatches
+// that shard after unlocking.
+//
+// UnparkBatch wakes any number of tasks in one bank episode: token
+// deposits stay shard-local, and all parked→runnable transitions of the
+// batch settle the bank's accounts in a single critical section, so a
+// delivery that wakes k ranks costs one bank lock, not k. Batched
+// transitions cannot corrupt the deadlock verdict: woken tasks become
+// dispatchable only after the bank's parked count settles, and while a
+// batch is in flight its caller is itself a live, unparked task, keeping
+// parked+finished strictly below the task count.
+//
 // Run slots come from two sources: a fixed base (at least one, so progress
 // never depends on anyone else's capacity) and optional extra units
 // try-acquired from a shared host-compute budget (hostpar.Budget — the
 // same pool the experiment scheduler and hostpar's tile workers draw
 // from). Extras are acquired only while runnable tasks are queued and
-// returned as soon as the queue drains, so an executor that is mostly
-// parked holds no capacity hostage.
+// returned as soon as the pending work drains, so an executor that is
+// mostly parked holds no capacity hostage.
 package rankexec
 
 import (
@@ -56,11 +87,16 @@ type Budget interface {
 // task states.
 const (
 	statePending  uint8 = iota // never dispatched; queued at Start
-	stateRunnable              // woken, waiting in the run queue
+	stateRunnable              // woken, waiting in a shard's run deque
 	stateRunning               // holds a run slot
 	stateParked                // blocked in Park, waiting for Unpark
 	stateDone                  // body returned
 )
+
+// maxShards caps the shard count: beyond a few handfuls of workers the
+// bank, not the shard mutexes, is the contended resource, and a bounded
+// count keeps the declare/snapshot sweeps cheap.
+const maxShards = 16
 
 // task is one resumable rank.
 type task struct {
@@ -74,11 +110,30 @@ type task struct {
 	// hasSlot reports whether the task currently holds a run slot; it keeps
 	// slot accounting exact across poisoned wakeups (which grant no slot).
 	hasSlot bool
-	// grant resumes a parked (or pending) task; buffered so the dispatcher
-	// never blocks while holding the executor lock.
+	// grant resumes a parked (or pending) task; buffered so a granter
+	// never blocks while holding locks.
 	grant chan struct{}
 	// started reports whether the task's goroutine exists yet.
 	started bool
+}
+
+// shard owns the tasks whose id ≡ idx (mod shard count): their states and
+// wake tokens, and the FIFO deque of its runnable ids. Everything below mu
+// is guarded by it. The hot wake paths touch only this lock.
+type shard struct {
+	mu  sync.Mutex
+	idx int
+	// tasks holds this shard's tasks; task id maps to local index
+	// id / nShards (ids are dealt round-robin, so appends in global id
+	// order keep the mapping dense).
+	tasks []*task
+	// runQ is the FIFO deque of runnable task ids; qHead indexes its front.
+	runQ  []int
+	qHead int
+	// shard-local stat counters, summed by Snapshot.
+	parks   int64
+	wakeups int64
+	spawned int64
 }
 
 // Stats meters the executor. All values are host-side quantities: they
@@ -87,12 +142,14 @@ type task struct {
 type Stats struct {
 	// Parks counts blocking parks (token-consuming no-op parks excluded).
 	Parks int64
-	// Wakeups counts Unpark calls that made a task runnable or deposited a
+	// Wakeups counts unparks that made a task runnable or deposited a
 	// wake token.
 	Wakeups int64
 	// Spawned counts task goroutines actually created.
 	Spawned int64
-	// MaxRunnable is the high-water mark of the runnable queue depth.
+	// MaxRunnable is the high-water mark of runnable tasks awaiting a
+	// slot, summed over shards (batch-granular: a batched wake settles the
+	// meter once per batch).
 	MaxRunnable int
 	// PeakResident is the high-water mark of live task goroutines
 	// (spawned and not yet finished) — the executor's memory footprint
@@ -106,16 +163,18 @@ type Stats struct {
 // Options configures an Executor.
 type Options struct {
 	// Workers fixes the base slot count (minimum 1). Zero selects one base
-	// slot; extra capacity then comes only from Budget.
+	// slot; extra capacity then comes only from Budget. The shard count
+	// follows the base slot count (capped), so each worker has its own
+	// deque.
 	Workers int
 	// Budget, if non-nil, provides extra run slots beyond the base via
 	// non-blocking acquisition. Extras are capped by MaxWorkers and
-	// released whenever the runnable queue drains.
+	// released whenever the pending work drains.
 	Budget Budget
 	// MaxWorkers caps total slots (base + extras). Zero means the task
 	// count.
 	MaxWorkers int
-	// OnDeadlock is invoked (outside the executor lock) when every live
+	// OnDeadlock is invoked (outside the executor locks) when every live
 	// task is parked and no wakeup is pending, with the parked task ids in
 	// ascending order. Every parked task is woken poisoned and invokes it,
 	// so the verdict surfaces on goroutines that have the caller's panic
@@ -124,16 +183,17 @@ type Options struct {
 	OnDeadlock func(parked []int)
 }
 
-// Executor multiplexes n resumable tasks over a bounded set of run slots.
+// Executor multiplexes tasks over a bounded set of run slots.
 type Executor struct {
-	mu    sync.Mutex
-	tasks []*task
-	run   func(id int)
-	opts  Options
+	run     func(id int)
+	opts    Options
+	nShards int
+	shards  []*shard
 
-	// runQ is the FIFO of runnable task ids; qHead indexes its front.
-	runQ  []int
-	qHead int
+	// mu is the slot bank's lock, guarding everything below. Lock order is
+	// shard → bank; bank-locked code never touches a shard mutex.
+	mu     sync.Mutex
+	nTasks int
 
 	baseSlots int
 	maxSlots  int
@@ -143,18 +203,28 @@ type Executor struct {
 	parked   int
 	finished int
 	resident int
+	runnable int
 	aborted  bool
-	// deadIDs is the parked-id set of a declared deadlock; written once
-	// (under mu, before any poisoned grant) and then read by the poisoned
-	// wakers, ordered by their grant-channel receives.
+	// pendingQ is the FIFO hand-off queue of shard indices that have
+	// runnable work but found no free slot; inPending dedupes entries.
+	pendingQ []int
+	pendHead int
+	inPending []bool
+	// deadIDs is the parked-id set of a declared deadlock; written before
+	// any poisoned grant and then read by the poisoned wakers, ordered by
+	// their grant-channel receives.
 	deadIDs []int
 
-	stats Stats
-	wg    sync.WaitGroup
+	maxRunnable  int
+	peakResident int
+	statMaxSlots int
+
+	wg sync.WaitGroup
 }
 
 // New creates an executor for n tasks whose bodies are run(id). Tasks are
-// enqueued but nothing executes until Start.
+// dealt round-robin over one shard per base worker; nothing executes until
+// Start.
 func New(n int, run func(id int), opts Options) *Executor {
 	if n < 1 {
 		panic("rankexec: need at least 1 task")
@@ -170,30 +240,65 @@ func New(n int, run func(id int), opts Options) *Executor {
 	if base > max {
 		base = max
 	}
+	nShards := base
+	if nShards > maxShards {
+		nShards = maxShards
+	}
 	ex := &Executor{
-		tasks:     make([]*task, n),
 		run:       run,
 		opts:      opts,
-		runQ:      make([]int, 0, n),
+		nShards:   nShards,
+		shards:    make([]*shard, nShards),
+		nTasks:    n,
 		baseSlots: base,
 		maxSlots:  max,
 		freeSlots: base,
+		inPending: make([]bool, nShards),
 	}
-	for i := range ex.tasks {
-		ex.tasks[i] = &task{state: statePending, grant: make(chan struct{}, 1)}
+	for i := range ex.shards {
+		ex.shards[i] = &shard{idx: i}
+	}
+	for id := 0; id < n; id++ {
+		s := ex.shards[id%nShards]
+		s.tasks = append(s.tasks, &task{state: statePending, grant: make(chan struct{}, 1)})
 	}
 	ex.wg.Add(n)
 	return ex
 }
 
+// shardOf returns the shard owning a task id.
+func (ex *Executor) shardOf(id int) *shard { return ex.shards[id%ex.nShards] }
+
+// taskIn returns a shard's task by global id; the shard mutex must be held.
+func (s *shard) taskIn(id int, nShards int) *task { return s.tasks[id/nShards] }
+
 // Start enqueues every task and begins dispatching.
 func (ex *Executor) Start() {
 	ex.mu.Lock()
-	for id := range ex.tasks {
-		ex.enqueueLocked(id)
-	}
-	ex.dispatchLocked()
+	n := ex.nTasks
+	ex.noteRunnableLocked(n)
 	ex.mu.Unlock()
+	for idx, s := range ex.shards {
+		s.mu.Lock()
+		for id := idx; id < n; id += ex.nShards {
+			s.runQ = append(s.runQ, id)
+		}
+		s.mu.Unlock()
+	}
+	// Grant the initial wave round-robin across shards — one task per
+	// shard per pass — so low ids fill the first slots regardless of the
+	// shard layout, exactly like the single-queue executor's FIFO wave.
+	for {
+		any := false
+		for _, s := range ex.shards {
+			if ex.tryGrant(s) {
+				any = true
+			}
+		}
+		if !any {
+			return
+		}
+	}
 }
 
 // Admit appends k new tasks to a running executor and returns the id of
@@ -212,24 +317,33 @@ func (ex *Executor) Admit(k int) int {
 	}
 	ex.wg.Add(k)
 	ex.mu.Lock()
-	first := len(ex.tasks)
-	for i := 0; i < k; i++ {
-		ex.tasks = append(ex.tasks, &task{state: statePending, grant: make(chan struct{}, 1)})
-	}
+	first := ex.nTasks
+	ex.nTasks += k
 	// Re-derive the slot cap for the grown task count (same rule as New).
 	max := ex.opts.MaxWorkers
-	if max <= 0 || max > len(ex.tasks) {
-		max = len(ex.tasks)
+	if max <= 0 || max > ex.nTasks {
+		max = ex.nTasks
 	}
 	if max < ex.baseSlots {
 		max = ex.baseSlots
 	}
 	ex.maxSlots = max
-	for id := first; id < len(ex.tasks); id++ {
-		ex.enqueueLocked(id)
-	}
-	ex.dispatchLocked()
+	ex.noteRunnableLocked(k)
 	ex.mu.Unlock()
+	var touched [maxShards]bool
+	for id := first; id < first+k; id++ {
+		s := ex.shardOf(id)
+		s.mu.Lock()
+		s.tasks = append(s.tasks, &task{state: statePending, grant: make(chan struct{}, 1)})
+		s.runQ = append(s.runQ, id)
+		s.mu.Unlock()
+		touched[id%ex.nShards] = true
+	}
+	for i := 0; i < ex.nShards; i++ {
+		if touched[i] {
+			ex.dispatch(ex.shards[i])
+		}
+	}
 	return first
 }
 
@@ -246,22 +360,24 @@ func (ex *Executor) Wait() {
 // returns immediately when a wake token is pending. Callers use it inside
 // a condition-recheck loop: test, Park, retest.
 func (ex *Executor) Park(id int) {
-	ex.mu.Lock()
-	t := ex.tasks[id]
+	s := ex.shardOf(id)
+	s.mu.Lock()
+	t := s.taskIn(id, ex.nShards)
 	if t.wake {
 		t.wake = false
-		ex.mu.Unlock()
+		s.mu.Unlock()
 		return
 	}
-	ex.stats.Parks++
+	s.parks++
 	t.state = stateParked
-	ex.parked++
 	t.hasSlot = false
-	ex.releaseSlotLocked()
-	if ex.deadlockedLocked() {
-		ex.declareDeadlockLocked()
+	s.mu.Unlock()
+	verdict, next := ex.parkBank()
+	if verdict {
+		ex.declareDeadlock()
+	} else if next >= 0 {
+		ex.dispatch(ex.shards[next])
 	}
-	ex.mu.Unlock()
 	<-t.grant
 	// poisoned was written before the grant send; the channel receive
 	// orders this read after it.
@@ -270,26 +386,88 @@ func (ex *Executor) Park(id int) {
 	}
 }
 
+// parkBank settles the bank for one park: the parker's slot is freed, the
+// verdict is checked, and a pending shard is popped for hand-off.
+func (ex *Executor) parkBank() (verdict bool, next int) {
+	ex.mu.Lock()
+	defer ex.mu.Unlock()
+	ex.parked++
+	ex.freeSlots++
+	if ex.deadlockedLocked() {
+		return true, -1
+	}
+	if ex.aborted {
+		ex.trimExtrasLocked(true)
+		return false, -1
+	}
+	next = ex.popPendingLocked()
+	if next < 0 {
+		ex.trimExtrasLocked(false)
+	}
+	return false, next
+}
+
 // Unpark marks the task runnable (or deposits a wake token when it is not
 // parked) and dispatches. Safe to call from any goroutine.
 func (ex *Executor) Unpark(id int) {
-	ex.mu.Lock()
-	t := ex.tasks[id]
-	switch t.state {
-	case stateParked:
-		ex.stats.Wakeups++
-		t.state = stateRunnable
-		ex.parked--
-		ex.enqueueLocked(id)
-		ex.dispatchLocked()
-	case statePending, stateRunnable, stateRunning:
-		ex.stats.Wakeups++
-		t.wake = true
-	case stateDone:
-		// A message to a finished rank: the receive that would consume it
-		// can never run; nothing to wake.
+	var one [1]int
+	one[0] = id
+	ex.UnparkBatch(one[:])
+}
+
+// UnparkBatch unparks every listed task (duplicates allowed), settling the
+// bank's parked-count and runnable meters in a single critical section —
+// one bank lock episode per delivery batch, not one per woken rank. Token
+// deposits for tasks that are not parked stay entirely shard-local. The
+// ids slice is compacted in place and must not be reused by the caller
+// until the call returns. Safe to call from any goroutine.
+//
+// Woken tasks are pushed to their shards' deques only after the bank
+// settles, so a woken task cannot re-park (double-counting itself) while
+// its own wake is still in flight — the transient over-count in the bank's
+// parked tally is therefore matched one-to-one by runnable-but-unqueued
+// tasks, and the all-parked verdict stays exact.
+func (ex *Executor) UnparkBatch(ids []int) {
+	w := 0
+	for _, id := range ids {
+		s := ex.shardOf(id)
+		s.mu.Lock()
+		t := s.taskIn(id, ex.nShards)
+		switch t.state {
+		case stateParked:
+			s.wakeups++
+			t.state = stateRunnable
+			ids[w] = id
+			w++
+		case statePending, stateRunnable, stateRunning:
+			s.wakeups++
+			t.wake = true
+		case stateDone:
+			// A message to a finished rank: the receive that would consume
+			// it can never run; nothing to wake.
+		}
+		s.mu.Unlock()
 	}
+	if w == 0 {
+		return
+	}
+	ex.mu.Lock()
+	ex.parked -= w
+	ex.noteRunnableLocked(w)
 	ex.mu.Unlock()
+	var touched [maxShards]bool
+	for _, id := range ids[:w] {
+		s := ex.shardOf(id)
+		s.mu.Lock()
+		s.runQ = append(s.runQ, id)
+		s.mu.Unlock()
+		touched[id%ex.nShards] = true
+	}
+	for i := 0; i < ex.nShards; i++ {
+		if touched[i] {
+			ex.dispatch(ex.shards[i])
+		}
+	}
 }
 
 // Abort stops all dispatching and returns every free budget unit. Parked
@@ -302,58 +480,117 @@ func (ex *Executor) Abort() {
 	ex.mu.Unlock()
 }
 
-// Snapshot returns the current stats.
+// Snapshot returns the current stats (shard counters summed).
 func (ex *Executor) Snapshot() Stats {
+	var st Stats
+	for _, s := range ex.shards {
+		s.mu.Lock()
+		st.Parks += s.parks
+		st.Wakeups += s.wakeups
+		st.Spawned += s.spawned
+		s.mu.Unlock()
+	}
 	ex.mu.Lock()
-	st := ex.stats
+	st.MaxRunnable = ex.maxRunnable
+	st.PeakResident = ex.peakResident
+	st.MaxSlots = ex.statMaxSlots
 	ex.mu.Unlock()
 	return st
 }
 
-// --- internals (every *Locked method runs under ex.mu) ---
+// --- internals ---
 
-func (ex *Executor) enqueueLocked(id int) {
-	ex.runQ = append(ex.runQ, id)
-	if d := len(ex.runQ) - ex.qHead; d > ex.stats.MaxRunnable {
-		ex.stats.MaxRunnable = d
+// noteRunnableLocked adds k tasks to the runnable meter and ratchets its
+// high-water mark. Callers hold the bank lock.
+func (ex *Executor) noteRunnableLocked(k int) {
+	ex.runnable += k
+	if ex.runnable > ex.maxRunnable {
+		ex.maxRunnable = ex.runnable
 	}
 }
 
-// dispatchLocked grants run slots to queued tasks, growing capacity from
-// the budget while the queue is non-empty.
-func (ex *Executor) dispatchLocked() {
+// dispatch grants run slots to the shard's queued tasks until the deque
+// drains or slots run out; in the latter case the shard registers itself
+// in the bank's hand-off queue and the next freed slot is delivered to it.
+// Called without locks; acquires shard → bank.
+func (ex *Executor) dispatch(s *shard) {
+	for ex.tryGrant(s) {
+	}
+}
+
+// tryGrant grants one run slot to the shard's next queued task. It reports
+// whether a grant happened; when the shard has work but no slot is to be
+// had it registers the shard in the bank's hand-off queue. Called without
+// locks; acquires shard → bank.
+func (ex *Executor) tryGrant(s *shard) bool {
+	s.mu.Lock()
+	if s.qHead >= len(s.runQ) {
+		s.runQ = s.runQ[:0]
+		s.qHead = 0
+		s.mu.Unlock()
+		return false
+	}
+	ex.mu.Lock()
 	if ex.aborted {
-		return
+		ex.mu.Unlock()
+		s.mu.Unlock()
+		return false
 	}
-	for ex.qHead < len(ex.runQ) {
-		if ex.freeSlots == 0 && !ex.growLocked() {
-			return
+	if ex.freeSlots == 0 && !ex.growLocked() {
+		if !ex.inPending[s.idx] {
+			ex.inPending[s.idx] = true
+			ex.pendingQ = append(ex.pendingQ, s.idx)
 		}
-		id := ex.runQ[ex.qHead]
-		ex.qHead++
-		if ex.qHead == len(ex.runQ) {
-			ex.runQ = ex.runQ[:0]
-			ex.qHead = 0
-		}
-		ex.freeSlots--
-		t := ex.tasks[id]
-		t.state = stateRunning
-		t.hasSlot = true
-		if held := ex.baseSlots + ex.extras - ex.freeSlots; held > ex.stats.MaxSlots {
-			ex.stats.MaxSlots = held
-		}
-		if !t.started {
-			t.started = true
-			ex.stats.Spawned++
-			ex.resident++
-			if ex.resident > ex.stats.PeakResident {
-				ex.stats.PeakResident = ex.resident
-			}
-			go ex.taskMain(id)
-		} else {
-			t.grant <- struct{}{}
+		ex.mu.Unlock()
+		s.mu.Unlock()
+		return false
+	}
+	ex.freeSlots--
+	ex.runnable--
+	id := s.runQ[s.qHead]
+	t := s.taskIn(id, ex.nShards)
+	if held := ex.baseSlots + ex.extras - ex.freeSlots; held > ex.statMaxSlots {
+		ex.statMaxSlots = held
+	}
+	spawn := !t.started
+	if spawn {
+		t.started = true
+		s.spawned++
+		ex.resident++
+		if ex.resident > ex.peakResident {
+			ex.peakResident = ex.resident
 		}
 	}
+	ex.mu.Unlock()
+	s.qHead++
+	if s.qHead == len(s.runQ) {
+		s.runQ = s.runQ[:0]
+		s.qHead = 0
+	}
+	t.state = stateRunning
+	t.hasSlot = true
+	if spawn {
+		go ex.taskMain(id)
+	} else {
+		t.grant <- struct{}{}
+	}
+	s.mu.Unlock()
+	return true
+}
+
+// popPendingLocked pops the longest-waiting slot-starved shard, or -1.
+func (ex *Executor) popPendingLocked() int {
+	if ex.pendHead >= len(ex.pendingQ) {
+		return -1
+	}
+	idx := ex.pendingQ[ex.pendHead]
+	ex.pendHead++
+	if ex.pendHead == len(ex.pendingQ) {
+		ex.pendingQ = ex.pendingQ[:0]
+		ex.pendHead = 0
+	}
+	ex.inPending[idx] = false
+	return idx
 }
 
 // growLocked try-acquires one extra budget unit. Reports whether a slot
@@ -370,22 +607,10 @@ func (ex *Executor) growLocked() bool {
 	return true
 }
 
-// releaseSlotLocked frees the caller's slot, dispatches, and returns idle
-// extra capacity to the budget.
-func (ex *Executor) releaseSlotLocked() {
-	ex.freeSlots++
-	if ex.aborted {
-		ex.trimExtrasLocked(true)
-		return
-	}
-	ex.dispatchLocked()
-	ex.trimExtrasLocked(false)
-}
-
-// trimExtrasLocked returns extra budget units that have no queued work to
-// serve. With force, every free unit beyond none is returned (teardown).
+// trimExtrasLocked returns extra budget units that have no pending work to
+// serve. With force, every free unit is returned (teardown).
 func (ex *Executor) trimExtrasLocked(force bool) {
-	if !force && ex.qHead < len(ex.runQ) {
+	if !force && ex.pendHead < len(ex.pendingQ) {
 		return
 	}
 	for ex.extras > 0 && ex.freeSlots > 0 {
@@ -400,59 +625,96 @@ func (ex *Executor) trimExtrasLocked(force bool) {
 
 func (ex *Executor) taskMain(id int) {
 	ex.run(id)
-	ex.mu.Lock()
-	t := ex.tasks[id]
+	s := ex.shardOf(id)
+	s.mu.Lock()
+	t := s.taskIn(id, ex.nShards)
 	t.state = stateDone
-	ex.finished++
-	ex.resident--
-	if t.hasSlot {
-		t.hasSlot = false
-		ex.releaseSlotLocked()
+	had := t.hasSlot
+	t.hasSlot = false
+	s.mu.Unlock()
+	verdict, next := ex.finishBank(had)
+	if verdict {
+		// A finishing task can strand the rest: if everyone left alive is
+		// now parked with no wakeup in flight, the verdict is declared here.
+		ex.declareDeadlock()
+	} else if next >= 0 {
+		ex.dispatch(ex.shards[next])
 	}
-	// A finishing task can strand the rest: if everyone left alive is now
-	// parked with no wakeup in flight, the verdict is declared here.
-	if ex.deadlockedLocked() {
-		ex.declareDeadlockLocked()
-	}
-	ex.mu.Unlock()
 	ex.wg.Done()
 }
 
-// declareDeadlockLocked records the verdict, stops dispatching, and wakes
-// every parked task poisoned. Each poisoned task reports the deadlock from
-// its own Park call — on a goroutine that has the caller's panic recovery
+// finishBank settles the bank for one finished task, mirroring parkBank.
+func (ex *Executor) finishBank(hadSlot bool) (verdict bool, next int) {
+	ex.mu.Lock()
+	defer ex.mu.Unlock()
+	ex.finished++
+	ex.resident--
+	if hadSlot {
+		ex.freeSlots++
+	}
+	if ex.deadlockedLocked() {
+		return true, -1
+	}
+	if !hadSlot {
+		return false, -1
+	}
+	if ex.aborted {
+		ex.trimExtrasLocked(true)
+		return false, -1
+	}
+	next = ex.popPendingLocked()
+	if next < 0 {
+		ex.trimExtrasLocked(false)
+	}
+	return false, next
+}
+
+// declareDeadlock records the verdict, stops dispatching, and wakes every
+// parked task poisoned. Each poisoned task reports the deadlock from its
+// own Park call — on a goroutine that has the caller's panic recovery
 // machinery up-stack — and can then finish, so Wait terminates when the
-// task bodies recover. A parked task never has a pending grant, so the
-// buffered sends cannot block.
-func (ex *Executor) declareDeadlockLocked() {
-	ids := ex.parkedIDsLocked()
-	ex.deadIDs = ids
+// task bodies recover. The detecting goroutine is unique (it made the
+// parked+finished count hit the task total) and the state is frozen —
+// every task is parked or done and no unpark is in flight — so the sweep
+// over the shards reads a stable snapshot. A parked task never has a
+// pending grant, so the buffered sends cannot block.
+func (ex *Executor) declareDeadlock() {
+	ex.mu.Lock()
 	ex.abortLocked()
+	n := ex.nTasks
+	ex.mu.Unlock()
+	var ids []int
+	for id := 0; id < n; id++ {
+		s := ex.shardOf(id)
+		s.mu.Lock()
+		if s.taskIn(id, ex.nShards).state == stateParked {
+			ids = append(ids, id)
+		}
+		s.mu.Unlock()
+	}
+	ex.mu.Lock()
+	ex.deadIDs = ids
+	ex.parked -= len(ids)
+	ex.mu.Unlock()
 	for _, id := range ids {
-		t := ex.tasks[id]
+		s := ex.shardOf(id)
+		s.mu.Lock()
+		t := s.taskIn(id, ex.nShards)
 		t.poisoned = true
 		t.state = stateRunning // off the parked set; holds no slot
-		ex.parked--
+		s.mu.Unlock()
 		t.grant <- struct{}{}
 	}
 }
 
 // deadlockedLocked reports the all-parked condition: every unfinished task
 // is parked and none holds a wake token. Tokens can only belong to
-// non-parked tasks (Park consumes them before blocking), so parked+finished
+// non-parked tasks (Park consumes them before blocking), every in-flight
+// batched wake is matched by a runnable (non-parked) task, and the
+// delivering sender of any batch is itself live — so parked+finished
 // covering all tasks is exact.
 func (ex *Executor) deadlockedLocked() bool {
-	return !ex.aborted && ex.parked > 0 && ex.parked+ex.finished == len(ex.tasks)
-}
-
-func (ex *Executor) parkedIDsLocked() []int {
-	var ids []int
-	for id, t := range ex.tasks {
-		if t.state == stateParked {
-			ids = append(ids, id)
-		}
-	}
-	return ids
+	return !ex.aborted && ex.parked > 0 && ex.parked+ex.finished == ex.nTasks
 }
 
 func (ex *Executor) abortLocked() {

@@ -2,6 +2,7 @@ package redist
 
 import (
 	"fmt"
+	"sync"
 	"unsafe"
 
 	"repro/internal/costs"
@@ -80,10 +81,15 @@ type Plan struct {
 	budget int64 // 0 = unbounded
 	meter  bool
 
-	// Destination routing in CSR form, by destination rank: counts[d]
-	// occurrences for rank d, their source element indices at
-	// occIdx[occOff[d]:occOff[d+1]], in local element order. Slices, not
-	// maps — this package is in the determinism analyzer's hot set.
+	// Destination routing in CSR form, indexed by staging-order slot
+	// (position in order): counts[k] occurrences for rank order[k], their
+	// source element indices at occIdx[occOff[k]:occOff[k+1]], in local
+	// element order. The all-to-all backend's order is the identity, so
+	// slot == rank there; the neighborhood backend's CSR spans only
+	// self + neighbors, keeping a live plan O(|neighbors|), not O(P) — at
+	// 16384 ranks the per-rank dense arrays dominated host memory, since
+	// every rank parked mid-exchange holds its plan. Slices, not maps —
+	// this package is in the determinism analyzer's hot set.
 	counts []int
 	occOff []int
 	occIdx []int32
@@ -99,30 +105,71 @@ type Plan struct {
 	peak int64 // staged-bytes peak of the most recent Execute
 }
 
+// planPool recycles Plan structs together with their O(P) routing arrays
+// (counts, occOff, occIdx, order, maxCounts). At large P the per-step
+// planner arrays dominated host allocation — every neighborhood-exchange
+// step built and dropped four size-P slices per rank. NewPlan fully
+// re-initializes every field it uses, so recycling is invisible to the
+// routing and the schedule.
+var planPool = sync.Pool{New: func() any { return new(Plan) }}
+
+// buildScratch holds NewPlan's function-local working arrays, pooled for
+// the same reason as the Plan arrays.
+type buildScratch struct {
+	cursor []int
+	occDst []int32
+	occSrc []int32
+}
+
+var buildPool = sync.Pool{New: func() any { return new(buildScratch) }}
+
+// grow returns s resliced to length n, reallocating only when the capacity
+// is short. Contents are unspecified — callers overwrite or clear.
+func grow[E any](s []E, n int) []E {
+	if cap(s) < n {
+		return make([]E, n)
+	}
+	return s[:n]
+}
+
+// Free returns the plan and its routing arrays to the package pool. The
+// plan must not be used after Free. Freeing is optional — an unfreed Plan
+// is simply garbage-collected — but the convenience wrappers (Exchange,
+// ExchangeNeighborhood, RemapBlocks, the resorts) free theirs once
+// executed, which keeps the O(P) planner arrays off the allocator's hot
+// path at large rank counts.
+func (p *Plan) Free() {
+	p.c = nil
+	p.neighbors = nil // caller-owned; a pooled plan must not pin it
+	planPool.Put(p)
+}
+
 // NewPlan routes n local elements through targets and returns the plan.
 // Collective when opts.Neighbors is non-nil (the feasibility vote) or a
 // budget is active (the schedule maximum); otherwise it communicates
 // nothing. targets is invoked exactly once per element, in order.
 func NewPlan(c *vmpi.Comm, n int, targets Targets, opts Options) *Plan {
 	p := c.Size()
-	pl := &Plan{c: c, n: n, meter: opts.Meter, counts: make([]int, p)}
-
-	var inNbr []bool
+	self := c.Rank()
+	pl := planPool.Get().(*Plan)
+	pl.c, pl.n, pl.budget, pl.meter = c, n, 0, opts.Meter
+	pl.neighbors, pl.useNbr, pl.peak = nil, false, 0
 	if opts.Neighbors != nil {
 		pl.neighbors = opts.Neighbors
-		inNbr = make([]bool, p)
 		for _, r := range opts.Neighbors {
 			if r < 0 || r >= p {
 				panic(fmt.Sprintf("redist: neighbor rank %d out of range (size %d)", r, p))
 			}
-			inNbr[r] = true
 		}
 	}
 
 	// Pass 1: flatten the target lists — one (element, destination) pair
-	// per occurrence, in emission order — and count per destination.
-	occDst := make([]int32, 0, n)
-	occSrc := make([]int32, 0, n)
+	// per occurrence, in emission order. When a neighborhood is requested,
+	// membership is a scan of the (short) neighbor list, not an O(P)
+	// lookup table.
+	sc := buildPool.Get().(*buildScratch)
+	occDst := sc.occDst[:0]
+	occSrc := sc.occSrc[:0]
 	ok := true
 	var buf []int
 	for i := 0; i < n; i++ {
@@ -131,27 +178,14 @@ func NewPlan(c *vmpi.Comm, n int, targets Targets, opts Options) *Plan {
 			if r < 0 || r >= p {
 				panic(fmt.Sprintf("redist: target rank %d out of range (size %d)", r, p))
 			}
-			if inNbr != nil && r != c.Rank() && !inNbr[r] {
+			if opts.Neighbors != nil && r != self && !rankIn(opts.Neighbors, r) {
 				ok = false
 			}
-			pl.counts[r]++
 			occDst = append(occDst, int32(r))
 			occSrc = append(occSrc, int32(i))
 		}
 	}
-	// Pass 2: bucket occurrences by destination. The counting sort is
-	// stable, so each destination sees its elements in local order —
-	// exactly the order the per-destination append loops used to build.
-	pl.occOff = make([]int, p+1)
-	for d := 0; d < p; d++ {
-		pl.occOff[d+1] = pl.occOff[d] + pl.counts[d]
-	}
-	pl.occIdx = make([]int32, len(occDst))
-	cursor := append([]int(nil), pl.occOff[:p]...)
-	for j, d := range occDst {
-		pl.occIdx[cursor[d]] = occSrc[j]
-		cursor[d]++
-	}
+	sc.occDst, sc.occSrc = occDst, occSrc
 
 	// Resolve the budget: explicit option, else the communicator default.
 	switch {
@@ -174,30 +208,86 @@ func NewPlan(c *vmpi.Comm, n int, targets Targets, opts Options) *Plan {
 	// order; the neighborhood backend stages self first, then the
 	// neighbor list order (matching its assembly order).
 	if pl.useNbr {
-		pl.order = make([]int, 0, len(pl.neighbors)+1)
-		pl.order = append(pl.order, c.Rank())
+		pl.order = append(pl.order[:0], self)
 		pl.order = append(pl.order, pl.neighbors...)
 	} else {
-		pl.order = make([]int, p)
+		pl.order = grow(pl.order, p)
 		for d := range pl.order {
 			pl.order[d] = d
 		}
 	}
 
+	// Pass 2: bucket occurrences by staging-order slot. The counting sort
+	// is stable, so each destination sees its elements in local order —
+	// exactly the order the per-destination append loops used to build.
+	// The feasible neighborhood order spans self + neighbors only, so the
+	// CSR of a live plan is O(|neighbors|) — not O(P).
+	nslots := len(pl.order)
+	pl.counts = grow(pl.counts, nslots)
+	clear(pl.counts)
+	for _, r := range occDst {
+		pl.counts[pl.slotOf(int(r))]++
+	}
+	pl.occOff = grow(pl.occOff, nslots+1)
+	pl.occOff[0] = 0
+	for k := 0; k < nslots; k++ {
+		pl.occOff[k+1] = pl.occOff[k] + pl.counts[k]
+	}
+	pl.occIdx = grow(pl.occIdx, len(occDst))
+	cursor := grow(sc.cursor, nslots)
+	sc.cursor = cursor
+	copy(cursor, pl.occOff[:nslots])
+	for j, r := range occDst {
+		k := pl.slotOf(int(r))
+		pl.occIdx[cursor[k]] = occSrc[j]
+		cursor[k]++
+	}
+	buildPool.Put(sc)
+
 	// The round schedule needs the cross-rank maximum of every
 	// destination's count so all ranks cut rounds identically. Collective
 	// — and therefore only performed when a budget is active, keeping the
-	// budgetless event stream unchanged.
+	// budgetless event stream unchanged. Rank-indexed and dense: the
+	// Allreduce payload must stay wire-identical to the historical one.
 	if pl.budget > 0 {
-		counts64 := make([]int64, p)
-		for d, n := range pl.counts {
-			counts64[d] = int64(n)
+		counts64 := grow(pl.maxCounts, p)
+		clear(counts64)
+		for k, n := range pl.counts {
+			counts64[pl.order[k]] = int64(n)
 		}
 		mc := vmpi.Allreduce(c, counts64, vmpi.Max[int64])
-		pl.maxCounts = append([]int64(nil), mc...)
+		copy(counts64, mc)
+		pl.maxCounts = counts64
 		vmpi.Release(mc)
 	}
 	return pl
+}
+
+// slotOf maps a destination rank to its staging-order slot. The all-to-all
+// order is the identity; the short neighborhood order is scanned. A rank
+// outside a feasible neighborhood cannot reach here: the collective vote
+// has already forced the all-to-all path for that routing.
+func (p *Plan) slotOf(r int) int {
+	if !p.useNbr {
+		return r
+	}
+	for k, d := range p.order {
+		if d == r {
+			return k
+		}
+	}
+	panic(fmt.Sprintf("redist: rank %d not in the feasible neighborhood order", r))
+}
+
+// rankIn reports whether r appears in the (short, duplicate-free) rank
+// list.
+func rankIn(list []int, r int) bool {
+	for _, x := range list {
+		if x == r {
+			return true
+		}
+	}
+	return false
 }
 
 // Bounded reports whether the plan executes the bounded-round protocol.
@@ -248,12 +338,12 @@ func scheduleRounds(order []int, maxCounts []int64, elemBytes int, budget int64)
 }
 
 // gather builds the freshly allocated per-destination send buffer for
-// rank d: the plan's occurrences for d, in local element order. Returns
-// nil when d receives nothing (matching the historical append-built nil
-// parts, which the messaging layer and its debug ownership checker rely
-// on).
-func gather[T any](p *Plan, items []T, d int) []T {
-	lo, hi := p.occOff[d], p.occOff[d+1]
+// staging-order slot k (rank p.order[k]): the plan's occurrences for that
+// rank, in local element order. Returns nil when the rank receives
+// nothing (matching the historical append-built nil parts, which the
+// messaging layer and its debug ownership checker rely on).
+func gather[T any](p *Plan, items []T, k int) []T {
+	lo, hi := p.occOff[k], p.occOff[k+1]
 	if lo == hi {
 		return nil
 	}
@@ -344,18 +434,18 @@ func executeAlltoall[T any](p *Plan, items []T) []T {
 // first then neighbors in order.
 func executeNeighborhood[T any](p *Plan, items []T) []T {
 	c := p.c
-	self := c.Rank()
-	sendCost := costs.Move * float64(p.counts[self])
-	for _, nb := range p.neighbors {
-		sendCost += costs.RedistElem * float64(p.counts[nb])
+	// Slot 0 of the staging order is self; neighbor k sits at slot k+1.
+	sendCost := costs.Move * float64(p.counts[0])
+	for k := range p.neighbors {
+		sendCost += costs.RedistElem * float64(p.counts[k+1])
 	}
 	c.Compute(sendCost)
 	const tag = 201
-	staged := int64(p.counts[self])
-	selfPart := gather(p, items, self)
-	for _, nb := range p.neighbors {
+	staged := int64(p.counts[0])
+	selfPart := gather(p, items, 0)
+	for k, nb := range p.neighbors {
 		// Freshly built per-neighbor buffers: relinquish them, no copy.
-		part := gather(p, items, nb)
+		part := gather(p, items, k+1)
 		staged += int64(len(part))
 		vmpi.SendOwned(c, part, nb, tag)
 	}
@@ -387,9 +477,9 @@ func executeBounded[T any](p *Plan, items []T) []T {
 
 	// Charge the same send-side cost as the unbounded backend would.
 	if p.useNbr {
-		sendCost := costs.Move * float64(p.counts[self])
-		for _, nb := range p.neighbors {
-			sendCost += costs.RedistElem * float64(p.counts[nb])
+		sendCost := costs.Move * float64(p.counts[0])
+		for k := range p.neighbors {
+			sendCost += costs.RedistElem * float64(p.counts[k+1])
 		}
 		c.Compute(sendCost)
 	} else {
@@ -400,13 +490,14 @@ func executeBounded[T any](p *Plan, items []T) []T {
 	peak := int64(0)
 	for _, g := range scheduleRounds(p.order, p.maxCounts, elem, p.budget) {
 		staged := int64(0)
-		for _, d := range p.order[g[0]:g[1]] {
+		for k := g[0]; k < g[1]; k++ {
+			d := p.order[k]
 			if d == self {
-				selfBlock = gather(p, items, d)
+				selfBlock = gather(p, items, k)
 				staged += int64(len(selfBlock)) * int64(elem)
 				continue
 			}
-			buf := gather(p, items, d)
+			buf := gather(p, items, k)
 			staged += int64(len(buf)) * int64(elem)
 			vmpi.SendOwned(c, buf, d, tagPlan)
 		}

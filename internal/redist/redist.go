@@ -79,7 +79,10 @@ func ToRank(f func(i int) int) Targets {
 // vmpi.Config.MaxExchangeBytes is set, the classic single all-to-all
 // otherwise).
 func Exchange[T any](c *vmpi.Comm, items []T, targets Targets) []T {
-	return Execute(NewPlan(c, len(items), targets, Options{}), items)
+	pl := NewPlan(c, len(items), targets, Options{})
+	out := Execute(pl, items)
+	pl.Free()
+	return out
 }
 
 // crossCost charges the element-wise redistribution cost: elements crossing
@@ -114,7 +117,10 @@ func ExchangeNeighborhood[T any](c *vmpi.Comm, items []T, targets Targets, neigh
 		neighbors = make([]int, 0)
 	}
 	pl := NewPlan(c, len(items), targets, Options{Neighbors: neighbors})
-	return Execute(pl, items), pl.UsedNeighborhood()
+	out := Execute(pl, items)
+	usedNbr := pl.UsedNeighborhood()
+	pl.Free()
+	return out, usedNbr
 }
 
 func boolToInt(b bool) int {

@@ -53,6 +53,7 @@ func RemapBlocks[T any](c *vmpi.Comm, items []T, newP int) []T {
 		return part.Owner(off + int64(i))
 	}), Options{})
 	out := Execute(pl, items)
+	pl.Free()
 	if c.Rank() < newP {
 		if want := part.Count(c.Rank()); len(out) != want {
 			panic(fmt.Sprintf("redist: remap delivered %d elements to rank %d, want %d", len(out), c.Rank(), want))

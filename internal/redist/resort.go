@@ -69,18 +69,22 @@ func resort[T any](c *vmpi.Comm, vals []T, stride int, indices []Index, nNew int
 		}
 		return append(dst, r)
 	}, Options{})
+	var out []T
 	if pl.Bounded() {
-		return executeResortBounded(pl, vals, stride, indices, nNew)
+		out = executeResortBounded(pl, vals, stride, indices, nNew)
+	} else {
+		out = executeResort(pl, vals, stride, indices, nNew)
 	}
-	return executeResort(pl, vals, stride, indices, nNew)
+	pl.Free()
+	return out
 }
 
 // gatherResort builds the paired position/value send buffers for
-// destination d from the plan's routing: one int64 target position and
-// stride values per occurrence, in local order. Both nil when d receives
-// nothing.
-func gatherResort[T any](p *Plan, vals []T, stride int, indices []Index, d int) ([]int64, []T) {
-	lo, hi := p.occOff[d], p.occOff[d+1]
+// staging-order slot k (rank p.order[k]) from the plan's routing: one
+// int64 target position and stride values per occurrence, in local order.
+// Both nil when the rank receives nothing.
+func gatherResort[T any](p *Plan, vals []T, stride int, indices []Index, k int) ([]int64, []T) {
+	lo, hi := p.occOff[k], p.occOff[k+1]
 	if lo == hi {
 		return nil, nil
 	}
@@ -162,13 +166,14 @@ func executeResortBounded[T any](p *Plan, vals []T, stride int, indices []Index,
 	peak := int64(0)
 	for _, g := range scheduleRounds(p.order, p.maxCounts, elem, p.budget) {
 		staged := int64(0)
-		for _, d := range p.order[g[0]:g[1]] {
+		for k := g[0]; k < g[1]; k++ {
+			d := p.order[k]
 			if d == self {
-				selfPos, selfVal = gatherResort(p, vals, stride, indices, d)
+				selfPos, selfVal = gatherResort(p, vals, stride, indices, k)
 				staged += int64(len(selfPos)) * int64(elem)
 				continue
 			}
-			pos, val := gatherResort(p, vals, stride, indices, d)
+			pos, val := gatherResort(p, vals, stride, indices, k)
 			staged += int64(len(pos)) * int64(elem)
 			vmpi.SendOwned(c, pos, d, tagResortPos)
 			vmpi.SendOwned(c, val, d, tagResortVal)

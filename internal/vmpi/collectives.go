@@ -254,7 +254,7 @@ func allgatherTree[T any](c *Comm, data []T) [][]T {
 		for r := 1; r < p; r++ {
 			blocks[r] = Recv[T](c, r, tagGatherA)
 		}
-		lens = make([]int64, p)
+		lens = getSlice[int64](p)
 		for r, b := range blocks {
 			lens[r] = int64(len(b))
 		}
@@ -274,16 +274,53 @@ func allgatherTree[T any](c *Comm, data []T) [][]T {
 		out[r] = copySlice(flat[off : off+n])
 		off += n
 	}
-	if c.rank != root {
-		Release(flat) // the received broadcast buffer; root's is concat-local
-		Release(lens)
-	}
+	// Root owns its concat-local flat and pooled lens; non-roots own the
+	// received broadcast buffers. Either way the caller got copies.
+	Release(flat)
+	Release(lens)
 	return out
 }
 
+// allgatherFlat is the large-communicator Allgather: the same gather +
+// broadcast messages as allgatherTree — virtual cost and golden figures
+// are identical — but the broadcast concatenation IS the result, so the
+// per-segment copies of the block form (P buffers per rank, P² process-
+// wide) are never materialized. The lens broadcast stays on the wire for
+// message-structure identity even though the flat result does not use it.
+func allgatherFlat[T any](c *Comm, data []T) []T {
+	defer collSpan(c, obs.KindCollective, "allgather")()
+	p := c.Size()
+	const root = 0
+	var lens []int64
+	var flat []T
+	if c.rank == root {
+		blocks := make([][]T, p)
+		blocks[root] = copySlice(data)
+		for r := 1; r < p; r++ {
+			blocks[r] = Recv[T](c, r, tagGatherA)
+		}
+		lens = getSlice[int64](p)
+		for r, b := range blocks {
+			lens[r] = int64(len(b))
+		}
+		flat = concat(blocks)
+		ReleaseBlocks(blocks)
+	} else {
+		Send(c, data, root, tagGatherA)
+	}
+	lens = Bcast(c, lens, root)
+	flat = Bcast(c, flat, root)
+	Release(lens)
+	return flat
+}
+
 // Allgather collects every rank's slice on every rank, concatenated in rank
-// order.
+// order. The result may be pooled: callers that are done with it may hand
+// it back with Release.
 func Allgather[T any](c *Comm, data []T) []T {
+	if c.Size() > allgatherRingMax {
+		return allgatherFlat(c, data)
+	}
 	blocks := AllgatherBlocks(c, data)
 	out := concat(blocks)
 	ReleaseBlocks(blocks) // concat copied them; recycle the per-hop buffers
@@ -374,15 +411,17 @@ func Exscan[T any](c *Comm, data []T, op func(a, b T) T) []T {
 	return prev
 }
 
-// concat joins blocks into one slice.
+// concat joins blocks into one pooled slice (releasable by whoever ends up
+// owning it).
 func concat[T any](blocks [][]T) []T {
 	n := 0
 	for _, b := range blocks {
 		n += len(b)
 	}
-	out := make([]T, 0, n)
+	out := getSlice[T](n)
+	off := 0
 	for _, b := range blocks {
-		out = append(out, b...)
+		off += copy(out[off:], b)
 	}
 	return out
 }

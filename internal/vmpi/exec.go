@@ -1,8 +1,6 @@
 package vmpi
 
 import (
-	"fmt"
-
 	"repro/internal/hostpar"
 	"repro/internal/rankexec"
 )
@@ -65,6 +63,24 @@ type ExecStats struct {
 	MaxSlots int
 }
 
+// wakeBatchMax caps a rank's pending-wake batch: a fan-out send loop
+// flushes to the executor every wakeBatchMax deliveries instead of growing
+// the batch without bound.
+const wakeBatchMax = 64
+
+// flushWakes delivers a rank's batched wakeups to the executor in one
+// UnparkBatch episode. Callers invoke it before the rank can block
+// (recvRaw) or finish (runEvent's body), so a delivered message's receiver
+// is always runnable by the time the sender parks — the all-parked
+// deadlock verdict stays exact.
+func (rt *Runtime) flushWakes(st *rankState) {
+	if len(st.pendingWakes) == 0 {
+		return
+	}
+	rt.exec.UnparkBatch(st.pendingWakes)
+	st.pendingWakes = st.pendingWakes[:0]
+}
+
 // runEvent executes the ranks under the event-driven executor. It mirrors
 // the goroutine engine's panic contract: the first rank panic (including
 // the deadlock verdict) is re-raised in the caller's goroutine. Task ids
@@ -86,7 +102,12 @@ func runEvent(rt *Runtime, cfg Config, n int) {
 				}
 			}
 		}()
-		rt.f(rt.instComm(r))
+		c := rt.instComm(r)
+		rt.f(c)
+		// Wakes batched after the rank's last receive must reach the
+		// executor before this task finishes, or receivers of its final
+		// sends would park forever.
+		rt.flushWakes(c.st)
 	}
 	opts := rankexec.Options{
 		OnDeadlock: func([]int) { panic(rt.deadlockDump()) },
@@ -159,11 +180,13 @@ func (mb *mailbox) takeEvent(rt *Runtime, rank, src, tag int, ctx int64) *messag
 }
 
 // noteWaiting records what a rank is about to park for, feeding the
-// deadlock verdict's per-rank blocked-state dump.
+// deadlock verdict's per-rank blocked-state dump. Three stored words per
+// park — formatting waits for the (rare) verdict, so the event engine's
+// park hot path does not allocate.
 func (rt *Runtime) noteWaiting(rank, src, tag int) {
 	d := &rt.deadlock
 	d.mu.Lock()
-	d.waitingOn[rank] = fmt.Sprintf("rank %d waiting for (src %d, tag %d)", rank, src, tag)
+	d.waitingOn[rank] = waitRec{src: src, tag: tag, active: true}
 	d.mu.Unlock()
 }
 
@@ -171,7 +194,7 @@ func (rt *Runtime) noteWaiting(rank, src, tag int) {
 func (rt *Runtime) clearWaiting(rank int) {
 	d := &rt.deadlock
 	d.mu.Lock()
-	d.waitingOn[rank] = ""
+	d.waitingOn[rank] = waitRec{}
 	d.mu.Unlock()
 }
 
@@ -181,11 +204,5 @@ func (rt *Runtime) deadlockDump() string {
 	d := &rt.deadlock
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	msg := "vmpi: deadlock: all ranks blocked in receive:\n"
-	for _, w := range d.waitingOn {
-		if w != "" {
-			msg += "  " + w + "\n"
-		}
-	}
-	return msg
+	return formatWaitSet(d.waitingOn)
 }

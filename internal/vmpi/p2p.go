@@ -23,9 +23,16 @@ func sizeOf[T any]() int {
 
 // Send sends data to rank dst with the given tag (blocking, eager). The
 // payload is copied; the caller may reuse data immediately. User tags must
-// be non-negative; negative tags are reserved for collectives.
+// be non-negative; negative tags are reserved for collectives. Payloads up
+// to inlineMaxBytes of flat element types travel inline in a pooled
+// envelope (see msg.go) — same wire behaviour, no payload allocation.
 func Send[T any](c *Comm, data []T, dst, tag int) {
-	sendRaw(c, copySlice(data), len(data)*sizeOf[T](), dst, tag)
+	bytes := len(data) * sizeOf[T]()
+	if bytes <= inlineMaxBytes && inlineable[T]() {
+		sendInline(c, data, bytes, dst, tag)
+		return
+	}
+	sendRaw(c, copySlice(data), bytes, dst, tag)
 }
 
 // SendOwned sends data to rank dst, transferring ownership of the buffer
@@ -43,12 +50,10 @@ func SendOwned[T any](c *Comm, data []T, dst, tag int) {
 // returns its payload.
 func Recv[T any](c *Comm, src, tag int) []T {
 	m := recvRaw(c, src, tag)
-	data, ok := m.payload.([]T)
-	if !ok {
-		panic(fmt.Sprintf("vmpi: Recv type mismatch: got %T from rank %d tag %d", m.payload, src, tag))
+	if m.inlElems >= 0 {
+		return recvInline[T](c, m, src, tag)
 	}
-	debugRecv(data)
-	return data
+	return takePayload[T](m, src, tag)
 }
 
 // Sendrecv sends sendData to dst and receives a message from src with the
@@ -103,9 +108,46 @@ func SendrecvReplace[T any](c *Comm, data []T, dst, src, tag int) []T {
 	return Sendrecv(c, data, dst, src, tag)
 }
 
-// sendRaw enqueues a payload for dst, charging injection cost to the sender
-// and stamping the arrival time from the network model.
-func sendRaw(c *Comm, payload any, bytes, dst, tag int) {
+// sendRaw enqueues a payload-carrying message for dst in a pooled
+// envelope. The slice header is exploded into the envelope's raw words
+// (see message) so the send allocates nothing.
+//
+//parlint:hotalloc
+func sendRaw[T any](c *Comm, payload []T, bytes, dst, tag int) {
+	m := getMsg()
+	m.inlType = inlineType[T]()
+	m.pptr = unsafe.Pointer(unsafe.SliceData(payload))
+	m.plen = len(payload)
+	m.pcap = cap(payload)
+	sendMsg(c, m, bytes, dst, tag)
+}
+
+// takePayload reconstructs a payload-carrying message's buffer after
+// verifying the element type, and recycles the envelope.
+//
+//parlint:hotalloc
+func takePayload[T any](m *message, src, tag int) []T {
+	if want := inlineType[T](); m.inlType != want {
+		panic(fmt.Sprintf("vmpi: Recv type mismatch: got []%s from rank %d tag %d, want []%s",
+			m.inlType.Elem(), src, tag, want.Elem()))
+	}
+	var data []T
+	if m.pptr != nil {
+		data = unsafe.Slice((*T)(m.pptr), m.pcap)[:m.plen]
+	}
+	debugRecv(data)
+	putMsg(m)
+	return data
+}
+
+// sendMsg is the send core shared by the payload and inline paths: it
+// charges injection cost to the sender, stamps the arrival time from the
+// network model, enqueues the envelope, and batches the destination's
+// wakeup (event engine). The caller has filled the envelope's payload or
+// inline fields; src/tag/ctx/timing are stamped here.
+//
+//parlint:hotalloc
+func sendMsg(c *Comm, m *message, bytes, dst, tag int) {
 	if dst < 0 || dst >= len(c.members) {
 		panic(fmt.Sprintf("vmpi: Send to invalid rank %d (size %d)", dst, len(c.members)))
 	}
@@ -117,18 +159,27 @@ func sendRaw(c *Comm, payload any, bytes, dst, tag int) {
 	c.st.clock = start + model.Injection(bytes)
 	c.st.bytesSent += int64(bytes)
 	c.st.msgsSent++
+	m.src = c.rank
+	m.tag = tag
+	m.ctx = c.ctx
+	m.bytes = bytes
 	// The model is charged by node position (world rank of the epoch the
 	// instance was admitted in), which stays physically meaningful across
 	// resizes — instance ids grow without bound, node positions are reused.
+	// arrive stays local past the put: the receiver may consume and recycle
+	// the envelope the moment it is enqueued.
 	arrive := start + model.Cost(srcInst.node, dstInst.node, bytes)
-	dstInst.box.put(c.rt, dstW, &message{
-		src:     c.rank,
-		tag:     tag,
-		ctx:     c.ctx,
-		arrive:  arrive,
-		bytes:   bytes,
-		payload: payload,
-	})
+	m.arrive = arrive
+	dstInst.box.put(c.rt, dstW, m)
+	if c.rt.exec != nil && dstW != c.world(c.rank) {
+		// Batch the wakeup; it is flushed before this rank can block or
+		// finish. A send to self needs no wake — the sender cannot be
+		// parked while it is sending.
+		c.st.pendingWakes = append(c.st.pendingWakes, dstW)
+		if len(c.st.pendingWakes) >= wakeBatchMax {
+			c.rt.flushWakes(c.st)
+		}
+	}
 	if c.rt.traceMsgs {
 		c.st.rec.Record(obs.Event{
 			Kind: obs.KindSend, Name: c.st.currentPhase,
@@ -140,9 +191,17 @@ func sendRaw(c *Comm, payload any, bytes, dst, tag int) {
 
 // recvRaw blocks for a matching message and advances the receiver clock to
 // the message arrival time.
+//
+//parlint:hotalloc
 func recvRaw(c *Comm, src, tag int) *message {
 	if src < 0 || src >= len(c.members) {
 		panic(fmt.Sprintf("vmpi: Recv from invalid rank %d (size %d)", src, len(c.members)))
+	}
+	if c.rt.exec != nil && len(c.st.pendingWakes) > 0 {
+		// Deliver this rank's batched wakeups before it can park: a rank
+		// waiting on one of those messages must be runnable by the time we
+		// block, or the all-parked verdict would see a false deadlock.
+		c.rt.flushWakes(c.st)
 	}
 	m := c.inst(c.rank).box.take(c.rt, c.world(c.rank), src, tag, c.ctx)
 	if m.arrive > c.st.clock {

@@ -4,6 +4,7 @@ import (
 	"reflect"
 	"sync"
 	"sync/atomic"
+	"unsafe"
 )
 
 // Message-buffer pooling.
@@ -125,7 +126,11 @@ func ResetPoolStats() {
 }
 
 // typedPool holds one sync.Pool per size class for a single element type.
-// Entries are *[]T stored as any.
+// Entries are unsafe.Pointers to the class-capacity backing array:
+// pointer-shaped values store directly in the interface word, so a
+// Release/getSlice round trip allocates nothing (a *[]T box would cost
+// one heap object per Release). The element type and the class fix the
+// slice header, so getSlice reconstructs it losslessly.
 type typedPool struct {
 	classes [poolMaxBits + 1]sync.Pool
 }
@@ -170,7 +175,7 @@ func getSlice[T any](n int) []T {
 	noteInUse(int64(1<<b) * int64(sizeOf[T]()))
 	p := poolOf[T]()
 	if v := p.classes[b].Get(); v != nil {
-		s := (*v.(*[]T))[:n]
+		s := unsafe.Slice((*T)(v.(unsafe.Pointer)), 1<<b)[:n]
 		debugGet(s)
 		return s
 	}
@@ -195,7 +200,7 @@ func Release[T any](s []T) {
 	noteInUse(-int64(c) * int64(sizeOf[T]()))
 	full := s[:0:c]
 	debugRelease(full)
-	poolOf[T]().classes[b].Put(&full)
+	poolOf[T]().classes[b].Put(unsafe.Pointer(unsafe.SliceData(full)))
 }
 
 // ReleaseBlocks releases every block of a received block set (e.g. the

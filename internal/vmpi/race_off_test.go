@@ -1,0 +1,5 @@
+//go:build !race
+
+package vmpi
+
+const raceEnabled = false

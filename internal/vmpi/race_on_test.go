@@ -1,0 +1,9 @@
+//go:build race
+
+package vmpi
+
+// raceEnabled gates the steady-state allocation assertions: the race
+// detector's instrumentation allocates shadow state on code paths that are
+// allocation-free in a normal build, so AllocsPerRun budgets only hold
+// without it.
+const raceEnabled = true

@@ -35,9 +35,11 @@ package vmpi
 
 import (
 	"fmt"
+	"reflect"
 	"sort"
 	"sync"
 	"time"
+	"unsafe"
 
 	"repro/internal/netmodel"
 	"repro/internal/obs"
@@ -51,13 +53,36 @@ const (
 )
 
 // message is a unit of point-to-point communication between world ranks.
+// Small flat payloads travel inline in the envelope (see msg.go): inlElems
+// is the element count and the data lives in inl, so neither sender nor
+// receiver allocates a payload buffer. Envelopes themselves are recycled
+// through msgPool; inlElems == -1 marks a payload-carrying message.
 type message struct {
-	src     int // sender's rank within the communicator's context
-	tag     int
-	ctx     int64 // communicator context id
-	arrive  float64
-	bytes   int
-	payload any
+	src    int // sender's rank within the communicator's context
+	tag    int
+	ctx    int64 // communicator context id
+	arrive float64
+	bytes  int
+	// pptr/plen/pcap are the exploded slice header of a payload-carrying
+	// message's buffer. Storing the three words directly — instead of
+	// boxing the []T into an any field — keeps the payload send path
+	// allocation-free (a slice-to-interface conversion heap-allocates the
+	// header). pptr is an unsafe.Pointer, so the GC keeps the backing
+	// array alive while the message is in flight; Recv[T] reconstructs
+	// the slice after checking inlType against its own element type,
+	// which is exactly the guarantee the old type assertion gave.
+	pptr unsafe.Pointer
+	plen int
+	pcap int
+	// inlElems is the inline element count, or -1 when pptr carries the
+	// data (0 is a valid empty inline message).
+	inlElems int
+	// inlType is the interned *T identity of the element type, set on
+	// both the inline and the payload path; receives compare it against
+	// their own instantiation before touching the bytes.
+	inlType reflect.Type
+	// inl is the inline payload storage, 8-byte aligned.
+	inl [inlineMaxBytes / 8]uint64
 }
 
 // mkey is the exact-match key a receive selects on.
@@ -87,6 +112,10 @@ type mailbox struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
 	queues map[mkey]*fifo
+	// free recycles the last drained fifo cell (and its msgs backing
+	// array): most traffic is a ping-pong per match key, so one slot turns
+	// the per-message fifo churn into steady-state reuse.
+	free *fifo
 }
 
 func newMailbox() *mailbox {
@@ -96,22 +125,28 @@ func newMailbox() *mailbox {
 }
 
 // put enqueues a message and wakes receivers. Under the event engine the
-// wakeup is an executor unpark of the destination rank; under the
-// goroutine engine it is a condition broadcast, and rt/dst additionally
-// feed the legacy deadlock detector (a delivery to a currently blocked
-// rank defers any all-blocked verdict until that rank has rescanned).
+// wakeup is the sender's responsibility: the delivering rank batches the
+// destination into its pending-wake list (sendMsg) and flushes the batch
+// to the executor before it can itself block, so a send that wakes k ranks
+// costs one executor episode, not k. Under the goroutine engine the wakeup
+// is a condition broadcast, and rt/dst additionally feed the legacy
+// deadlock detector (a delivery to a currently blocked rank defers any
+// all-blocked verdict until that rank has rescanned).
 func (mb *mailbox) put(rt *Runtime, dst int, m *message) {
 	k := mkey{src: m.src, tag: m.tag, ctx: m.ctx}
 	mb.mu.Lock()
 	q := mb.queues[k]
 	if q == nil {
-		q = &fifo{}
+		if q = mb.free; q != nil {
+			mb.free = nil
+		} else {
+			q = &fifo{}
+		}
 		mb.queues[k] = q
 	}
 	q.msgs = append(q.msgs, m)
 	mb.mu.Unlock()
 	if rt.exec != nil {
-		rt.exec.Unpark(dst)
 		return
 	}
 	rt.notePut(dst)
@@ -120,12 +155,17 @@ func (mb *mailbox) put(rt *Runtime, dst int, m *message) {
 
 // pop removes and returns the head of q, deleting the map entry when the
 // fifo drains so the mailbox does not leak one key per retired context.
+// Drained cells are parked in the free slot for reuse. The mailbox mutex
+// must be held.
 func (mb *mailbox) pop(k mkey, q *fifo) *message {
 	m := q.msgs[q.head]
 	q.msgs[q.head] = nil
 	q.head++
 	if q.head == len(q.msgs) {
 		delete(mb.queues, k)
+		q.head = 0
+		q.msgs = q.msgs[:0]
+		mb.free = q
 	}
 	return m
 }
@@ -170,7 +210,15 @@ type deadlockState struct {
 	pendingCount int
 	isBlocked    []bool
 	wakePending  []bool
-	waitingOn    []string
+	waitingOn    []waitRec
+}
+
+// waitRec records what a blocked rank is waiting for. Formatting is
+// deferred to the verdict dump, so registering a wait on the park hot
+// path stores three words and never allocates.
+type waitRec struct {
+	src, tag int
+	active   bool
 }
 
 // admit grows the detector's per-instance arrays for k newly admitted
@@ -181,7 +229,7 @@ func (d *deadlockState) admit(k int) {
 	for i := 0; i < k; i++ {
 		d.isBlocked = append(d.isBlocked, false)
 		d.wakePending = append(d.wakePending, false)
-		d.waitingOn = append(d.waitingOn, "")
+		d.waitingOn = append(d.waitingOn, waitRec{})
 	}
 	d.mu.Unlock()
 }
@@ -195,7 +243,7 @@ func (rt *Runtime) noteBlocked(rank, src, tag int) {
 	defer d.mu.Unlock()
 	d.blocked++
 	d.isBlocked[rank] = true
-	d.waitingOn[rank] = fmt.Sprintf("rank %d waiting for (src %d, tag %d)", rank, src, tag)
+	d.waitingOn[rank] = waitRec{src: src, tag: tag, active: true}
 	d.checkLocked()
 }
 
@@ -205,13 +253,7 @@ func (d *deadlockState) checkLocked() {
 	if d.blocked == 0 || d.blocked+d.finished != d.total || d.pendingCount != 0 {
 		return
 	}
-	msg := "vmpi: deadlock: all ranks blocked in receive:\n"
-	for _, w := range d.waitingOn {
-		if w != "" {
-			msg += "  " + w + "\n"
-		}
-	}
-	panic(msg)
+	panic(formatWaitSet(d.waitingOn))
 }
 
 // noteUnblocked registers that a rank woke up and consumed its wake token.
@@ -224,8 +266,20 @@ func (rt *Runtime) noteUnblocked(rank int) {
 		d.wakePending[rank] = false
 		d.pendingCount--
 	}
-	d.waitingOn[rank] = ""
+	d.waitingOn[rank] = waitRec{}
 	d.mu.Unlock()
+}
+
+// formatWaitSet renders the all-blocked verdict from the recorded wait
+// set — both engines' detectors emit this exact format.
+func formatWaitSet(waiting []waitRec) string {
+	msg := "vmpi: deadlock: all ranks blocked in receive:\n"
+	for r, w := range waiting {
+		if w.active {
+			msg += fmt.Sprintf("  rank %d waiting for (src %d, tag %d)\n", r, w.src, w.tag)
+		}
+	}
+	return msg
 }
 
 // notePut records a delivery to dst; if dst is blocked, the next
@@ -280,6 +334,11 @@ type rankState struct {
 	// rec is the rank's append-only observability buffer; all phase,
 	// collective, message, and counter events of the rank flow into it.
 	rec *obs.Buffer
+	// pendingWakes batches the instance ids this rank has delivered
+	// messages to but not yet woken (event engine only). The batch is
+	// flushed to the executor in one UnparkBatch episode before the rank
+	// can block (recvRaw) or finish, and whenever it reaches wakeBatchMax.
+	pendingWakes []int
 }
 
 // rankInstance is one rank identity over the whole life of the virtual
